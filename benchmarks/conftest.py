@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures (or an
+ablation of them) and checks the result against the recorded paper
+values where the reproduction is exact.  Heavy solves run with
+``benchmark.pedantic(rounds=1)`` -- the timing of a single solve is the
+interesting number, not a statistical distribution over repeats.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round/iteration and return its
+    result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

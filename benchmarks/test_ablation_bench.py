@@ -1,0 +1,60 @@
+"""Bench A1: ablations of the design choices DESIGN.md calls out --
+acceptance depth, phase-3 return, gate countdown, sticky gate on/off."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.sweeps import sweep_attack
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import solve_absolute_reward, solve_orphan_rate
+
+
+def test_ad_sweep(benchmark):
+    """Section 6.2: a larger AD lets the attacker keep the chain forked
+    longer -- u_A3 grows monotonically with AD."""
+    base = AttackConfig.from_ratio(0.01, (2, 3), setting=1)
+    sweep = run_once(benchmark, sweep_attack, base, "ad", [2, 4, 6, 8, 10],
+                     IncentiveModel.NON_PROFIT)
+    utilities = sweep.utilities()
+    assert utilities == sorted(utilities)
+    assert utilities[-1] > 2 * utilities[1]
+
+
+def test_phase3_return_ablation(benchmark):
+    """The phase-3 interpretation knob barely moves setting-2 results."""
+    def solve_both():
+        out = {}
+        for knob in ("phase1", "phase2_reset"):
+            config = AttackConfig.from_ratio(0.10, (1, 1), setting=2,
+                                             phase3_return=knob)
+            out[knob] = solve_absolute_reward(config).utility
+        return out
+
+    values = run_once(benchmark, solve_both)
+    assert values["phase1"] == pytest.approx(values["phase2_reset"],
+                                             abs=5e-3)
+
+
+def test_gate_countdown_ablation(benchmark):
+    def solve_both():
+        out = {}
+        for knob in ("locked_blocks", "l1"):
+            config = AttackConfig.from_ratio(0.10, (1, 2), setting=2,
+                                             gate_countdown=knob)
+            out[knob] = solve_absolute_reward(config).utility
+        return out
+
+    values = run_once(benchmark, solve_both)
+    assert values["locked_blocks"] == pytest.approx(values["l1"], abs=5e-3)
+
+
+def test_sticky_gate_removal_does_not_fix_bu(benchmark):
+    """BUIP038 ablation: disabling the gate leaves u_A3 far above
+    Bitcoin's bound of 1."""
+    def solve():
+        config = AttackConfig.from_ratio(0.01, (1, 1), setting=1)
+        return solve_orphan_rate(config).utility
+
+    value = run_once(benchmark, solve)
+    assert value > 1.7

@@ -1,0 +1,25 @@
+"""Bench: Bitcoin baseline solvers -- optimal selfish mining against
+the published Sapirshtein values, and the stubborn-strategy sweep."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines.selfish import SelfishMiningConfig, \
+    solve_selfish_mining
+from repro.baselines.stubborn import sweep_profiles
+
+
+def test_optimal_selfish_mining_published_value(benchmark):
+    config = SelfishMiningConfig(alpha=1 / 3, tie_power=0.0, max_len=30)
+    result = run_once(benchmark, solve_selfish_mining, config)
+    assert result.relative_revenue == pytest.approx(0.33707, abs=2e-4)
+
+
+def test_stubborn_sweep(benchmark):
+    config = SelfishMiningConfig(alpha=0.35, tie_power=0.8)
+    results = run_once(benchmark, sweep_profiles, config, max_trail=2)
+    optimal = solve_selfish_mining(config).relative_revenue
+    assert all(r.relative_revenue <= optimal + 1e-7
+               for r in results.values())
+    assert results["L,F"].relative_revenue \
+        > results["SM1"].relative_revenue

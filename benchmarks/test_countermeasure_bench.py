@@ -1,0 +1,42 @@
+"""Bench E11: the Section 6.3 countermeasure -- a year of 2016-block
+voting periods with the paper's parameters, BVC preserved throughout."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.countermeasure import (
+    PreferenceVoter,
+    VoteParams,
+    VotingSimulation,
+    equilibrium_limit,
+)
+
+
+def miners():
+    return [
+        PreferenceVoter("small", power=0.2, preferred_size=1.0),
+        PreferenceVoter("medium", power=0.3, preferred_size=2.0),
+        PreferenceVoter("large", power=0.5, preferred_size=8.0),
+    ]
+
+
+def test_expected_mode_year(benchmark):
+    params = VoteParams()  # paper defaults: 2016 blocks, 200 delay, 0.1 MB
+    sim = VotingSimulation(miners(), params)
+    trace = run_once(benchmark, sim.run, n_periods=26)  # ~ one year
+    assert trace.bvc_holds()
+    assert trace.final_limit == equilibrium_limit(miners(), params)
+    # The 20% small miner stays below the 25% veto threshold, so the
+    # limit climbs past 1 MB; past 2 MB the medium miner joins the
+    # down-voters (0.5 power) and the climb stops.
+    assert trace.final_limit == pytest.approx(2.0, abs=1e-9)
+
+
+def test_stochastic_mode_year(benchmark):
+    params = VoteParams(up_threshold=0.7, veto_threshold=0.25)
+    sim = VotingSimulation(miners(), params)
+    trace = run_once(benchmark, sim.run, n_periods=26,
+                     rng=np.random.default_rng(99))
+    assert trace.bvc_holds()
+    assert 1.0 <= trace.final_limit <= 8.0

@@ -1,0 +1,32 @@
+"""Bench E10: the EB choosing game -- Analytical Result 4's equilibria
+verified exhaustively over a 12-miner game."""
+
+from benchmarks.conftest import run_once
+from repro.games.eb_choosing import EBChoosingGame
+
+
+def test_consensus_equilibria_exhaustive(benchmark):
+    powers = [1 / 12] * 12
+    game = EBChoosingGame(powers)
+
+    def all_nash():
+        return game.nash_equilibria()
+
+    equilibria = run_once(benchmark, all_nash)
+    choices = {p.choices for p in equilibria}
+    assert (0,) * 12 in choices
+    assert (1,) * 12 in choices
+    # Every equilibrium is a consensus: a 12-way uniform split means a
+    # deviator always lands on the (weak) minority side.
+    assert all(len(set(p.choices)) == 1 for p in equilibria)
+
+
+def test_best_response_dynamics_converge(benchmark):
+    game = EBChoosingGame([0.2, 0.15, 0.15, 0.2, 0.3])
+
+    def converge():
+        from repro.games.eb_choosing import EBProfile
+        return game.best_response_dynamics(EBProfile((0, 1, 0, 1, 1)))
+
+    trajectory = run_once(benchmark, converge)
+    assert game.is_nash_equilibrium(trajectory[-1])

@@ -1,0 +1,22 @@
+"""Bench E6: Figure 1 -- the sticky gate's accept/reject life cycle
+over the real validity engine."""
+
+from benchmarks.conftest import run_once
+from repro.sim.figures import figure1_sticky_gate
+
+
+def test_figure1_default(benchmark):
+    result = run_once(benchmark, figure1_sticky_gate)
+    assert result.rejected_before_depth
+    assert result.accepted_at_depth
+    assert result.limit_before == 1.0
+    assert result.limit_after == 32.0
+    assert result.gate_closed_after_window
+
+
+def test_figure1_paper_parameters(benchmark):
+    """AD = 6 and the 144-block window used by 2017 BU miners."""
+    result = run_once(benchmark, figure1_sticky_gate, eb=1.0, ad=6,
+                      gate_window=144)
+    assert result.rejected_before_depth and result.accepted_at_depth
+    assert result.gate_closed_after_window

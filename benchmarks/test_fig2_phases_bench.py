@@ -1,0 +1,17 @@
+"""Bench E7: Figure 2 -- the phase-1 and phase-2 chain splits replayed
+through the substrate simulator."""
+
+from benchmarks.conftest import run_once
+from repro.sim.figures import figure2_phase_forks
+
+
+def test_figure2_phases(benchmark):
+    result = run_once(benchmark, figure2_phase_forks)
+    assert result.phase1_split
+    assert result.phase2_entered
+    assert result.phase2_split
+
+
+def test_figure2_with_paper_ad(benchmark):
+    result = run_once(benchmark, figure2_phase_forks, ad=6)
+    assert result.phase1_split and result.phase2_split

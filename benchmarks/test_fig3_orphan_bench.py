@@ -1,0 +1,12 @@
+"""Bench E8: Figure 3 -- one attacker block orphaning two compliant
+blocks, the seed observation behind Table 4."""
+
+from benchmarks.conftest import run_once
+from repro.sim.figures import figure3_orphaning
+
+
+def test_figure3_two_for_one(benchmark):
+    result = run_once(benchmark, figure3_orphaning)
+    assert result.alice_blocks_spent == 1
+    assert result.others_orphaned == 2
+    assert result.orphans_per_alice_block == 2.0

@@ -1,0 +1,37 @@
+"""Bench E9: Figure 4 -- the block size increasing game's worked
+example, plus scaling of the stable-set recursion."""
+
+from fractions import Fraction
+
+from benchmarks.conftest import run_once
+from repro.games.block_size import BlockSizeIncreasingGame, MinerGroup
+from repro.games.stability import terminal_suffix_start
+
+
+def figure4_game():
+    return BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.1),
+        MinerGroup(mpb=2.0, power=0.2),
+        MinerGroup(mpb=4.0, power=0.3),
+        MinerGroup(mpb=8.0, power=0.4),
+    ])
+
+
+def test_figure4_playout(benchmark):
+    played = run_once(benchmark, lambda: figure4_game().play())
+    assert played.survivors == (1, 2, 3)
+    assert played.final_mg == 2.0
+    assert played.rounds[0].passed
+    assert not played.rounds[1].passed
+    assert played.rounds[1].no_votes == (1, 2)
+
+
+def test_stable_set_recursion_scales(benchmark):
+    """The recursion stays exact (Fractions) on 60 groups."""
+    powers = [Fraction(i + 1, sum(range(1, 61))) for i in range(60)]
+
+    def solve():
+        return terminal_suffix_start(powers)
+
+    start = run_once(benchmark, solve)
+    assert 0 <= start < 60

@@ -1,0 +1,26 @@
+"""Bench: natural fork rate under propagation delay (the Section 6.4
+large-block cost model) over the event-driven substrate."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.baselines.honest import fork_rate_with_delay
+from repro.sim.latency import LatencyMiner, LatencySimulation
+
+
+def test_fork_rate_vs_delay_curve(benchmark):
+    def sweep():
+        out = {}
+        miners = [LatencyMiner(f"m{i}", 0.2) for i in range(5)]
+        for delay in (6.0, 30.0, 120.0):
+            sim = LatencySimulation(miners, block_interval=600.0,
+                                    delay=delay)
+            out[delay] = sim.run(2500,
+                                 rng=np.random.default_rng(1)).fork_rate
+        return out
+
+    rates = run_once(benchmark, sweep)
+    assert rates[6.0] < rates[30.0] < rates[120.0]
+    # Within the collision-probability envelope at every delay.
+    for delay, rate in rates.items():
+        assert rate <= fork_rate_with_delay(600.0, delay) * 1.2

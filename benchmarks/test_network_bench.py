@@ -1,0 +1,36 @@
+"""Bench: the N-node network simulation -- the Section 6.2 trade-off
+(giant-block embedding vs perpetual forking) at network scale."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.protocol.params import BUParams
+from repro.sim.network import NetworkMiner, NetworkSimulation, \
+    SplitAttacker
+
+
+def heterogeneous():
+    return [
+        NetworkMiner("small_eb", 0.45, BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("large_eb", 0.40, BUParams(mg=1.0, eb=16.0, ad=6)),
+    ]
+
+
+def test_gate_tradeoff(benchmark):
+    def both_regimes():
+        out = {}
+        for sticky in (True, False):
+            sim = NetworkSimulation(
+                heterogeneous(), attacker=SplitAttacker(4.0),
+                attacker_power=0.15, sticky=sticky,
+                rng=np.random.default_rng(11))
+            out[sticky] = sim.run(5000)
+        return out
+
+    results = run_once(benchmark, both_regimes)
+    gated, ungated = results[True], results[False]
+    # Gate on: giant blocks embedded, little forking.
+    assert gated.giant_blocks_on_chain > ungated.giant_blocks_on_chain
+    # Gate off: perpetual forking instead.
+    assert ungated.orphans > 10 * max(gated.orphans, 1)
+    assert ungated.disagreement_fraction > gated.disagreement_fraction

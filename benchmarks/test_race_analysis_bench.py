@@ -1,0 +1,33 @@
+"""Bench: per-race absorbing-chain analysis -- the quantities behind
+the paper's narrative (win probabilities, race lengths, Table 4's
+orphan counts re-derived per race)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import AttackConfig
+from repro.core.race_analysis import race_statistics, watch_only
+
+
+def test_race_statistics_grid(benchmark):
+    def sweep():
+        out = {}
+        for ratio in ((2, 1), (1, 1), (2, 3), (1, 2)):
+            config = AttackConfig.from_ratio(0.10, ratio, setting=1)
+            out[ratio] = race_statistics(config)
+        return out
+
+    stats = run_once(benchmark, sweep)
+    assert stats[(1, 1)].chain2_win_probability > 0.5
+    assert stats[(2, 1)].chain2_win_probability < 0.5
+    assert stats[(1, 1)].expected_length > stats[(2, 1)].expected_length
+
+
+def test_watch_only_rederives_table4(benchmark):
+    config = AttackConfig.from_ratio(0.01, (2, 3), setting=1,
+                                     include_wait=True)
+    st = run_once(benchmark, race_statistics, config, watch_only)
+    alice_spent = st.expected_alice_locked + (
+        st.expected_orphans - st.expected_others_orphans)
+    assert st.expected_others_orphans / alice_spent == pytest.approx(
+        1.7746, abs=1e-3)

@@ -1,0 +1,31 @@
+"""Bench A7: double-spend parameter sensitivity and deadline pricing --
+the mitigation levers merchants and time impose on the attacker."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.sensitivity import ds_sensitivity
+from repro.core.config import AttackConfig
+from repro.core.deadline import deadline_value
+
+
+def test_confirmation_sweep(benchmark):
+    base = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    grid = run_once(benchmark, ds_sensitivity, base,
+                    confirmations=(3, 4, 6), rds_values=(5.0, 10.0))
+    assert grid.monotone_in_rds()
+    assert grid.monotone_in_confirmations()
+    assert grid.values[(4, 10.0)] == pytest.approx(0.3123, abs=1e-3)
+    assert grid.values[(6, 10.0)] < 0.6 * grid.values[(4, 10.0)]
+
+
+def test_deadline_curve(benchmark):
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+
+    def sweep():
+        return {h: deadline_value(config, h).deadline_efficiency
+                for h in (10, 40, 144)}
+
+    efficiencies = run_once(benchmark, sweep)
+    assert efficiencies[10] < efficiencies[40] < efficiencies[144]
+    assert efficiencies[144] > 0.9

@@ -1,0 +1,28 @@
+"""Bench V1: Monte-Carlo cross-validation -- the substrate simulator
+replaying an MDP-optimal policy reproduces the exact utilities."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.validation import validate_against_sim
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+
+
+def test_absolute_reward_sim_agreement(benchmark):
+    config = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    report = run_once(benchmark, validate_against_sim, config,
+                      IncentiveModel.NONCOMPLIANT_PROFIT, steps=60_000,
+                      rng=np.random.default_rng(7))
+    assert report.utility_error < 0.02
+    assert report.max_rate_error() < 0.01
+
+
+def test_relative_revenue_sim_agreement(benchmark):
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+    report = run_once(benchmark, validate_against_sim, config,
+                      IncentiveModel.COMPLIANT_PROFIT, steps=60_000,
+                      rng=np.random.default_rng(8))
+    assert report.analysis.utility == pytest.approx(0.2739, abs=5e-4)
+    assert report.utility_error < 0.01

@@ -1,0 +1,38 @@
+"""Bench E2: regenerate Table 2 (relative revenue, compliant Alice).
+
+Setting 1 covers the full alpha = 25% row (where the paper reports the
+strongest incentive-compatibility violations); setting 2 solves the
+30,595-state sticky-gate MDP for one cell.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import PAPER_TABLE2, PAPER_TABLE2_SET2, table2
+
+
+def test_table2_setting1_alpha25_row(benchmark):
+    result = run_once(benchmark, table2, setting=1, alphas=(0.25,),
+                      ratios=((3, 2), (1, 1), (2, 3), (1, 2)))
+    for ratio in ((3, 2), (1, 1), (2, 3), (1, 2)):
+        key = (f"{ratio[0]}:{ratio[1]}", "25%")
+        assert result.cells[key] == pytest.approx(
+            PAPER_TABLE2[(ratio, 0.25)], abs=5e-4)
+
+
+def test_table2_setting1_boundary_cells(benchmark):
+    """Cells where the optimal strategy is honest (u_A1 = alpha)."""
+    result = run_once(benchmark, table2, setting=1, alphas=(0.10, 0.15),
+                      ratios=((3, 2), (1, 1)))
+    for alpha in (0.10, 0.15):
+        for ratio in ((3, 2), (1, 1)):
+            key = (f"{ratio[0]}:{ratio[1]}", f"{alpha:.0%}")
+            assert result.cells[key] == pytest.approx(alpha, abs=5e-4)
+
+
+def test_table2_setting2_cell(benchmark):
+    result = run_once(benchmark, table2, setting=2, alphas=(0.25,),
+                      ratios=((1, 1),))
+    key = ("1:1", "25%")
+    assert result.cells[key] == pytest.approx(
+        PAPER_TABLE2_SET2[((1, 1), 0.25)], abs=2e-3)

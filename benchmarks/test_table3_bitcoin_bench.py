@@ -1,0 +1,36 @@
+"""Bench E4: regenerate Table 3's Bitcoin block (selfish mining +
+double-spending with tie-winning probabilities 50% and 100%)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import PAPER_TABLE3_BITCOIN, table3_bitcoin
+
+
+def test_table3_bitcoin_block(benchmark):
+    result = run_once(benchmark, table3_bitcoin, ties=(0.5, 1.0),
+                      alphas=(0.10, 0.15, 0.20, 0.25))
+    # Exact-ish cells (tight agreement with the paper).
+    assert result.cells[("tie=50%", "10%")] == pytest.approx(0.10, abs=5e-3)
+    assert result.cells[("tie=50%", "15%")] == pytest.approx(0.15, abs=5e-3)
+    assert result.cells[("tie=100%", "10%")] == pytest.approx(0.11, abs=1e-2)
+    assert result.cells[("tie=100%", "15%")] == pytest.approx(0.18, abs=1e-2)
+    assert result.cells[("tie=100%", "20%")] == pytest.approx(0.30, abs=2e-2)
+    assert result.cells[("tie=100%", "25%")] == pytest.approx(0.52, abs=4e-2)
+    # Shape: winning all ties dominates winning half of them.
+    for alpha in ("10%", "15%", "20%", "25%"):
+        assert (result.cells[("tie=100%", alpha)]
+                >= result.cells[("tie=50%", alpha)] - 1e-9)
+
+
+def test_bitcoin_small_miner_cannot_profit(benchmark):
+    """The comparison the paper draws against BU's 1% attacker."""
+    result = run_once(benchmark, table3_bitcoin, ties=(1.0,),
+                      alphas=(0.01, 0.05))
+    assert result.cells[("tie=100%", "1%")] == pytest.approx(0.01, abs=1e-3)
+    assert result.cells[("tie=100%", "5%")] == pytest.approx(0.05, abs=2e-3)
+
+
+def test_paper_reference_values_recorded(benchmark):
+    table = run_once(benchmark, dict, PAPER_TABLE3_BITCOIN)
+    assert len(table) == 8

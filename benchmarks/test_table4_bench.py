@@ -1,0 +1,36 @@
+"""Bench E5: regenerate Table 4 (others' blocks orphaned per attacker
+block, non-profit-driven Alice with the Wait action)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import PAPER_TABLE4, TABLE4_RATIOS, table4
+
+
+def test_table4_setting1_full(benchmark):
+    result = run_once(benchmark, table4, alpha=0.01, ratios=TABLE4_RATIOS,
+                      settings=(1,))
+    for ratio in TABLE4_RATIOS:
+        key = (f"{ratio[0]}:{ratio[1]}", "setting1")
+        assert result.cells[key] == pytest.approx(
+            PAPER_TABLE4[(ratio, 1)], abs=1e-2)
+    # The paper's headline: up to 1.77 orphans per attacker block.
+    assert max(result.cells.values()) == pytest.approx(1.77, abs=1e-2)
+
+
+def test_table4_setting2_subset(benchmark):
+    ratios = ((2, 1), (1, 1), (2, 3))
+    result = run_once(benchmark, table4, alpha=0.01, ratios=ratios,
+                      settings=(2,))
+    for ratio in ratios:
+        key = (f"{ratio[0]}:{ratio[1]}", "setting2")
+        assert result.cells[key] == pytest.approx(
+            PAPER_TABLE4[(ratio, 2)], abs=1e-2)
+
+
+def test_table4_alpha_independence(benchmark):
+    """Section 4.4: the damage is nearly independent of alpha."""
+    result = run_once(benchmark, table4, alpha=0.05, ratios=((2, 3),),
+                      settings=(1,))
+    assert result.cells[("2:3", "setting1")] == pytest.approx(1.77,
+                                                              abs=2e-2)

@@ -1,0 +1,44 @@
+"""Bench A6: profitability thresholds and the cost-benefit ledger --
+the quantitative refutation of BU's security claims."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.cost_benefit import cost_benefit
+from repro.analysis.thresholds import (
+    bu_attack_threshold,
+    selfish_mining_threshold,
+)
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import solve_absolute_reward
+
+
+def test_sapirshtein_threshold(benchmark):
+    threshold = run_once(benchmark, selfish_mining_threshold, 0.5,
+                         tol=2e-3)
+    assert threshold == pytest.approx(0.2321, abs=4e-3)
+
+
+def test_bu_threshold_curve(benchmark):
+    def curve():
+        return {ratio: bu_attack_threshold(
+            ratio, IncentiveModel.COMPLIANT_PROFIT, tol=2e-3)
+            for ratio in ((2, 3), (1, 1), (3, 2))}
+
+    thresholds = run_once(benchmark, curve)
+    assert 0.10 < thresholds[(2, 3)] < 0.15
+    assert 0.20 < thresholds[(1, 1)] < 0.25
+    assert thresholds[(3, 2)] > 0.25
+
+
+def test_cost_benefit_refutes_homepage_claim(benchmark):
+    def ledger():
+        analysis = solve_absolute_reward(
+            AttackConfig.from_ratio(0.10, (1, 1), setting=1))
+        return cost_benefit(analysis)
+
+    result = run_once(benchmark, ledger)
+    assert not result.claim_holds
+    assert result.attacker_net > 0.15
+    assert result.victim_damage > 0.3

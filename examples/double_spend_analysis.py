@@ -1,0 +1,56 @@
+"""Double-spending: Bitcoin Unlimited vs Bitcoin (the Table 3 story).
+
+For each attacker size, compares the optimal absolute reward of
+
+- a BU attacker exploiting the absent block validity consensus
+  (Section 4.3), against
+- a Bitcoin attacker running the optimal combined selfish-mining +
+  double-spending strategy, even when winning every tie.
+
+The paper's headline: in BU "even a 1% miner can launch double-spending
+attacks with non-negligible success rate", while in Bitcoin the attack
+is unprofitable below roughly 10% of mining power.
+
+Run:  python examples/double_spend_analysis.py
+"""
+
+from repro import AttackConfig, solve_absolute_reward
+from repro.analysis.formatting import format_table
+from repro.baselines import solve_selfish_mining_double_spend
+
+ALPHAS = (0.01, 0.05, 0.10, 0.15, 0.25)
+
+
+def main() -> None:
+    rows = []
+    for alpha in ALPHAS:
+        bu = solve_absolute_reward(
+            AttackConfig.from_ratio(alpha, (1, 1), setting=1))
+        bitcoin = solve_selfish_mining_double_spend(alpha, tie_power=1.0)
+        rows.append([
+            f"{alpha:.0%}",
+            alpha,                       # honest income per block
+            bu.utility,
+            bu.utility / alpha,          # profit multiple in BU
+            bitcoin.absolute_reward,
+            bitcoin.absolute_reward / alpha,
+        ])
+    print("Absolute reward per network block (block reward = 1, "
+          "R_DS = 10, four confirmations)\n")
+    print(format_table(
+        ["alpha", "honest", "BU attack", "BU multiple",
+         "Bitcoin attack", "BTC multiple"], rows))
+
+    print("\nReading: the BU column beats honest income at every size; "
+          "the Bitcoin column only separates from honest income near "
+          "10-15% even with tie_power = 1.")
+
+    bu_small = solve_absolute_reward(
+        AttackConfig.from_ratio(0.01, (1, 1), setting=1))
+    print(f"\nA 1% BU miner earns {bu_small.utility / 0.01:.1f}x its "
+          "honest income; its double-spend rate alone is "
+          f"{bu_small.rates['ds']:.4f} block rewards per block.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Attacking the real April-2017 BU network distribution.
+
+Section 2.2 reports what the field actually signaled: most miners
+EB = 1 MB / AD = 6, BitClub with AD = 20, public nodes EB = 16 MB /
+AD = 12.  This example replays the generalized EB-split attack of
+Section 4.1.1 against that distribution with the N-node simulator,
+under both sticky-gate regimes -- showing the Section 6.2 trade-off
+("adjusting the parameters only trades one risk for another") at
+network scale.
+
+Run:  python examples/network_attack.py
+"""
+
+import numpy as np
+
+from repro.analysis.formatting import format_table
+from repro.protocol.params import BUParams
+from repro.sim import NetworkMiner, NetworkSimulation, SplitAttacker
+
+STEPS = 6000
+
+
+def april_2017(attack_power: float):
+    scale = 1.0 - attack_power
+    return [
+        NetworkMiner("miners_ad6", 0.55 * scale,
+                     BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("bitclub_ad20", 0.15 * scale,
+                     BUParams(mg=1.0, eb=1.0, ad=20)),
+        NetworkMiner("large_eb", 0.30 * scale,
+                     BUParams(mg=1.0, eb=16.0, ad=6)),
+        NetworkMiner("public_nodes", 0.0,
+                     BUParams(mg=1.0, eb=16.0, ad=12)),
+    ]
+
+
+def run(sticky: bool, seed: int = 2017):
+    sim = NetworkSimulation(april_2017(attack_power=0.10),
+                            attacker=SplitAttacker(split_size=8.0),
+                            attacker_power=0.10, sticky=sticky,
+                            rng=np.random.default_rng(seed))
+    return sim.run(STEPS)
+
+
+def main() -> None:
+    print(f"EB-split attack (8 MB blocks, 10% attacker) against the "
+          f"April 2017 distribution, {STEPS} blocks\n")
+    rows = []
+    for sticky in (True, False):
+        result = run(sticky)
+        rows.append([
+            "enabled" if sticky else "removed (BUIP038)",
+            result.disagreement_fraction,
+            result.orphans,
+            result.attacker_orphan_ratio,
+            result.giant_blocks_on_chain,
+            result.chain_share["attacker"],
+        ])
+    print(format_table(
+        ["sticky gate", "disagree frac", "orphans",
+         "orphans/att.block", "giant blocks", "attacker share"], rows))
+    print(
+        "\nReading: with the gate enabled the attacker quietly converts"
+        "\nthe chain to giant blocks (phase-3 damage); with the gate"
+        "\nremoved the network forks perpetually instead.  Either way"
+        "\nthe absent prescribed BVC is the root cause -- Section 6.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: analyze one Bitcoin Unlimited attack scenario.
+
+Solves the paper's three-miner strategy space for a 25% attacker
+against an evenly split compliant network (beta : gamma = 2 : 3) under
+all three incentive models of Section 3, and prints what the optimal
+strategy does.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AttackConfig,
+    IncentiveModel,
+    solve_absolute_reward,
+    solve_orphan_rate,
+    solve_relative_revenue,
+)
+from repro.analysis.formatting import format_table
+
+
+def main() -> None:
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+    print("Scenario: alpha = 25%, beta : gamma = 2 : 3, AD = 6, "
+          "sticky gate disabled\n")
+
+    rows = []
+    rel = solve_relative_revenue(config)
+    rows.append(["relative revenue (u_A1)", rel.honest_utility,
+                 rel.utility, rel.advantage])
+    abs_reward = solve_absolute_reward(config)
+    rows.append(["absolute reward (u_A2)", abs_reward.honest_utility,
+                 abs_reward.utility, abs_reward.advantage])
+    orphan = solve_orphan_rate(config)
+    rows.append(["orphans per block (u_A3)", orphan.honest_utility,
+                 orphan.utility, orphan.advantage])
+    print(format_table(
+        ["utility", "honest", "optimal attack", "advantage"], rows))
+
+    print("\nBitcoin reference points: u_A1 = alpha (incentive "
+          "compatible), u_A3 <= 1 (even for a 51% attacker).")
+
+    print("\nWhat the optimal relative-revenue strategy does in the "
+          "first few states:")
+    interesting = [("base", 0), ("fork1", 0, 1, 0, 1),
+                   ("fork1", 1, 1, 0, 1), ("fork1", 1, 2, 0, 2),
+                   ("fork1", 4, 5, 0, 3)]
+    print(rel.policy.describe(keys=interesting))
+
+    print("\nChannel rates under that strategy (per mined block):")
+    print(format_table(["channel", "rate"],
+                       sorted(rel.rates.items())))
+    assert rel.model is IncentiveModel.COMPLIANT_PROFIT
+
+
+if __name__ == "__main__":
+    main()

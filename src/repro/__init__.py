@@ -1,0 +1,53 @@
+"""repro -- a reproduction of Zhang & Preneel, "On the Necessity of a
+Prescribed Block Validity Consensus: Analyzing Bitcoin Unlimited Mining
+Protocol" (CoNEXT 2017).
+
+The package provides:
+
+- :mod:`repro.chain` -- the blockchain substrate with Bitcoin and
+  Bitcoin Unlimited block-validity engines;
+- :mod:`repro.protocol` -- protocol parameters, signaling and node views;
+- :mod:`repro.mdp` -- an average-reward / ratio-objective MDP toolkit;
+- :mod:`repro.core` -- the paper's attack MDP and its three incentive
+  models (the headline Tables 2-4);
+- :mod:`repro.baselines` -- Bitcoin attack baselines (selfish mining,
+  selfish mining + double-spending, 51% attack);
+- :mod:`repro.games` -- the Section 5 games on emergent consensus;
+- :mod:`repro.countermeasure` -- the Section 6.3 voting countermeasure;
+- :mod:`repro.sim` -- a Monte-Carlo mining simulator over the substrate;
+- :mod:`repro.analysis` -- sweeps, paper tables and validation helpers.
+
+Quickstart::
+
+    from repro import AttackConfig, solve_relative_revenue
+    analysis = solve_relative_revenue(
+        AttackConfig.from_ratio(0.25, (2, 3), setting=1))
+    print(analysis.utility)   # > 0.25: BU is not incentive compatible
+"""
+
+from repro.core import (
+    AttackAnalysis,
+    AttackConfig,
+    IncentiveModel,
+    analyze,
+    build_attack_mdp,
+    solve_absolute_reward,
+    solve_orphan_rate,
+    solve_relative_revenue,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "AttackConfig",
+    "AttackAnalysis",
+    "IncentiveModel",
+    "analyze",
+    "build_attack_mdp",
+    "solve_relative_revenue",
+    "solve_absolute_reward",
+    "solve_orphan_rate",
+]

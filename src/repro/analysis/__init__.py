@@ -1,0 +1,59 @@
+"""Analysis harness: parameter sweeps, paper tables and validation.
+
+- :mod:`repro.analysis.tables` -- regenerate Tables 2, 3 and 4 (plus
+  the Bitcoin comparison block of Table 3) in the paper's layout;
+- :mod:`repro.analysis.sweeps` -- generic parameter sweep runner;
+- :mod:`repro.analysis.formatting` -- ASCII table rendering;
+- :mod:`repro.analysis.validation` -- MDP-vs-simulation agreement
+  checks.
+"""
+
+from repro.analysis.formatting import format_table
+from repro.analysis.sweeps import SweepResult, sweep_attack
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3_BITCOIN,
+    PAPER_TABLE3_SET1,
+    PAPER_TABLE3_SET2,
+    PAPER_TABLE4,
+    table2,
+    table3,
+    table3_bitcoin,
+    table4,
+)
+from repro.analysis.validation import ValidationReport, validate_against_sim
+from repro.analysis.policy_maps import action_census, policy_map, summarize
+from repro.analysis.table1 import render_table1
+from repro.analysis.cost_benefit import CostBenefit, cost_benefit
+from repro.analysis.sensitivity import DSSensitivity, ds_sensitivity
+from repro.analysis.thresholds import (
+    bu_attack_threshold,
+    selfish_mining_threshold,
+)
+
+__all__ = [
+    "format_table",
+    "sweep_attack",
+    "SweepResult",
+    "table2",
+    "table3",
+    "table3_bitcoin",
+    "table4",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_SET1",
+    "PAPER_TABLE3_SET2",
+    "PAPER_TABLE3_BITCOIN",
+    "PAPER_TABLE4",
+    "validate_against_sim",
+    "ValidationReport",
+    "policy_map",
+    "action_census",
+    "summarize",
+    "render_table1",
+    "cost_benefit",
+    "CostBenefit",
+    "selfish_mining_threshold",
+    "bu_attack_threshold",
+    "ds_sensitivity",
+    "DSSensitivity",
+]

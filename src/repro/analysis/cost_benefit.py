@@ -1,0 +1,71 @@
+"""Attack cost vs victim damage.
+
+The BU homepage dismissed chain-splitting attacks because they would
+"cost the attacker far more than the victim" (quoted in the paper's
+introduction); Section 4 disproves it.  This module states the
+comparison as numbers: for a solved attack policy, the attacker's cost
+rate (orphaned own blocks plus forgone honest income) against the
+victims' damage rate (orphaned compliant blocks plus double-spent
+funds), both in block rewards per network block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.solve import AttackAnalysis
+from repro.errors import ReproError
+
+
+@dataclass
+class CostBenefit:
+    """The attacker-vs-victim ledger of one solved attack.
+
+    All rates are block rewards per network block.
+
+    Attributes
+    ----------
+    attacker_cost:
+        Alice's orphaned blocks plus the income she gives up relative
+        to honest mining (zero when the attack out-earns honesty).
+    victim_damage:
+        Compliant blocks orphaned plus double-spent funds.
+    attacker_net:
+        Alice's actual income minus her honest income (positive means
+        the "attack" is *profitable*, not merely cheap).
+    damage_ratio:
+        ``victim_damage / attacker_cost`` (``inf`` for a free or
+        profitable attack).
+    """
+
+    attacker_cost: float
+    victim_damage: float
+    attacker_net: float
+
+    @property
+    def damage_ratio(self) -> float:
+        if self.attacker_cost <= 1e-12:  # free (or honest) strategy
+            return float("inf")
+        return self.victim_damage / self.attacker_cost
+
+    @property
+    def claim_holds(self) -> bool:
+        """The BU homepage claim: the attack costs the attacker more
+        than the victims."""
+        return self.attacker_cost > self.victim_damage
+
+
+def cost_benefit(analysis: AttackAnalysis) -> CostBenefit:
+    """Build the ledger from a solved attack analysis."""
+    rates = analysis.rates
+    required = {"alice", "alice_orphans", "others_orphans", "ds"}
+    if not required <= set(rates):
+        raise ReproError("analysis lacks the required reward channels")
+    income = rates["alice"] + rates["ds"]
+    honest_income = analysis.config.alpha
+    forgone = max(honest_income - income, 0.0)
+    attacker_cost = rates["alice_orphans"] + forgone
+    victim_damage = rates["others_orphans"] + rates["ds"]
+    return CostBenefit(attacker_cost=attacker_cost,
+                       victim_damage=victim_damage,
+                       attacker_net=income - honest_income)

@@ -1,0 +1,94 @@
+"""Markdown report generator: paper vs measured, per experiment.
+
+``python -m repro.analysis.experiments [--fast] [--output FILE]``
+regenerates the quantitative comparison backing EXPERIMENTS.md.  The
+``--fast`` mode solves representative cells (seconds); the full mode
+regenerates every feasible cell of every table (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro.analysis.tables import (
+    TABLE3_ALPHAS,
+    TABLE4_RATIOS,
+    TableResult,
+    table2,
+    table3,
+    table3_bitcoin,
+    table4,
+)
+
+
+def _markdown_table(result: TableResult) -> List[str]:
+    lines = [f"### {result.name}", ""]
+    header = ["cell", "measured", "paper", "delta"]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for key in sorted(result.cells):
+        measured = result.cells[key]
+        paper = result.paper.get(key)
+        delta = "" if paper is None else f"{measured - paper:+.4f}"
+        paper_text = "" if paper is None else f"{paper:g}"
+        lines.append(f"| {key[0]} / {key[1]} | {measured:.4f} | "
+                     f"{paper_text} | {delta} |")
+    if result.paper:
+        lines.append("")
+        lines.append(f"Max |measured - paper| over reported cells: "
+                     f"{result.max_paper_deviation():.4f}")
+    lines.append("")
+    return lines
+
+
+def generate_report(fast: bool = True,
+                    stream: Optional[IO[str]] = None) -> str:
+    """Build (and optionally stream) the full comparison report."""
+    def emit(result: TableResult) -> List[str]:
+        block = _markdown_table(result)
+        if stream is not None:
+            stream.write("\n".join(block) + "\n")
+            stream.flush()
+        return block
+
+    lines: List[str] = ["# Regenerated paper comparison", ""]
+    if stream is not None:
+        stream.write("\n".join(lines) + "\n")
+
+    alphas3 = (0.01, 0.10) if fast else TABLE3_ALPHAS
+    ratios4 = ((2, 1), (1, 1), (2, 3)) if fast else TABLE4_RATIOS
+    settings4 = (1,) if fast else (1, 2)
+    results = [
+        table2(setting=1,
+               alphas=(0.25,) if fast else (0.10, 0.15, 0.20, 0.25)),
+        table3(setting=1, alphas=alphas3),
+        table3(setting=2, alphas=alphas3),
+        table3_bitcoin(),
+        table4(ratios=ratios4, settings=settings4),
+    ]
+    for result in results:
+        lines.extend(emit(result))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point for the report generator."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper-vs-measured comparison")
+    parser.add_argument("--fast", action="store_true",
+                        help="representative cells only")
+    parser.add_argument("--output", default="-",
+                        help="output file (default stdout)")
+    args = parser.parse_args(argv)
+    if args.output == "-":
+        generate_report(fast=args.fast, stream=sys.stdout)
+        return 0
+    with open(args.output, "w") as handle:
+        generate_report(fast=args.fast, stream=handle)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def format_cell(value, precision: int = 4) -> str:
+    """Render one cell: floats at fixed precision, None as a blank."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None, precision: int = 4) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.0]]))
+    a | b
+    --+-------
+    1 | 2.0000
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    rendered: List[List[str]] = [[format_cell(v, precision) for v in row]
+                                 for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ReproError("row width does not match header count")
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,87 @@
+"""ASCII maps of optimal attack policies.
+
+MDP mining papers typically visualize strategies on the (attacker
+chain, honest chain) grid; this module renders the same view for the
+attack MDP: one cell per ``(l1, l2)`` fork shape showing the action the
+optimal policy takes there (aggregated over the Alice-block counts
+``a1, a2`` when they agree, ``*`` when they do not).
+
+Legend: ``1`` OnChain1, ``2`` OnChain2, ``W`` Wait, ``*`` mixed,
+``.`` infeasible shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.errors import ReproError
+from repro.mdp.policy import Policy
+
+_SYMBOL = {ON_CHAIN_1: "1", ON_CHAIN_2: "2", WAIT: "W"}
+
+
+def _fork_actions(policy: Policy, phase: int,
+                  r: Optional[int]) -> Dict[Tuple[int, int], Set[str]]:
+    """Collect, per (l1, l2), the set of actions over all (a1, a2)."""
+    tag = "fork1" if phase == 1 else "fork2"
+    cells: Dict[Tuple[int, int], Set[str]] = {}
+    for key in policy.mdp.state_keys:
+        if key[0] != tag:
+            continue
+        if phase == 2 and r is not None and key[5] != r:
+            continue
+        l1, l2 = key[1], key[2]
+        cells.setdefault((l1, l2), set()).add(policy.action_for(key))
+    if not cells:
+        raise ReproError(
+            f"policy has no phase-{phase} fork states"
+            + (f" with r={r}" if r is not None else ""))
+    return cells
+
+
+def policy_map(policy: Policy, phase: int = 1,
+               r: Optional[int] = None) -> str:
+    """Render the (l1, l2) action grid of a solved policy.
+
+    Rows are Chain-1 lengths, columns Chain-2 lengths.  For phase 2
+    pass the gate counter ``r`` to select one slice (default: all
+    slices merged).
+    """
+    cells = _fork_actions(policy, phase, r)
+    max_l1 = max(l1 for l1, _ in cells)
+    max_l2 = max(l2 for _, l2 in cells)
+    lines: List[str] = []
+    header = "l1\\l2 " + " ".join(f"{l2}" for l2 in range(1, max_l2 + 1))
+    lines.append(header)
+    for l1 in range(0, max_l1 + 1):
+        row = [f"{l1:>5} "]
+        for l2 in range(1, max_l2 + 1):
+            actions = cells.get((l1, l2))
+            if actions is None:
+                row.append(".")
+            elif len(actions) == 1:
+                row.append(_SYMBOL[next(iter(actions))])
+            else:
+                row.append("*")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def action_census(policy: Policy) -> Dict[str, int]:
+    """Count how many states pick each action."""
+    census: Dict[str, int] = {}
+    for key in policy.mdp.state_keys:
+        action = policy.action_for(key)
+        census[action] = census.get(action, 0) + 1
+    return census
+
+
+def summarize(policy: Policy) -> str:
+    """One-paragraph strategy summary: base action, census, and the
+    phase-1 map."""
+    base_action = policy.action_for(("base", 0))
+    census = ", ".join(f"{a}: {n}" for a, n in
+                       sorted(action_census(policy).items()))
+    return (f"base state plays {base_action}; state census: {census}\n"
+            f"{policy_map(policy, phase=1)}")

@@ -1,0 +1,121 @@
+"""JSON persistence for analysis results.
+
+Setting-2 solves take seconds to minutes; this module saves
+:class:`repro.core.solve.AttackAnalysis` results (config, utility,
+rates, and the full policy keyed by state tuples) and
+:class:`repro.analysis.tables.TableResult` grids so sweeps can resume
+and reports can be regenerated without re-solving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.tables import TableResult
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import AttackAnalysis
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+#: Format version; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+
+def _state_to_text(state) -> str:
+    return json.dumps(list(state))
+
+
+def _text_to_state(text: str):
+    return tuple(json.loads(text))
+
+
+def save_analysis(analysis: AttackAnalysis, path: PathLike) -> None:
+    """Persist a solved analysis (config, utility, rates, policy)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "attack-analysis",
+        "config": dataclasses.asdict(analysis.config),
+        "model": analysis.model.value,
+        "utility": analysis.utility,
+        "honest_utility": analysis.honest_utility,
+        "rates": analysis.rates,
+        "policy": {_state_to_text(k): v
+                   for k, v in analysis.policy.as_dict().items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_analysis_summary(path: PathLike) -> Dict:
+    """Load a saved analysis as a plain dictionary (policy keys decoded
+    back to state tuples).
+
+    The MDP itself is not persisted; callers needing a live
+    :class:`Policy` should rebuild the MDP from the stored config and
+    match actions by state key (see :func:`policy_from_summary`).
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "attack-analysis":
+        raise ReproError(f"{path} does not contain an attack analysis")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ReproError(f"unsupported schema {payload.get('schema')}")
+    payload["policy"] = {_text_to_state(k): v
+                         for k, v in payload["policy"].items()}
+    payload["config"] = AttackConfig(**payload["config"])
+    payload["model"] = IncentiveModel(payload["model"])
+    return payload
+
+
+def policy_from_summary(summary: Dict):
+    """Rebuild a live :class:`repro.mdp.policy.Policy` from a loaded
+    summary by reconstructing the MDP."""
+    import numpy as np
+
+    from repro.core.attack_mdp import build_attack_mdp
+    from repro.mdp.policy import Policy
+
+    config: AttackConfig = summary["config"]
+    mdp = build_attack_mdp(config)
+    actions = np.zeros(mdp.n_states, dtype=int)
+    stored: Dict = summary["policy"]
+    for idx, key in enumerate(mdp.state_keys):
+        try:
+            actions[idx] = mdp.action_index(stored[key])
+        except KeyError:
+            raise ReproError(
+                f"stored policy misses state {key!r}; config mismatch")
+    return Policy(mdp, actions)
+
+
+def save_table(result: TableResult, path: PathLike) -> None:
+    """Persist a regenerated table."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "table",
+        "name": result.name,
+        "row_labels": list(result.row_labels),
+        "col_labels": list(result.col_labels),
+        "cells": [[list(k), v] for k, v in result.cells.items()],
+        "paper": [[list(k), v] for k, v in result.paper.items()],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_table(path: PathLike) -> TableResult:
+    """Load a persisted table."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "table":
+        raise ReproError(f"{path} does not contain a table")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ReproError(f"unsupported schema {payload.get('schema')}")
+    return TableResult(
+        name=payload["name"],
+        row_labels=payload["row_labels"],
+        col_labels=payload["col_labels"],
+        cells={tuple(k): v for k, v in payload["cells"]},
+        paper={tuple(k): v for k, v in payload["paper"]},
+    )

@@ -1,0 +1,78 @@
+"""Generic parameter sweeps over the attack analysis.
+
+Used by the ablation benches (AD sweep, phase-3 return, gate countdown)
+and available to downstream users exploring the parameter space beyond
+the paper's grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import AttackAnalysis, analyze
+from repro.errors import ReproError
+
+
+@dataclass
+class SweepResult:
+    """Result of a one-dimensional sweep.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept :class:`AttackConfig` field.
+    values:
+        Swept values in order.
+    analyses:
+        One :class:`AttackAnalysis` per value.
+    """
+
+    parameter: str
+    values: List
+    analyses: List[AttackAnalysis]
+
+    def utilities(self) -> List[float]:
+        """Utility per swept value."""
+        return [a.utility for a in self.analyses]
+
+    def as_rows(self) -> List[List]:
+        """Rows for :func:`repro.analysis.formatting.format_table`."""
+        return [[v, a.utility, a.honest_utility, a.advantage]
+                for v, a in zip(self.values, self.analyses)]
+
+
+def sweep_attack(base: AttackConfig, parameter: str, values: Iterable,
+                 model: IncentiveModel,
+                 transform: Callable[[AttackConfig], AttackConfig] = None
+                 ) -> SweepResult:
+    """Solve ``model`` for ``base`` with ``parameter`` set to each value.
+
+    ``transform`` optionally post-processes each config (e.g. to keep
+    power shares normalized when sweeping ``alpha``).
+    """
+    values = list(values)
+    if not values:
+        raise ReproError("sweep needs at least one value")
+    if parameter not in AttackConfig.__dataclass_fields__:
+        raise ReproError(f"unknown AttackConfig field {parameter!r}")
+    analyses = []
+    for value in values:
+        config = replace(base, **{parameter: value})
+        if transform is not None:
+            config = transform(config)
+        analyses.append(analyze(config, model))
+    return SweepResult(parameter=parameter, values=values,
+                       analyses=analyses)
+
+
+def sweep_alpha(ratio, alphas: Sequence[float], model: IncentiveModel,
+                **config_kwargs) -> Dict[float, AttackAnalysis]:
+    """Sweep Alice's power share at a fixed beta:gamma ratio."""
+    out: Dict[float, AttackAnalysis] = {}
+    for alpha in alphas:
+        config = AttackConfig.from_ratio(alpha, ratio, **config_kwargs)
+        out[alpha] = analyze(config, model)
+    return out

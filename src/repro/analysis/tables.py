@@ -1,0 +1,300 @@
+"""Regeneration of the paper's result tables.
+
+Each ``tableN`` function sweeps the same parameter grid as the paper
+and returns a :class:`TableResult` whose cells can be compared against
+the recorded paper values (``PAPER_TABLE*`` constants, transcribed from
+the CoNEXT '17 camera-ready).  Cells the paper leaves blank violate the
+threat-model assumption ``alpha <= min(beta, gamma)`` and are skipped.
+
+Run ``python -m repro.analysis.tables all`` to print every table; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.baselines.selfish_ds import solve_selfish_mining_double_spend
+from repro.core.config import AttackConfig
+from repro.core.solve import (
+    solve_absolute_reward,
+    solve_orphan_rate,
+    solve_relative_revenue,
+)
+from repro.errors import ReproError
+
+Ratio = Tuple[int, int]
+
+#: Parameter grids from Section 4.1.2.
+TABLE2_ALPHAS = (0.10, 0.15, 0.20, 0.25)
+TABLE2_RATIOS: Tuple[Ratio, ...] = ((3, 2), (1, 1), (2, 3), (1, 2),
+                                    (1, 3), (1, 4))
+TABLE3_ALPHAS = (0.01, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25)
+TABLE3_RATIOS: Tuple[Ratio, ...] = ((4, 1), (2, 1), (1, 1), (1, 2), (1, 4))
+TABLE4_RATIOS: Tuple[Ratio, ...] = ((4, 1), (3, 1), (2, 1), (3, 2), (1, 1),
+                                    (2, 3), (1, 2), (1, 3), (1, 4))
+
+#: Paper values (Table 2): (ratio, alpha) -> relative revenue, setting 1.
+PAPER_TABLE2: Dict[Tuple[Ratio, float], float] = {
+    ((3, 2), 0.10): 0.10, ((3, 2), 0.15): 0.15,
+    ((3, 2), 0.20): 0.20, ((3, 2), 0.25): 0.25,
+    ((1, 1), 0.10): 0.10, ((1, 1), 0.15): 0.15,
+    ((1, 1), 0.20): 0.20, ((1, 1), 0.25): 0.2624,
+    ((2, 3), 0.10): 0.10, ((2, 3), 0.15): 0.1505,
+    ((2, 3), 0.20): 0.2115, ((2, 3), 0.25): 0.2739,
+    ((1, 2), 0.10): 0.10, ((1, 2), 0.15): 0.1562,
+    ((1, 2), 0.20): 0.2156, ((1, 2), 0.25): 0.2756,
+    ((1, 3), 0.10): 0.1026, ((1, 3), 0.15): 0.1587,
+    ((1, 3), 0.20): 0.2158,
+    ((1, 4), 0.10): 0.1034, ((1, 4), 0.15): 0.1584,
+}
+
+#: Paper values (Table 2, setting 2, alpha = 25%).
+PAPER_TABLE2_SET2: Dict[Tuple[Ratio, float], float] = {
+    ((3, 2), 0.25): 0.2529, ((1, 1), 0.25): 0.2624,
+    ((2, 3), 0.25): 0.2529, ((1, 2), 0.25): 0.25,
+}
+
+#: Paper values (Table 3, BU): (ratio, alpha) -> absolute reward.
+PAPER_TABLE3_SET1: Dict[Tuple[Ratio, float], float] = {
+    ((4, 1), 0.01): 0.013, ((2, 1), 0.01): 0.035, ((1, 1), 0.01): 0.042,
+    ((1, 2), 0.01): 0.025, ((1, 4), 0.01): 0.013,
+    ((4, 1), 0.025): 0.038, ((2, 1), 0.025): 0.089, ((1, 1), 0.025): 0.10,
+    ((1, 2), 0.025): 0.063, ((1, 4), 0.025): 0.033,
+    ((4, 1), 0.05): 0.090, ((2, 1), 0.05): 0.18, ((1, 1), 0.05): 0.20,
+    ((1, 2), 0.05): 0.13, ((1, 4), 0.05): 0.067,
+    ((4, 1), 0.10): 0.24, ((2, 1), 0.10): 0.39, ((1, 1), 0.10): 0.40,
+    ((1, 2), 0.10): 0.26, ((1, 4), 0.10): 0.14,
+    ((4, 1), 0.15): 0.44, ((2, 1), 0.15): 0.61, ((1, 1), 0.15): 0.59,
+    ((1, 2), 0.15): 0.40, ((1, 4), 0.15): 0.23,
+    ((2, 1), 0.20): 0.83, ((1, 1), 0.20): 0.78, ((1, 2), 0.20): 0.55,
+    ((2, 1), 0.25): 1.1, ((1, 1), 0.25): 0.97, ((1, 2), 0.25): 0.71,
+}
+
+PAPER_TABLE3_SET2: Dict[Tuple[Ratio, float], float] = {
+    ((4, 1), 0.01): 0.01, ((2, 1), 0.01): 0.025, ((1, 1), 0.01): 0.034,
+    ((1, 2), 0.01): 0.024, ((1, 4), 0.01): 0.011,
+    ((4, 1), 0.025): 0.027, ((2, 1), 0.025): 0.064, ((1, 1), 0.025): 0.084,
+    ((1, 2), 0.025): 0.063, ((1, 4), 0.025): 0.028,
+    ((4, 1), 0.05): 0.063, ((2, 1), 0.05): 0.13, ((1, 1), 0.05): 0.16,
+    ((1, 2), 0.05): 0.13, ((1, 4), 0.05): 0.064,
+    ((4, 1), 0.10): 0.16, ((2, 1), 0.10): 0.27, ((1, 1), 0.10): 0.31,
+    ((1, 2), 0.10): 0.27, ((1, 4), 0.10): 0.16,
+    ((4, 1), 0.15): 0.28, ((2, 1), 0.15): 0.41, ((1, 1), 0.15): 0.46,
+    ((1, 2), 0.15): 0.41, ((1, 4), 0.15): 0.29,
+    ((2, 1), 0.20): 0.55, ((1, 1), 0.20): 0.59, ((1, 2), 0.20): 0.55,
+    ((2, 1), 0.25): 0.69, ((1, 1), 0.25): 0.73, ((1, 2), 0.25): 0.69,
+}
+
+#: Paper values (Table 3, Bitcoin): (tie_power, alpha) -> absolute reward.
+PAPER_TABLE3_BITCOIN: Dict[Tuple[float, float], float] = {
+    (0.5, 0.10): 0.1, (0.5, 0.15): 0.15, (0.5, 0.20): 0.2,
+    (0.5, 0.25): 0.38,
+    (1.0, 0.10): 0.11, (1.0, 0.15): 0.18, (1.0, 0.20): 0.30,
+    (1.0, 0.25): 0.52,
+}
+
+#: Paper values (Table 4): (ratio, setting) -> orphans per Alice block.
+PAPER_TABLE4: Dict[Tuple[Ratio, int], float] = {
+    ((4, 1), 1): 0.61, ((4, 1), 2): 0.62,
+    ((3, 1), 1): 0.83, ((3, 1), 2): 0.85,
+    ((2, 1), 1): 1.22, ((2, 1), 2): 1.26,
+    ((3, 2), 1): 1.50, ((3, 2), 2): 1.55,
+    ((1, 1), 1): 1.76, ((1, 1), 2): 1.76,
+    ((2, 3), 1): 1.77, ((2, 3), 2): 1.77,
+    ((1, 2), 1): 1.62, ((1, 2), 2): 1.62,
+    ((1, 3), 1): 1.30, ((1, 3), 2): 1.30,
+    ((1, 4), 1): 1.06, ((1, 4), 2): 1.06,
+}
+
+
+def feasible(alpha: float, ratio: Ratio) -> bool:
+    """The paper's constraint alpha <= min(beta, gamma)."""
+    b, g = ratio
+    rest = 1.0 - alpha
+    beta = rest * b / (b + g)
+    gamma = rest - beta
+    return alpha <= min(beta, gamma) + 1e-12
+
+
+@dataclass
+class TableResult:
+    """A regenerated table.
+
+    Attributes
+    ----------
+    name:
+        Table identifier (e.g. ``"table2-setting1"``).
+    row_labels, col_labels:
+        Axis labels in display order.
+    cells:
+        (row_label, col_label) -> computed value (missing = infeasible).
+    paper:
+        Same keying, the paper's reported values where available.
+    """
+
+    name: str
+    row_labels: List
+    col_labels: List
+    cells: Dict = field(default_factory=dict)
+    paper: Dict = field(default_factory=dict)
+
+    def render(self, precision: int = 4) -> str:
+        """ASCII rendering in the paper's orientation."""
+        headers = [self.name] + [str(c) for c in self.col_labels]
+        rows = []
+        for r in self.row_labels:
+            rows.append([str(r)] + [self.cells.get((r, c))
+                                    for c in self.col_labels])
+        return format_table(headers, rows, precision=precision)
+
+    def max_paper_deviation(self) -> float:
+        """Largest |computed - paper| across cells both sides report."""
+        devs = [abs(self.cells[k] - v) for k, v in self.paper.items()
+                if k in self.cells]
+        if not devs:
+            raise ReproError("no overlapping cells with paper values")
+        return max(devs)
+
+
+ProgressFn = Optional[Callable[[str], None]]
+
+
+def _progress(progress: ProgressFn, message: str) -> None:
+    if progress is not None:
+        progress(message)
+
+
+def table2(setting: int = 1,
+           alphas: Iterable[float] = TABLE2_ALPHAS,
+           ratios: Iterable[Ratio] = TABLE2_RATIOS,
+           progress: ProgressFn = None) -> TableResult:
+    """Regenerate Table 2 (relative revenue of a compliant and
+    profit-driven Alice) for one setting."""
+    alphas, ratios = list(alphas), list(ratios)
+    paper = PAPER_TABLE2 if setting == 1 else PAPER_TABLE2_SET2
+    result = TableResult(name=f"table2-setting{setting}",
+                         row_labels=[f"{b}:{g}" for b, g in ratios],
+                         col_labels=[f"{a:.0%}" for a in alphas])
+    for ratio in ratios:
+        for alpha in alphas:
+            if not feasible(alpha, ratio):
+                continue
+            config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
+            analysis = solve_relative_revenue(config)
+            key = (f"{ratio[0]}:{ratio[1]}", f"{alpha:.0%}")
+            result.cells[key] = analysis.utility
+            if (ratio, alpha) in paper:
+                result.paper[key] = paper[(ratio, alpha)]
+            _progress(progress, f"table2 s{setting} {key}: "
+                                f"{analysis.utility:.4f}")
+    return result
+
+
+def table3(setting: int = 1,
+           alphas: Iterable[float] = TABLE3_ALPHAS,
+           ratios: Iterable[Ratio] = TABLE3_RATIOS,
+           progress: ProgressFn = None) -> TableResult:
+    """Regenerate Table 3's BU block (absolute reward of a
+    non-compliant, profit-driven Alice) for one setting."""
+    alphas, ratios = list(alphas), list(ratios)
+    paper = PAPER_TABLE3_SET1 if setting == 1 else PAPER_TABLE3_SET2
+    result = TableResult(name=f"table3-setting{setting}",
+                         row_labels=[f"{a:.4g}" for a in alphas],
+                         col_labels=[f"{b}:{g}" for b, g in ratios])
+    for alpha in alphas:
+        for ratio in ratios:
+            if not feasible(alpha, ratio):
+                continue
+            config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
+            analysis = solve_absolute_reward(config)
+            key = (f"{alpha:.4g}", f"{ratio[0]}:{ratio[1]}")
+            result.cells[key] = analysis.utility
+            if (ratio, alpha) in paper:
+                result.paper[key] = paper[(ratio, alpha)]
+            _progress(progress, f"table3 s{setting} {key}: "
+                                f"{analysis.utility:.4f}")
+    return result
+
+
+def table3_bitcoin(ties: Iterable[float] = (0.5, 1.0),
+                   alphas: Iterable[float] = (0.10, 0.15, 0.20, 0.25),
+                   max_len: int = 24,
+                   progress: ProgressFn = None) -> TableResult:
+    """Regenerate Table 3's Bitcoin block (selfish mining combined with
+    double-spending)."""
+    ties, alphas = list(ties), list(alphas)
+    result = TableResult(name="table3-bitcoin",
+                         row_labels=[f"tie={t:.0%}" for t in ties],
+                         col_labels=[f"{a:.0%}" for a in alphas])
+    for tie in ties:
+        for alpha in alphas:
+            solved = solve_selfish_mining_double_spend(alpha, tie,
+                                                       max_len=max_len)
+            key = (f"tie={tie:.0%}", f"{alpha:.0%}")
+            result.cells[key] = solved.absolute_reward
+            if (tie, alpha) in PAPER_TABLE3_BITCOIN:
+                result.paper[key] = PAPER_TABLE3_BITCOIN[(tie, alpha)]
+            _progress(progress, f"table3 bitcoin {key}: "
+                                f"{solved.absolute_reward:.4f}")
+    return result
+
+
+def table4(alpha: float = 0.01,
+           ratios: Iterable[Ratio] = TABLE4_RATIOS,
+           settings: Iterable[int] = (1, 2),
+           progress: ProgressFn = None) -> TableResult:
+    """Regenerate Table 4 (others' blocks orphaned per Alice block,
+    non-profit-driven Alice)."""
+    ratios, settings = list(ratios), list(settings)
+    result = TableResult(name=f"table4-alpha{alpha:.0%}",
+                         row_labels=[f"{b}:{g}" for b, g in ratios],
+                         col_labels=[f"setting{s}" for s in settings])
+    for ratio in ratios:
+        for setting in settings:
+            if not feasible(alpha, ratio):
+                continue
+            config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
+            analysis = solve_orphan_rate(config)
+            key = (f"{ratio[0]}:{ratio[1]}", f"setting{setting}")
+            result.cells[key] = analysis.utility
+            if (ratio, setting) in PAPER_TABLE4:
+                result.paper[key] = PAPER_TABLE4[(ratio, setting)]
+            _progress(progress, f"table4 {key}: {analysis.utility:.4f}")
+    return result
+
+
+def _main(argv: List[str]) -> int:
+    which = argv[0] if argv else "all"
+    fast = "--fast" in argv
+
+    def echo(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    outputs: List[TableResult] = []
+    if which in ("table2", "all"):
+        outputs.append(table2(setting=1, progress=echo))
+        outputs.append(table2(setting=2, alphas=(0.25,), ratios=TABLE2_RATIOS[:4],
+                              progress=echo))
+    if which in ("table3", "all"):
+        alphas = (0.01, 0.10) if fast else TABLE3_ALPHAS
+        outputs.append(table3(setting=1, alphas=alphas, progress=echo))
+        outputs.append(table3(setting=2, alphas=alphas, progress=echo))
+        outputs.append(table3_bitcoin(progress=echo))
+    if which in ("table4", "all"):
+        settings = (1,) if fast else (1, 2)
+        outputs.append(table4(settings=settings, progress=echo))
+    if not outputs:
+        print(f"unknown table {which!r}; use table2|table3|table4|all")
+        return 2
+    for out in outputs:
+        print(out.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(_main(sys.argv[1:]))

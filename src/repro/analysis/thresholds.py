@@ -1,0 +1,102 @@
+"""Profitability thresholds.
+
+Two boundary curves matter in the paper's story:
+
+- **Bitcoin's selfish-mining threshold**: the minimum mining power at
+  which deviating beats honest mining (Sapirshtein et al.: 23.21% at
+  tie_power 0, falling to 0 as tie_power approaches 1).  Bitcoin's
+  security margin is this gap.
+- **BU's attack thresholds**: the minimum power at which each BU attack
+  beats honest mining.  Table 3 shows there effectively *is no*
+  threshold for the non-compliant attacker (a 1% miner profits), and
+  Table 2's incentive-compatibility boundary is a condition on the
+  *split* (alpha + gamma > beta), not on alpha alone.  These functions
+  compute both curves by bisection over exact solves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.baselines.selfish import SelfishMiningConfig, \
+    solve_selfish_mining
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import analyze
+from repro.errors import ReproError
+
+#: A utility must beat the honest baseline by more than this to count
+#: as profitable (absorbs solver tolerance).
+PROFIT_EPS = 1e-5
+
+
+def _bisect_threshold(profitable: Callable[[float], bool],
+                      lo: float, hi: float, tol: float) -> float:
+    """Smallest x in [lo, hi] with profitable(x), assuming monotone
+    profitability; returns hi when nothing profits."""
+    if profitable(lo):
+        return lo
+    if not profitable(hi):
+        return hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if profitable(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def selfish_mining_threshold(tie_power: float, tol: float = 1e-3,
+                             max_len: int = 24) -> float:
+    """Minimum alpha at which optimal selfish mining beats honest
+    mining in Bitcoin (23.21% at tie_power 0)."""
+    if not 0 <= tie_power <= 1:
+        raise ReproError("tie_power must lie in [0, 1]")
+
+    def profitable(alpha: float) -> bool:
+        result = solve_selfish_mining(SelfishMiningConfig(
+            alpha=alpha, tie_power=tie_power, max_len=max_len))
+        return result.relative_revenue > alpha + PROFIT_EPS
+
+    return _bisect_threshold(profitable, 0.02, 0.49, tol)
+
+
+def bu_attack_threshold(ratio: Tuple[int, int], model: IncentiveModel,
+                        setting: int = 1, tol: float = 1e-3,
+                        lo: float = 0.005, hi: float = 0.45) -> float:
+    """Minimum alpha at which a BU attack beats honest mining for a
+    given compliant split.  Returns ``lo`` when even the smallest
+    probed miner profits (the Table 3 situation) and ``hi`` when no
+    probed size does."""
+
+    def profitable(alpha: float) -> bool:
+        b, g = ratio
+        rest = 1.0 - alpha
+        config = AttackConfig(alpha=alpha, beta=rest * b / (b + g),
+                              gamma=rest * g / (b + g), setting=setting)
+        return analyze(config, model).advantage > PROFIT_EPS
+
+    return _bisect_threshold(profitable, lo, hi, tol)
+
+
+def relative_revenue_boundary(alpha: float, setting: int = 1,
+                              steps: int = 21) -> float:
+    """The split boundary of Analytical Result 1: the largest beta
+    share (of the compliant power) at which a compliant alpha-miner
+    still earns unfair revenue.  The theory says the boundary is
+    ``beta_share = (alpha + gamma) vs beta``, i.e. compliant-beta share
+    ``(1 - ... )``; measured by scanning splits."""
+    if not 0 < alpha < 0.5:
+        raise ReproError("alpha must lie in (0, 0.5)")
+    best = 0.0
+    for i in range(1, steps):
+        share = i / steps  # beta's share of the compliant power
+        rest = 1.0 - alpha
+        config = AttackConfig(alpha=alpha, beta=rest * share,
+                              gamma=rest * (1.0 - share),
+                              setting=setting)
+        result = analyze(config, IncentiveModel.COMPLIANT_PROFIT)
+        if result.advantage > PROFIT_EPS:
+            best = max(best, share)
+    return best

@@ -1,0 +1,51 @@
+"""Bitcoin attack baselines the paper compares against.
+
+- :mod:`repro.baselines.honest` -- honest-mining analytics (incentive
+  compatibility of Bitcoin under compliance, Section 3.1);
+- :mod:`repro.baselines.selfish` -- the Sapirshtein et al. optimal
+  selfish-mining MDP with the tie-winning parameter;
+- :mod:`repro.baselines.selfish_ds` -- selfish mining combined with
+  double-spending (Sompolinsky & Zohar), the bottom block of Table 3;
+- :mod:`repro.baselines.majority` -- 51% (Goldfinger) attack analytics,
+  the Bitcoin reference for the non-profit-driven model.
+"""
+
+from repro.baselines.honest import (
+    expected_relative_revenue,
+    fork_rate_with_delay,
+    is_incentive_compatible,
+)
+from repro.baselines.selfish import (
+    SelfishMiningConfig,
+    build_selfish_mdp,
+    eyal_sirer_revenue,
+    solve_selfish_mining,
+)
+from repro.baselines.selfish_ds import solve_selfish_mining_double_spend
+from repro.baselines.stubborn import (
+    StubbornProfile,
+    evaluate_stubborn,
+    sweep_profiles,
+)
+from repro.baselines.majority import (
+    catch_up_probability,
+    expected_race_length,
+    majority_orphan_rate,
+)
+
+__all__ = [
+    "expected_relative_revenue",
+    "is_incentive_compatible",
+    "fork_rate_with_delay",
+    "SelfishMiningConfig",
+    "build_selfish_mdp",
+    "solve_selfish_mining",
+    "eyal_sirer_revenue",
+    "solve_selfish_mining_double_spend",
+    "StubbornProfile",
+    "evaluate_stubborn",
+    "sweep_profiles",
+    "catch_up_probability",
+    "expected_race_length",
+    "majority_orphan_rate",
+]

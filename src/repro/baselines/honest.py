@@ -1,0 +1,46 @@
+"""Honest-mining analytics.
+
+Bitcoin's mining protocol is incentive compatible when all miners are
+compliant and propagation delay is negligible (Section 3.1): a miner's
+expected relative revenue equals its mining power share.  These helpers
+state that baseline and a standard delay-induced natural fork-rate
+estimate used in discussion sections.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def expected_relative_revenue(power_share: float) -> float:
+    """Expected relative revenue of a compliant miner in Bitcoin with
+    negligible propagation delay: exactly its power share."""
+    if not 0 <= power_share <= 1:
+        raise ReproError("power share must lie in [0, 1]")
+    return power_share
+
+
+def is_incentive_compatible(power_shares: Sequence[float],
+                            revenues: Sequence[float],
+                            tol: float = 1e-9) -> bool:
+    """Whether observed relative revenues match power shares, i.e. no
+    miner earns block rewards unproportional to its mining power."""
+    if len(power_shares) != len(revenues):
+        raise ReproError("shares and revenues must have equal length")
+    return all(abs(s - r) <= tol for s, r in zip(power_shares, revenues))
+
+
+def fork_rate_with_delay(block_interval: float,
+                         propagation_delay: float) -> float:
+    """Natural fork probability per block with exponential block arrivals
+    (rate ``1/block_interval``) and uniform propagation delay: the
+    chance another block is found within the delay window,
+    ``1 - exp(-delay / interval)``."""
+    if block_interval <= 0:
+        raise ReproError("block interval must be positive")
+    if propagation_delay < 0:
+        raise ReproError("propagation delay cannot be negative")
+    return 1.0 - math.exp(-propagation_delay / block_interval)

@@ -1,0 +1,49 @@
+"""51% (Goldfinger) attack analytics.
+
+The Bitcoin reference point for the non-profit-driven incentive model
+(Section 3.3): an attacker with majority power constantly overrides the
+blockchain.  Every attacker block orphans at most one compliant block,
+so ``u_A3 = 1`` -- the paper's Table 4 shows BU pushes this as high as
+1.77 *without* majority power.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def catch_up_probability(attacker_power: float, deficit: int) -> float:
+    """Probability the attacker ever catches up from ``deficit`` blocks
+    behind (Nakamoto's gambler's-ruin analysis): 1 with majority power,
+    ``(q / p) ** deficit`` otherwise."""
+    q = attacker_power
+    if not 0 < q < 1:
+        raise ReproError("attacker power must lie in (0, 1)")
+    if deficit < 0:
+        raise ReproError("deficit cannot be negative")
+    if deficit == 0 or q >= 0.5:
+        return 1.0
+    return (q / (1.0 - q)) ** deficit
+
+
+def expected_race_length(attacker_power: float, deficit: int) -> float:
+    """Expected number of blocks mined until a majority attacker erases
+    a ``deficit``-block lead (gambler's-ruin hitting time,
+    ``deficit / (2q - 1)``)."""
+    q = attacker_power
+    if not 0.5 < q < 1:
+        raise ReproError("expected race length requires majority power")
+    if deficit < 0:
+        raise ReproError("deficit cannot be negative")
+    return deficit / (2.0 * q - 1.0)
+
+
+def majority_orphan_rate(attacker_power: float) -> float:
+    """u_A3 of a majority attacker who overrides everything: each
+    compliant block is orphaned, each attacker block ends up in the
+    chain, so others' orphans per attacker block is
+    ``(1 - q) / q`` -- at most 1 for ``q >= 0.5``."""
+    q = attacker_power
+    if not 0.5 <= q < 1:
+        raise ReproError("majority attack requires q >= 0.5")
+    return (1.0 - q) / q

@@ -1,0 +1,69 @@
+"""Selfish mining combined with double-spending in Bitcoin.
+
+The bottom block of the paper's Table 3: the attacker mines in secret
+to double-spend and, "when there is little hope to orphan [enough]
+blocks in a row, publishes the secret blocks to claim the block rewards
+and invalidate other miners' blocks" (Sompolinsky & Zohar).  The
+utility is the absolute reward u_A2 (Eq. 2): the attacker's time-averaged
+income (block rewards + double-spends) per network block, with a
+double-spend worth ten block rewards banked whenever a race orphans
+more than ``confirmations - 1`` honest blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.selfish import SelfishMiningConfig, build_selfish_mdp
+from repro.core.double_spend import DEFAULT_CONFIRMATIONS, DEFAULT_RDS
+from repro.errors import ReproError
+from repro.mdp.policy import Policy
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.stationary import policy_gains
+
+
+@dataclass
+class SelfishDSResult:
+    """Outcome of the combined selfish-mining + double-spending solve.
+
+    Attributes
+    ----------
+    absolute_reward:
+        u_A2: attacker income (blocks + double-spends) per network block.
+    policy:
+        The optimal policy.
+    rates:
+        Per-step rate of every reward channel under the optimal policy.
+    config:
+        The analyzed configuration.
+    """
+
+    absolute_reward: float
+    policy: Policy
+    rates: Dict[str, float]
+    config: SelfishMiningConfig
+
+
+def solve_selfish_mining_double_spend(
+        alpha: float, tie_power: float,
+        rds: float = DEFAULT_RDS,
+        confirmations: int = DEFAULT_CONFIRMATIONS,
+        max_len: int = 24) -> SelfishDSResult:
+    """Maximize the attacker's absolute reward in Bitcoin.
+
+    Each MDP step mines exactly one block, so u_A2 is the plain average
+    of the ``alice + ds`` channels per step.
+    """
+    if rds <= 0:
+        raise ReproError("combined attack requires a positive rds")
+    config = SelfishMiningConfig(alpha=alpha, tie_power=tie_power,
+                                 max_len=max_len, rds=rds,
+                                 confirmations=confirmations)
+    mdp = build_selfish_mdp(config)
+    reward = mdp.combined_reward({"alice": 1.0, "ds": 1.0})
+    solution = policy_iteration(mdp, reward)
+    rates = policy_gains(mdp, solution.policy)
+    return SelfishDSResult(absolute_reward=solution.gain,
+                           policy=Policy(mdp, solution.policy),
+                           rates=rates, config=config)

@@ -1,0 +1,44 @@
+"""Blockchain substrate: blocks, block trees and block-validity consensus.
+
+This package implements the ledger layer the paper's analysis rests on:
+
+- :mod:`repro.chain.block` -- immutable block records and the genesis block;
+- :mod:`repro.chain.tree` -- a parent-linked block tree with chain queries;
+- :mod:`repro.chain.validity` -- block-validity consensus (BVC) engines:
+  Bitcoin's prescribed rule, Bitcoin Unlimited's EB/AD rule with Rizun's
+  sticky gate, and the inconsistent "source code" variant described in
+  Section 2.2 of the paper;
+- :mod:`repro.chain.fork_choice` -- longest-valid-chain selection with
+  first-received tie-breaking.
+"""
+
+from repro.chain.block import Block, GENESIS_ID, genesis_block
+from repro.chain.tree import BlockTree
+from repro.chain.validity import (
+    BitcoinValidity,
+    BUSourceCodeValidity,
+    BUValidity,
+    ValidityRule,
+)
+from repro.chain.fork_choice import ForkChoice, TipCandidate
+from repro.chain.difficulty import (
+    equilibrium_difficulty,
+    next_difficulty,
+    simulate_retargeting,
+)
+
+__all__ = [
+    "next_difficulty",
+    "equilibrium_difficulty",
+    "simulate_retargeting",
+    "Block",
+    "GENESIS_ID",
+    "genesis_block",
+    "BlockTree",
+    "ValidityRule",
+    "BitcoinValidity",
+    "BUValidity",
+    "BUSourceCodeValidity",
+    "ForkChoice",
+    "TipCandidate",
+]

@@ -1,0 +1,87 @@
+"""Immutable block records.
+
+Blocks carry exactly the fields the paper's model needs: identity,
+parent link, height, size (in megabytes) and the miner who produced
+them.  Hash puzzles and transaction contents are abstracted away -- the
+analysis only depends on sizes and chain topology (Section 2.4 of the
+paper: "Every miner is capable of creating blocks of any size").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidBlockError
+
+#: Identifier of the genesis block shared by every tree.
+GENESIS_ID = "genesis"
+
+_block_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A single block in the block tree.
+
+    Parameters
+    ----------
+    block_id:
+        Unique identifier.  Auto-generated ids use an increasing counter;
+        tests may pass explicit ids.
+    parent_id:
+        Identifier of the parent block, or ``None`` for genesis.
+    height:
+        Distance from genesis (genesis has height 0).
+    size:
+        Block size in megabytes; must be positive except for genesis.
+    miner:
+        Name of the miner that produced this block.
+    timestamp:
+        Logical time at which the block was mined (simulation steps).
+    """
+
+    block_id: str
+    parent_id: Optional[str]
+    height: int
+    size: float
+    miner: str
+    timestamp: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise InvalidBlockError(f"negative height {self.height}")
+        if self.block_id != GENESIS_ID and self.size <= 0:
+            raise InvalidBlockError(f"non-positive block size {self.size}")
+        if self.block_id == GENESIS_ID and self.parent_id is not None:
+            raise InvalidBlockError("genesis block must not have a parent")
+        if self.block_id != GENESIS_ID and self.parent_id is None:
+            raise InvalidBlockError("non-genesis block requires a parent")
+
+    @property
+    def is_genesis(self) -> bool:
+        """Whether this is the genesis block."""
+        return self.block_id == GENESIS_ID
+
+
+def genesis_block() -> Block:
+    """Return a fresh genesis block (height 0, zero size)."""
+    return Block(block_id=GENESIS_ID, parent_id=None, height=0, size=0.0,
+                 miner="genesis")
+
+
+def make_block(parent: Block, size: float, miner: str,
+               timestamp: float = 0.0, block_id: Optional[str] = None) -> Block:
+    """Create a child block of ``parent`` with an auto-generated id.
+
+    >>> g = genesis_block()
+    >>> b = make_block(g, size=1.0, miner="bob")
+    >>> b.height
+    1
+    """
+    if block_id is None:
+        block_id = f"b{next(_block_counter)}"
+    return Block(block_id=block_id, parent_id=parent.block_id,
+                 height=parent.height + 1, size=size, miner=miner,
+                 timestamp=timestamp)

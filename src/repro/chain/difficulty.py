@@ -1,0 +1,128 @@
+"""Difficulty retargeting and throughput under orphaning.
+
+Bitcoin retargets every 2016 blocks so the *blockchain* grows one block
+per ten minutes (Section 2.1).  The retarget only sees chain blocks --
+orphaned blocks burn work without moving the clock -- so a BU-style
+attack that raises the orphan rate silently (a) lowers the effective
+difficulty until total block production speeds up to compensate and
+(b) wastes the corresponding fraction of confirmed throughput.  These
+helpers quantify that coupling for the discussion in Sections 6.2/6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ChainError
+from repro.protocol.params import DIFFICULTY_PERIOD
+
+#: Bitcoin clamps each retarget to a factor of 4 either way.
+MAX_ADJUSTMENT = 4.0
+
+
+def next_difficulty(current: float, elapsed: float,
+                    period: int = DIFFICULTY_PERIOD,
+                    target_interval: float = 600.0) -> float:
+    """One retarget step: scale difficulty by actual vs expected period
+    duration, clamped to the x4 adjustment bound."""
+    if current <= 0:
+        raise ChainError("difficulty must be positive")
+    if elapsed <= 0:
+        raise ChainError("elapsed time must be positive")
+    expected = period * target_interval
+    ratio = expected / elapsed
+    ratio = min(max(ratio, 1.0 / MAX_ADJUSTMENT), MAX_ADJUSTMENT)
+    return current * ratio
+
+
+def equilibrium_difficulty(hashrate: float, orphan_rate: float,
+                           target_interval: float = 600.0) -> float:
+    """The difficulty at which retargeting settles when a fraction
+    ``orphan_rate`` of blocks never reach the chain.
+
+    At equilibrium the *chain* gains one block per ``target_interval``,
+    so total block production runs at ``1 / ((1 - orphan_rate) *
+    target_interval)`` and difficulty is proportional to hashrate times
+    the per-block time, i.e. scaled down by ``(1 - orphan_rate)``.
+    """
+    if hashrate <= 0:
+        raise ChainError("hashrate must be positive")
+    if not 0 <= orphan_rate < 1:
+        raise ChainError("orphan rate must lie in [0, 1)")
+    return hashrate * target_interval * (1.0 - orphan_rate)
+
+
+def effective_throughput(block_size: float, orphan_rate: float,
+                         target_interval: float = 600.0) -> float:
+    """Confirmed megabytes per second once retargeting has settled:
+    one ``block_size`` chain block per target interval regardless of
+    orphaning -- the waste shows up as burned work, not raw throughput
+    -- *unless* confirmation latency is priced in; see
+    :func:`confirmed_throughput_during_attack` for the transient."""
+    if block_size <= 0:
+        raise ChainError("block size must be positive")
+    if not 0 <= orphan_rate < 1:
+        raise ChainError("orphan rate must lie in [0, 1)")
+    return block_size / target_interval
+
+
+def confirmed_throughput_during_attack(block_size: float,
+                                       orphan_rate: float,
+                                       target_interval: float = 600.0
+                                       ) -> float:
+    """Confirmed throughput *before* the next retarget: the chain only
+    gains ``1 - orphan_rate`` of the produced blocks, so confirmed
+    bytes drop proportionally (the quality-of-service degradation a
+    non-profit-driven attacker buys with u_A3)."""
+    if block_size <= 0:
+        raise ChainError("block size must be positive")
+    if not 0 <= orphan_rate < 1:
+        raise ChainError("orphan rate must lie in [0, 1)")
+    return block_size * (1.0 - orphan_rate) / target_interval
+
+
+@dataclass
+class RetargetStep:
+    """One difficulty period in a retargeting trajectory.
+
+    Attributes
+    ----------
+    difficulty:
+        Difficulty in force during the period.
+    elapsed:
+        Wall-clock duration of the period.
+    chain_interval:
+        Average seconds per chain block during the period.
+    """
+
+    difficulty: float
+    elapsed: float
+    chain_interval: float
+
+
+def simulate_retargeting(hashrate: float, orphan_rates: Sequence[float],
+                         initial_difficulty: float = 1.0,
+                         period: int = DIFFICULTY_PERIOD,
+                         target_interval: float = 600.0
+                         ) -> List[RetargetStep]:
+    """Walk retargeting through a schedule of per-period orphan rates.
+
+    Block production time per block is ``difficulty / hashrate``; a
+    period of ``period`` chain blocks therefore takes
+    ``period * difficulty / (hashrate * (1 - orphan_rate))`` seconds.
+    """
+    if hashrate <= 0:
+        raise ChainError("hashrate must be positive")
+    difficulty = initial_difficulty
+    steps: List[RetargetStep] = []
+    for orphan_rate in orphan_rates:
+        if not 0 <= orphan_rate < 1:
+            raise ChainError("orphan rate must lie in [0, 1)")
+        per_block = difficulty / hashrate
+        elapsed = period * per_block / (1.0 - orphan_rate)
+        steps.append(RetargetStep(difficulty=difficulty, elapsed=elapsed,
+                                  chain_interval=elapsed / period))
+        difficulty = next_difficulty(difficulty, elapsed, period,
+                                     target_interval)
+    return steps

@@ -1,0 +1,62 @@
+"""Longest-valid-chain fork choice with first-received tie-breaking.
+
+Every node recognizes as its blockchain the longest chain that is valid
+in its own view; when several valid chains have the same length, the
+node keeps the one whose head it received first (Section 2.1).  With BU
+validity, a chain with an unburied excessive block contributes only its
+valid *prefix* as a candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.chain.block import Block
+from repro.chain.tree import BlockTree
+from repro.chain.validity import ValidityRule
+
+
+@dataclass(frozen=True)
+class TipCandidate:
+    """A candidate head for a node's blockchain.
+
+    Attributes
+    ----------
+    block:
+        Last block of the candidate chain (the end of the valid prefix).
+    height:
+        Height of that block.
+    arrival:
+        Arrival index of that block (for first-received tie-breaking).
+    """
+
+    block: Block
+    height: int
+    arrival: int
+
+
+class ForkChoice:
+    """Selects the chain a node mines on, given its validity rule."""
+
+    def __init__(self, tree: BlockTree, rule: ValidityRule) -> None:
+        self.tree = tree
+        self.rule = rule
+
+    def candidates(self) -> List[TipCandidate]:
+        """Return one candidate per tree tip: the end of the tip chain's
+        valid prefix.  Duplicates (several tips sharing a valid prefix)
+        are merged."""
+        seen: Dict[str, TipCandidate] = {}
+        for tip in self.tree.tips():
+            head = self.rule.valid_prefix_block(self.tree, tip)
+            if head.block_id not in seen:
+                seen[head.block_id] = TipCandidate(
+                    block=head, height=head.height,
+                    arrival=self.tree.arrival_index(head.block_id))
+        return sorted(seen.values(), key=lambda c: (-c.height, c.arrival))
+
+    def best(self) -> Block:
+        """Return the head of the chain this node mines on: maximum
+        height, ties broken by earliest arrival."""
+        return self.candidates()[0].block

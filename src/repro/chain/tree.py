@@ -1,0 +1,170 @@
+"""A parent-linked block tree with chain queries.
+
+The tree stores every block ever mined (including blocks that end up
+orphaned) and answers the topological questions the validity engines
+and the simulator need: chains from genesis, tips, common ancestors and
+subchain slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.chain.block import Block, GENESIS_ID, genesis_block
+from repro.errors import DuplicateBlockError, OrphanParentError, UnknownBlockError
+
+
+class BlockTree:
+    """A tree of blocks rooted at genesis.
+
+    Blocks must be added parent-first; the tree rejects duplicates and
+    blocks whose parent is unknown, and verifies the height arithmetic.
+    """
+
+    def __init__(self) -> None:
+        root = genesis_block()
+        self._blocks: Dict[str, Block] = {root.block_id: root}
+        self._children: Dict[str, List[str]] = {root.block_id: []}
+        self._arrival: Dict[str, int] = {root.block_id: 0}
+        self._next_arrival = 1
+
+    @property
+    def genesis(self) -> Block:
+        """The genesis block of this tree."""
+        return self._blocks[GENESIS_ID]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def add(self, block: Block) -> Block:
+        """Insert ``block`` and return it.
+
+        Raises
+        ------
+        DuplicateBlockError
+            If a block with the same id is already present.
+        OrphanParentError
+            If the parent is unknown.
+        UnknownBlockError
+            If the block's height does not equal its parent's plus one.
+        """
+        if block.block_id in self._blocks:
+            raise DuplicateBlockError(block.block_id)
+        if block.parent_id is None:
+            raise OrphanParentError("only genesis may lack a parent")
+        parent = self._blocks.get(block.parent_id)
+        if parent is None:
+            raise OrphanParentError(block.parent_id)
+        if block.height != parent.height + 1:
+            raise UnknownBlockError(
+                f"height {block.height} inconsistent with parent height "
+                f"{parent.height}")
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[parent.block_id].append(block.block_id)
+        self._arrival[block.block_id] = self._next_arrival
+        self._next_arrival += 1
+        return block
+
+    def get(self, block_id: str) -> Block:
+        """Return the block with ``block_id``."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise UnknownBlockError(block_id) from None
+
+    def parent(self, block: Block) -> Optional[Block]:
+        """Return the parent block, or ``None`` for genesis."""
+        if block.parent_id is None:
+            return None
+        return self._blocks[block.parent_id]
+
+    def children(self, block: Block) -> List[Block]:
+        """Return the children of ``block`` in insertion order."""
+        return [self._blocks[c] for c in self._children[block.block_id]]
+
+    def arrival_index(self, block_id: str) -> int:
+        """Return the insertion order index of a block (genesis is 0)."""
+        try:
+            return self._arrival[block_id]
+        except KeyError:
+            raise UnknownBlockError(block_id) from None
+
+    def tips(self) -> List[Block]:
+        """Return all leaf blocks, ordered by arrival."""
+        leaves = [self._blocks[bid] for bid, kids in self._children.items()
+                  if not kids]
+        return sorted(leaves, key=lambda b: self._arrival[b.block_id])
+
+    def chain(self, tip: Block) -> List[Block]:
+        """Return the chain from genesis to ``tip`` inclusive."""
+        if tip.block_id not in self._blocks:
+            raise UnknownBlockError(tip.block_id)
+        out: List[Block] = []
+        cursor: Optional[Block] = tip
+        while cursor is not None:
+            out.append(cursor)
+            cursor = self.parent(cursor)
+        out.reverse()
+        return out
+
+    def ancestor_at_height(self, block: Block, height: int) -> Block:
+        """Return the ancestor of ``block`` at the given height."""
+        if height < 0 or height > block.height:
+            raise UnknownBlockError(
+                f"height {height} outside [0, {block.height}]")
+        cursor = block
+        while cursor.height > height:
+            cursor = self._blocks[cursor.parent_id]  # type: ignore[index]
+        return cursor
+
+    def common_ancestor(self, a: Block, b: Block) -> Block:
+        """Return the deepest common ancestor of ``a`` and ``b``."""
+        x, y = a, b
+        while x.height > y.height:
+            x = self._blocks[x.parent_id]  # type: ignore[index]
+        while y.height > x.height:
+            y = self._blocks[y.parent_id]  # type: ignore[index]
+        while x.block_id != y.block_id:
+            x = self._blocks[x.parent_id]  # type: ignore[index]
+            y = self._blocks[y.parent_id]  # type: ignore[index]
+        return x
+
+    def is_ancestor(self, ancestor: Block, descendant: Block) -> bool:
+        """Whether ``ancestor`` lies on the chain from genesis to
+        ``descendant`` (a block is its own ancestor)."""
+        if ancestor.height > descendant.height:
+            return False
+        return (self.ancestor_at_height(descendant, ancestor.height).block_id
+                == ancestor.block_id)
+
+    def subchain(self, ancestor: Block, descendant: Block) -> List[Block]:
+        """Return the blocks strictly after ``ancestor`` up to and
+        including ``descendant``."""
+        if not self.is_ancestor(ancestor, descendant):
+            raise UnknownBlockError(
+                f"{ancestor.block_id} is not an ancestor of "
+                f"{descendant.block_id}")
+        out: List[Block] = []
+        cursor = descendant
+        while cursor.block_id != ancestor.block_id:
+            out.append(cursor)
+            cursor = self._blocks[cursor.parent_id]  # type: ignore[index]
+        out.reverse()
+        return out
+
+    def descendants(self, block: Block) -> Set[str]:
+        """Return ids of all strict descendants of ``block``."""
+        out: Set[str] = set()
+        stack = list(self._children[block.block_id])
+        while stack:
+            bid = stack.pop()
+            out.add(bid)
+            stack.extend(self._children[bid])
+        return out

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack``    solve one attack configuration under one incentive model
+``tables``    regenerate the paper's result tables
+``figures``   replay the executable Figures 1-3
+``games``     play the Section 5 games (including Figure 4)
+``validate``  cross-check an MDP solve against the substrate simulator
+``latency``   measure natural fork rates under propagation delay
+``race``      per-race statistics of one fork (absorbing-chain exact)
+``deadline``  price a time-limited attack (finite horizon)
+``report``    regenerate the paper-vs-measured markdown comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_table
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import analyze
+from repro.errors import ReproError
+
+_MODELS = {
+    "relative": IncentiveModel.COMPLIANT_PROFIT,
+    "absolute": IncentiveModel.NONCOMPLIANT_PROFIT,
+    "orphans": IncentiveModel.NON_PROFIT,
+}
+
+
+def _parse_ratio(text: str) -> Tuple[int, int]:
+    try:
+        b, g = text.split(":")
+        return int(b), int(g)
+    except ValueError:
+        raise ReproError(f"ratio must look like '2:3', got {text!r}")
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    config = AttackConfig.from_ratio(args.alpha, _parse_ratio(args.ratio),
+                                     setting=args.setting, ad=args.ad)
+    model = _MODELS[args.model]
+    analysis = analyze(config, model)
+    print(f"model: {model.value}")
+    print(f"alpha={config.alpha:.4f} beta={config.beta:.4f} "
+          f"gamma={config.gamma:.4f} AD={config.ad} "
+          f"setting={config.setting}")
+    print(f"optimal utility: {analysis.utility:.6f} "
+          f"(honest baseline {analysis.honest_utility:.6f}, "
+          f"advantage {analysis.advantage:+.6f})")
+    rows = sorted(analysis.rates.items())
+    print(format_table(["channel", "rate per block"], rows, precision=6))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import tables
+    argv = [args.which]
+    if args.fast:
+        argv.append("--fast")
+    return tables._main(argv)
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.sim.figures import (
+        figure1_sticky_gate,
+        figure2_phase_forks,
+        figure3_orphaning,
+    )
+    print("Figure 1:", figure1_sticky_gate())
+    print("Figure 2:", figure2_phase_forks())
+    print("Figure 3:", figure3_orphaning())
+    return 0
+
+
+def cmd_games(_args: argparse.Namespace) -> int:
+    from repro.games import BlockSizeIncreasingGame, EBChoosingGame, \
+        MinerGroup
+    game = EBChoosingGame([0.3, 0.3, 0.4])
+    print("EB choosing game: consensus equilibria ->",
+          all(game.is_nash_equilibrium(p)
+              for p in game.consensus_profiles()))
+    fig4 = BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.1), MinerGroup(mpb=2.0, power=0.2),
+        MinerGroup(mpb=4.0, power=0.3), MinerGroup(mpb=8.0, power=0.4)])
+    played = fig4.play()
+    print(f"Figure 4 game: survivors {played.survivors}, "
+          f"final MG {played.final_mg} MB, "
+          f"{len(played.rounds)} rounds")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import validate_against_sim
+    config = AttackConfig.from_ratio(args.alpha, _parse_ratio(args.ratio),
+                                     setting=args.setting)
+    report = validate_against_sim(
+        config, _MODELS[args.model], steps=args.steps,
+        rng=np.random.default_rng(args.seed))
+    print(f"exact utility:     {report.analysis.utility:.6f}")
+    print(f"simulated utility: {report.sim_utility:.6f} "
+          f"({report.steps} blocks)")
+    print(f"max channel-rate error: {report.max_rate_error():.6f}")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.sim.latency import LatencyMiner, LatencySimulation
+    miners = [LatencyMiner(f"m{i}", 1.0 / args.miners)
+              for i in range(args.miners)]
+    sim = LatencySimulation(miners, block_interval=args.interval,
+                            delay=args.delay)
+    result = sim.run(args.blocks, rng=np.random.default_rng(args.seed))
+    print(f"blocks mined: {result.blocks_mined}, main chain: "
+          f"{result.main_chain_length}, orphans: {result.orphans}")
+    print(f"fork rate: {result.fork_rate:.4f}")
+    return 0
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    from repro.core.race_analysis import (
+        pump_chain2,
+        race_statistics,
+        watch_only,
+    )
+    strategies = {"pump": pump_chain2, "wait": watch_only}
+    config = AttackConfig.from_ratio(
+        args.alpha, _parse_ratio(args.ratio), setting=args.setting,
+        include_wait=args.strategy == "wait")
+    st = race_statistics(config, strategies[args.strategy])
+    rows = [["P(chain 2 wins)", st.chain2_win_probability],
+            ["expected race length", st.expected_length],
+            ["expected orphans", st.expected_orphans],
+            ["expected others' orphans", st.expected_others_orphans],
+            ["expected double-spend income", st.expected_double_spend]]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def cmd_deadline(args: argparse.Namespace) -> int:
+    from repro.core.deadline import deadline_value
+    config = AttackConfig.from_ratio(args.alpha, _parse_ratio(args.ratio),
+                                     setting=args.setting)
+    analysis = deadline_value(config, args.horizon)
+    print(f"attack horizon: {analysis.horizon} blocks")
+    print(f"total value:    {analysis.total_value:.4f} "
+          f"(honest: {analysis.honest_total:.4f})")
+    print(f"per block:      {analysis.per_block:.6f} "
+          f"(perpetual rate: {analysis.perpetual_rate:.6f})")
+    print(f"deadline efficiency: {analysis.deadline_efficiency:.2%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import main as report_main
+    argv = []
+    if args.fast:
+        argv.append("--fast")
+    argv.extend(["--output", args.output])
+    return report_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Analyzing Bitcoin Unlimited "
+                    "Mining Protocol' (CoNEXT 2017)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="solve one attack scenario")
+    attack.add_argument("--alpha", type=float, default=0.25)
+    attack.add_argument("--ratio", default="2:3",
+                        help="beta:gamma, e.g. 2:3")
+    attack.add_argument("--setting", type=int, choices=(1, 2), default=1)
+    attack.add_argument("--ad", type=int, default=6)
+    attack.add_argument("--model", choices=sorted(_MODELS),
+                        default="relative")
+    attack.set_defaults(func=cmd_attack)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument("which", nargs="?", default="all",
+                        choices=("table2", "table3", "table4", "all"))
+    tables.add_argument("--fast", action="store_true")
+    tables.set_defaults(func=cmd_tables)
+
+    figures = sub.add_parser("figures", help="replay Figures 1-3")
+    figures.set_defaults(func=cmd_figures)
+
+    games = sub.add_parser("games", help="play the Section 5 games")
+    games.set_defaults(func=cmd_games)
+
+    validate = sub.add_parser("validate",
+                              help="cross-check MDP vs simulator")
+    validate.add_argument("--alpha", type=float, default=0.10)
+    validate.add_argument("--ratio", default="1:1")
+    validate.add_argument("--setting", type=int, choices=(1, 2), default=1)
+    validate.add_argument("--model", choices=sorted(_MODELS),
+                          default="absolute")
+    validate.add_argument("--steps", type=int, default=50_000)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=cmd_validate)
+
+    latency = sub.add_parser("latency", help="propagation-delay forks")
+    latency.add_argument("--miners", type=int, default=5)
+    latency.add_argument("--interval", type=float, default=600.0)
+    latency.add_argument("--delay", type=float, default=30.0)
+    latency.add_argument("--blocks", type=int, default=2000)
+    latency.add_argument("--seed", type=int, default=0)
+    latency.set_defaults(func=cmd_latency)
+
+    race = sub.add_parser("race", help="per-race fork statistics")
+    race.add_argument("--alpha", type=float, default=0.10)
+    race.add_argument("--ratio", default="1:1")
+    race.add_argument("--setting", type=int, choices=(1, 2), default=1)
+    race.add_argument("--strategy", choices=("pump", "wait"),
+                      default="pump")
+    race.set_defaults(func=cmd_race)
+
+    deadline = sub.add_parser("deadline", help="time-limited attack")
+    deadline.add_argument("--alpha", type=float, default=0.25)
+    deadline.add_argument("--ratio", default="2:3")
+    deadline.add_argument("--setting", type=int, choices=(1, 2), default=1)
+    deadline.add_argument("--horizon", type=int, default=144)
+    deadline.set_defaults(func=cmd_deadline)
+
+    report = sub.add_parser("report",
+                            help="paper-vs-measured markdown report")
+    report.add_argument("--fast", action="store_true")
+    report.add_argument("--output", default="-")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,68 @@
+"""The paper's core contribution: the Bitcoin Unlimited attack MDP.
+
+This package encodes the Section 4 strategy space -- a strategic miner
+(Alice) splitting two compliant miner groups (Bob with a small EB,
+Carol with a large EB) by exploiting the absence of a block validity
+consensus -- as a Markov decision process, and solves it under the
+three incentive models of Section 3.
+
+- :mod:`repro.core.config` -- the attack scenario configuration;
+- :mod:`repro.core.states` -- the state encoding ``(l1, l2, a1, a2, r)``
+  and its invariants;
+- :mod:`repro.core.actions` -- OnChain1 / OnChain2 / Wait;
+- :mod:`repro.core.double_spend` -- double-spending bonus logic;
+- :mod:`repro.core.transitions` -- Table 1's transition/reward function
+  (setting 1) and the phase-2 extension (setting 2);
+- :mod:`repro.core.attack_mdp` -- MDP assembly;
+- :mod:`repro.core.incentives` -- the three incentive models;
+- :mod:`repro.core.solve` -- optimal-strategy solvers for the three
+  utilities u_A1 (Eq. 1), u_A2 (Eq. 2) and u_A3 (Eq. 3).
+"""
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.core.config import AttackConfig
+from repro.core.states import (
+    base1_state,
+    base2_state,
+    enumerate_states,
+    fork1_state,
+    fork2_state,
+    is_base,
+    state_phase,
+)
+from repro.core.double_spend import double_spend_bonus
+from repro.core.incentives import IncentiveModel
+from repro.core.attack_mdp import build_attack_mdp
+from repro.core.solve import (
+    AttackAnalysis,
+    analyze,
+    solve_absolute_reward,
+    solve_orphan_rate,
+    solve_relative_revenue,
+)
+from repro.core.multi_eb import EBGroup, analyze_splits, best_split
+
+__all__ = [
+    "ON_CHAIN_1",
+    "ON_CHAIN_2",
+    "WAIT",
+    "AttackConfig",
+    "base1_state",
+    "base2_state",
+    "fork1_state",
+    "fork2_state",
+    "enumerate_states",
+    "is_base",
+    "state_phase",
+    "double_spend_bonus",
+    "IncentiveModel",
+    "build_attack_mdp",
+    "AttackAnalysis",
+    "analyze",
+    "solve_relative_revenue",
+    "solve_absolute_reward",
+    "solve_orphan_rate",
+    "EBGroup",
+    "analyze_splits",
+    "best_split",
+]

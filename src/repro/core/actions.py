@@ -1,0 +1,25 @@
+"""Actions of the strategic miner in the Section 4 strategy space.
+
+At the base state, *OnChain2* means "try to mine a block that splits
+Bob's and Carol's mining power" (size ``EB_C`` in phase 1, size just
+above ``EB_C`` in phase 2); *OnChain1* means mining a compliant block.
+During a fork the two actions select which chain Alice extends.  *Wait*
+(non-profit-driven model only) idles Alice's mining power, so the next
+block is found by Bob or Carol.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+ON_CHAIN_1 = "OnChain1"
+ON_CHAIN_2 = "OnChain2"
+WAIT = "Wait"
+
+
+def action_names(include_wait: bool) -> List[str]:
+    """Return the action list for the strategy space."""
+    names = [ON_CHAIN_1, ON_CHAIN_2]
+    if include_wait:
+        names.append(WAIT)
+    return names

@@ -1,0 +1,128 @@
+"""Configuration of the Section 4 attack scenario.
+
+Three miners share the network: strategic Alice (power ``alpha``) and
+two compliant groups -- Bob (power ``beta``) with the smaller EB and
+Carol (power ``gamma``) with the larger EB.  Bob and Carol share the
+same MG and AD.  ``setting`` selects the paper's two MDP settings:
+
+- setting 1: sticky gate disabled (only phase 1 exists);
+- setting 2: sticky gate enabled (phases 1 and 2).
+
+Two under-specified details of the paper are exposed as knobs (see
+DESIGN.md, "Fidelity notes"):
+
+- ``phase3_return``: state after Chain 2 locks in phase 2 (Carol's gate
+  opens, phase 3 is transient) -- ``"phase1"`` returns to the phase-1
+  base state, ``"phase2_reset"`` to a fresh phase-2 base;
+- ``gate_countdown``: how many blocks a phase-2 Chain-1 win subtracts
+  from the sticky-gate counter -- ``"locked_blocks"`` (the ``l1 + 1``
+  blocks actually locked) or ``"l1"`` (the paper's literal text).
+
+``phase2_attack=False`` gives the paper's *other* reading of setting 1
+("the attacker is only allowed to launch the attack at phase 1"): the
+sticky-gate dynamics stay on but OnChain2 is unavailable while the gate
+is open.  By a strategy-inclusion argument this variant is dominated by
+the full setting 2, which is exactly why EXPERIMENTS.md rules it out as
+the explanation of the paper's Table 3 setting-1 column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.core.double_spend import DEFAULT_CONFIRMATIONS, DEFAULT_RDS
+from repro.errors import ReproError
+from repro.protocol.params import STICKY_GATE_WINDOW
+
+_POWER_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Parameters of one attack-analysis run."""
+
+    alpha: float
+    beta: float
+    gamma: float
+    ad: int = 6
+    ad_carol: Optional[int] = None
+    setting: int = 1
+    include_wait: bool = False
+    rds: float = DEFAULT_RDS
+    confirmations: int = DEFAULT_CONFIRMATIONS
+    gate_window: int = STICKY_GATE_WINDOW
+    phase3_return: str = "phase1"
+    gate_countdown: str = "locked_blocks"
+    phase2_attack: bool = True
+
+    def __post_init__(self) -> None:
+        for name, value in (("alpha", self.alpha), ("beta", self.beta),
+                            ("gamma", self.gamma)):
+            if value <= 0:
+                raise ReproError(f"{name} must be positive, got {value}")
+        if abs(self.alpha + self.beta + self.gamma - 1.0) > _POWER_TOL:
+            raise ReproError("mining power shares must sum to 1")
+        if self.alpha >= 0.5:
+            raise ReproError("the threat model requires alpha < 50%")
+        if self.ad < 2:
+            raise ReproError("AD must be at least 2 for a fork to exist")
+        if self.ad_carol is not None and self.ad_carol < 2:
+            raise ReproError("Carol's AD must be at least 2")
+        if self.setting not in (1, 2):
+            raise ReproError("setting must be 1 or 2")
+        if self.gate_window < 1:
+            raise ReproError("gate_window must be at least 1")
+        if self.rds < 0:
+            raise ReproError("rds cannot be negative")
+        if self.confirmations < 1:
+            raise ReproError("confirmations must be at least 1")
+        if self.phase3_return not in ("phase1", "phase2_reset"):
+            raise ReproError(
+                f"unknown phase3_return {self.phase3_return!r}")
+        if self.gate_countdown not in ("locked_blocks", "l1"):
+            raise ReproError(
+                f"unknown gate_countdown {self.gate_countdown!r}")
+
+    @property
+    def compliant_power(self) -> float:
+        """Combined power of Bob and Carol."""
+        return self.beta + self.gamma
+
+    @property
+    def ad_bob(self) -> int:
+        """Bob's acceptance depth (governs phase-1 Chain-2 locks)."""
+        return self.ad
+
+    @property
+    def effective_ad_carol(self) -> int:
+        """Carol's acceptance depth (governs phase-2 Chain-2 locks);
+        defaults to the shared ``ad`` as in the paper's model.  The
+        paper notes real participants signaled heterogeneous ADs
+        (AD = 6 miners, AD = 20 BitClub, AD = 12 public nodes)."""
+        return self.ad if self.ad_carol is None else self.ad_carol
+
+    def with_wait(self, include_wait: bool = True) -> "AttackConfig":
+        """Return a copy with the Wait action toggled."""
+        return replace(self, include_wait=include_wait)
+
+    @staticmethod
+    def from_ratio(alpha: float, beta_to_gamma: Tuple[int, int],
+                   **kwargs) -> "AttackConfig":
+        """Build a config from Alice's share and the paper's ``beta :
+        gamma`` ratio notation, e.g. ``from_ratio(0.1, (2, 3))``.
+
+        The remaining power ``1 - alpha`` is split exactly in the given
+        ratio using rational arithmetic, so power shares always sum to
+        one.
+        """
+        b, g = beta_to_gamma
+        if b <= 0 or g <= 0:
+            raise ReproError("ratio parts must be positive")
+        alpha_frac = Fraction(alpha).limit_denominator(10**6)
+        rest = Fraction(1) - alpha_frac
+        beta = rest * Fraction(b, b + g)
+        gamma = rest - beta
+        return AttackConfig(alpha=float(alpha_frac), beta=float(beta),
+                            gamma=float(gamma), **kwargs)

@@ -1,0 +1,81 @@
+"""Time-limited attacks (finite-horizon analysis).
+
+The Table 3 figures assume a perpetual attack; in practice attacks end
+-- merchants raise confirmation requirements, exchanges halt deposits,
+clients patch.  This module prices an attack that must stop after a
+fixed number of blocks, via backward induction over the attack MDP, and
+quantifies the deadline effect: how much of the per-block profit
+survives when the attacker has only, say, a day (144 blocks).
+
+Restricted to the absolute-reward utility (Eq. 2): total income over a
+horizon is a channel sum, which finite-horizon dynamic programming
+prices exactly.  Ratio utilities over a finite horizon are a different
+(and ill-conditioned) object the paper does not use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attack_mdp import build_attack_mdp
+from repro.core.config import AttackConfig
+from repro.core.solve import solve_absolute_reward
+from repro.errors import ReproError
+from repro.mdp.finite_horizon import backward_induction
+
+
+@dataclass
+class DeadlineAnalysis:
+    """Value of an attack that must stop after ``horizon`` blocks.
+
+    Attributes
+    ----------
+    config:
+        The attack configuration.
+    horizon:
+        Attack duration in blocks.
+    total_value:
+        Optimal total income (block rewards + double-spends) over the
+        horizon.
+    per_block:
+        ``total_value / horizon``.
+    perpetual_rate:
+        The unconstrained u_A2 for comparison.
+    honest_total:
+        What honest mining earns over the same horizon.
+    """
+
+    config: AttackConfig
+    horizon: int
+    total_value: float
+    per_block: float
+    perpetual_rate: float
+    honest_total: float
+
+    @property
+    def deadline_efficiency(self) -> float:
+        """Fraction of the perpetual per-block profit margin retained
+        under the deadline (1 for long horizons, lower for short
+        ones)."""
+        perpetual_margin = self.perpetual_rate - self.config.alpha
+        if perpetual_margin <= 0:
+            return 1.0
+        finite_margin = self.per_block - self.config.alpha
+        return max(finite_margin, 0.0) / perpetual_margin
+
+
+def deadline_value(config: AttackConfig, horizon: int) -> DeadlineAnalysis:
+    """Price a time-limited non-compliant attack."""
+    if horizon < 1:
+        raise ReproError("horizon must be at least 1")
+    config = config.with_wait(False)
+    mdp = build_attack_mdp(config)
+    reward = mdp.combined_reward({"alice": 1.0, "ds": 1.0})
+    solution = backward_induction(mdp, reward, horizon)
+    perpetual = solve_absolute_reward(config, mdp)
+    total = solution.start_value
+    return DeadlineAnalysis(config=config, horizon=horizon,
+                            total_value=total,
+                            per_block=total / horizon,
+                            perpetual_rate=perpetual.utility,
+                            honest_total=config.alpha * horizon)

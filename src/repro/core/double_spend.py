@@ -1,0 +1,39 @@
+"""Double-spending bonus logic (Section 4.3).
+
+A transaction to a merchant is embedded in the first block of a fork
+branch; the merchant delivers after ``confirmations`` blocks (the paper
+uses four instead of Bitcoin's customary six, to enable the Bitcoin
+comparison).  If the branch carrying a delivered transaction is
+orphaned, the attacker collects the double-spent funds.  The paper
+models this as a bonus of ``(k - (confirmations - 1)) * rds`` whenever a
+resolved race orphans ``k >= confirmations`` blocks, with ``rds`` worth
+ten block rewards.  Failed attempts carry no punishment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: Default double-spend value, in block rewards (Section 4.3).
+DEFAULT_RDS = 10.0
+
+#: Default merchant confirmation count (Section 4.3 uses four).
+DEFAULT_CONFIRMATIONS = 4
+
+
+def double_spend_bonus(orphaned: int, rds: float = DEFAULT_RDS,
+                       confirmations: int = DEFAULT_CONFIRMATIONS) -> float:
+    """Return the double-spend reward for a race that orphaned
+    ``orphaned`` blocks.
+
+    >>> double_spend_bonus(5)
+    20.0
+    >>> double_spend_bonus(3)
+    0.0
+    """
+    if orphaned < 0:
+        raise ReproError("orphaned block count cannot be negative")
+    if confirmations < 1:
+        raise ReproError("confirmations must be at least 1")
+    excess = orphaned - (confirmations - 1)
+    return float(excess) * rds if excess > 0 else 0.0

@@ -1,0 +1,52 @@
+"""The three miner incentive models of Section 3.
+
+Each model fixes a utility function for the strategic miner:
+
+- :attr:`IncentiveModel.COMPLIANT_PROFIT` -- compliant and
+  profit-driven; utility is *relative revenue* (Eq. 1), the share of
+  blockchain blocks that are Alice's.
+- :attr:`IncentiveModel.NONCOMPLIANT_PROFIT` -- non-compliant and
+  profit-driven; utility is *absolute reward* (Eq. 2), Alice's
+  time-averaged income (block rewards + double-spends) per network
+  block.
+- :attr:`IncentiveModel.NON_PROFIT` -- non-profit-driven; utility is
+  the number of other miners' blocks orphaned per Alice block (Eq. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Tuple
+
+
+class IncentiveModel(enum.Enum):
+    """Attacker incentive models (Section 3)."""
+
+    COMPLIANT_PROFIT = "compliant-profit-driven"
+    NONCOMPLIANT_PROFIT = "non-compliant-profit-driven"
+    NON_PROFIT = "non-profit-driven"
+
+    @property
+    def uses_wait(self) -> bool:
+        """Whether the strategy space includes the Wait action
+        (Section 4.4 adds it for the non-profit-driven model only)."""
+        return self is IncentiveModel.NON_PROFIT
+
+    @property
+    def uses_double_spend(self) -> bool:
+        """Whether the utility counts double-spend income."""
+        return self is IncentiveModel.NONCOMPLIANT_PROFIT
+
+    def utility_channels(self) -> Tuple[Mapping[str, float],
+                                        Mapping[str, float]]:
+        """Return ``(numerator, denominator)`` channel weights of the
+        model's utility.  A denominator of ``{}`` marks a plain
+        per-step average (Eq. 2, where each MDP step mines one block).
+        """
+        if self is IncentiveModel.COMPLIANT_PROFIT:
+            return {"alice": 1.0}, {"alice": 1.0, "others": 1.0}
+        if self is IncentiveModel.NONCOMPLIANT_PROFIT:
+            return {"alice": 1.0, "ds": 1.0}, {}
+        num: Dict[str, float] = {"others_orphans": 1.0}
+        den: Dict[str, float] = {"alice": 1.0, "alice_orphans": 1.0}
+        return num, den

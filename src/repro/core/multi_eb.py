@@ -1,0 +1,120 @@
+"""Attacking a network with many distinct EB values (Section 4.1.1).
+
+The paper's two-group setup (Bob / Carol) is "the weakest form of the
+attack": with signaled values ``EB_1 < EB_2 < ... < EB_k``, the
+attacker picks any split index ``d`` and treats the groups with
+``EB <= EB_d`` as Bob and the rest as Carol, by mining phase-1 fork
+blocks of size ``EB_{d+1}`` and phase-2 blocks just above ``EB_k``.
+More EBs therefore only give Alice more options.
+
+:func:`best_split` solves the chosen incentive model for every split
+and returns the attacker-optimal one -- the quantitative version of
+the paper's remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import AttackAnalysis, analyze
+from repro.errors import ReproError
+from repro.protocol.signals import EBSplit
+
+
+@dataclass(frozen=True)
+class EBGroup:
+    """One compliant miner group, by signaled EB."""
+
+    eb: float
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.eb <= 0:
+            raise ReproError("EB must be positive")
+        if self.power <= 0:
+            raise ReproError("group power must be positive")
+
+
+@dataclass
+class SplitAnalysis:
+    """One candidate split and its solved attack value.
+
+    Attributes
+    ----------
+    split:
+        The induced Bob/Carol partition (fork block sizes included).
+    config:
+        The two-group attack configuration it maps to.
+    analysis:
+        The solved incentive-model result.
+    """
+
+    split: EBSplit
+    config: AttackConfig
+    analysis: AttackAnalysis
+
+    @property
+    def utility(self) -> float:
+        """The attacker's optimal utility under this split."""
+        return self.analysis.utility
+
+
+def enumerate_splits(groups: Sequence[EBGroup],
+                     alpha: float) -> List[EBSplit]:
+    """Enumerate the k-1 Bob/Carol partitions of a k-EB network."""
+    if not groups:
+        raise ReproError("need at least one compliant group")
+    merged = {}
+    for g in groups:
+        merged[g.eb] = merged.get(g.eb, 0.0) + g.power
+    ebs = sorted(merged)
+    total = sum(merged.values())
+    if abs(total + alpha - 1.0) > 1e-9:
+        raise ReproError("alpha plus group powers must sum to 1")
+    out: List[EBSplit] = []
+    for d in range(len(ebs) - 1):
+        beta = sum(merged[e] for e in ebs[: d + 1])
+        gamma = total - beta
+        out.append(EBSplit(split_eb=ebs[d], fork_block_size=ebs[d + 1],
+                           oversize_block_size=ebs[-1] + 1e-6,
+                           beta=beta, gamma=gamma))
+    return out
+
+
+def analyze_splits(groups: Sequence[EBGroup], alpha: float,
+                   model: IncentiveModel,
+                   setting: int = 1, **config_kwargs
+                   ) -> List[SplitAnalysis]:
+    """Solve ``model`` for every candidate split, in EB order."""
+    out: List[SplitAnalysis] = []
+    for split in enumerate_splits(groups, alpha):
+        config = AttackConfig(alpha=alpha, beta=split.beta,
+                              gamma=split.gamma, setting=setting,
+                              **config_kwargs)
+        out.append(SplitAnalysis(split=split, config=config,
+                                 analysis=analyze(config, model)))
+    return out
+
+
+def best_split(groups: Sequence[EBGroup], alpha: float,
+               model: IncentiveModel, setting: int = 1,
+               **config_kwargs) -> Optional[SplitAnalysis]:
+    """Return the attacker-optimal split, or ``None`` when the network
+    already shares one EB (no split exists -- the April 2017 status
+    quo the paper's Section 6.1 explains)."""
+    splits = analyze_splits(groups, alpha, model, setting,
+                            **config_kwargs)
+    if not splits:
+        return None
+    return max(splits, key=lambda s: s.utility)
+
+
+def merge_adjacent(groups: Sequence[EBGroup],
+                   boundary: float) -> Tuple[float, float]:
+    """Helper: total power at or below / above an EB boundary."""
+    below = sum(g.power for g in groups if g.eb <= boundary)
+    above = sum(g.power for g in groups if g.eb > boundary)
+    return below, above

@@ -1,0 +1,136 @@
+"""Per-race statistics of attack strategies (Section 4's narrative).
+
+The long-run MDP gains say who profits; these absorbing-chain analyses
+say *how*: when Alice opens a fork, how likely is each resolution, how
+long does the race run, and how many blocks does it destroy.  The
+numbers also explain Table 2's boundary (Chain 2's win probability
+exceeds Chain 1's exactly when alpha + gamma > beta) and Table 4's peak
+near balanced splits (races last longest when neither side dominates).
+
+Implementation: the race is re-encoded as an absorbing Markov chain
+over the phase-1 fork states, with two sinks -- ``("won", "chain1")``
+and ``("won", "chain2")`` -- so the two resolution types stay
+distinguishable even though the full MDP sends both back to the same
+base state.  Which sink a resolving transition targets follows from
+which chain the resolving block extended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.core.config import AttackConfig
+from repro.core.states import fork1_state
+from repro.core.transitions import CHANNELS, _fork_events
+from repro.errors import ReproError
+from repro.mdp.absorbing import absorbing_analysis
+from repro.mdp.builder import MDPBuilder
+
+CHAIN1_SINK = ("won", "chain1")
+CHAIN2_SINK = ("won", "chain2")
+
+#: A fork-state -> action-name callable.
+ForkStrategy = Callable[[tuple], str]
+
+
+def pump_chain2(_state: tuple) -> str:
+    """The Cryptoconomy attack: always extend the excessive chain."""
+    return ON_CHAIN_2
+
+
+def support_leader(state: tuple) -> str:
+    """Extend whichever chain currently leads (ties go to Chain 2,
+    which Alice started)."""
+    _tag, l1, l2 = state[0], state[1], state[2]
+    return ON_CHAIN_1 if l1 > l2 else ON_CHAIN_2
+
+
+def watch_only(_state: tuple) -> str:
+    """Idle during the race (non-profit-driven Wait)."""
+    return WAIT
+
+
+@dataclass
+class RaceStatistics:
+    """Statistics of one phase-1 race, from the split block (included)
+    to resolution.
+
+    Attributes
+    ----------
+    chain2_win_probability:
+        Probability the excessive-block chain reaches AD first.
+    expected_length:
+        Expected blocks mined during the race (split block included).
+    expected_orphans:
+        Expected blocks orphaned per race (all miners).
+    expected_others_orphans:
+        Expected compliant blocks orphaned per race.
+    expected_alice_locked:
+        Expected Alice blocks ending in the blockchain per race.
+    expected_double_spend:
+        Expected double-spend income per race.
+    """
+
+    chain2_win_probability: float
+    expected_length: float
+    expected_orphans: float
+    expected_others_orphans: float
+    expected_alice_locked: float
+    expected_double_spend: float
+
+
+def race_statistics(config: AttackConfig,
+                    fork_strategy: Optional[ForkStrategy] = None
+                    ) -> RaceStatistics:
+    """Analyze one phase-1 race under ``fork_strategy`` (default:
+    :func:`pump_chain2`)."""
+    strategy = fork_strategy or pump_chain2
+    include_wait = config.include_wait
+    builder = MDPBuilder(actions=["race"], channels=list(CHANNELS))
+    start = fork1_state(0, 1, 0, 1)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        action = strategy(state)
+        if action == WAIT and not include_wait:
+            raise ReproError(
+                "Wait strategy requires include_wait in the config")
+        for event, prob, is_alice, nxt, rewards in _fork_events(config,
+                                                                state):
+            if action == WAIT:
+                if is_alice:
+                    continue
+                prob = prob / (config.beta + config.gamma)
+            elif is_alice and ((event == "c1") != (action == ON_CHAIN_1)):
+                continue  # Alice's block lands on the chain she mines
+            if nxt[0] == "base":
+                nxt = CHAIN1_SINK if event == "c1" else CHAIN2_SINK
+            builder.add(state, "race", nxt, prob, **rewards)
+            if nxt not in seen and nxt not in (CHAIN1_SINK, CHAIN2_SINK):
+                seen.add(nxt)
+                frontier.append(nxt)
+    for sink in (CHAIN1_SINK, CHAIN2_SINK):
+        builder.add(sink, "race", sink, 1.0)
+    mdp = builder.build(start=start)
+
+    import numpy as np
+    policy = np.zeros(mdp.n_states, dtype=int)
+    result = absorbing_analysis(mdp, policy,
+                                absorbing=[CHAIN1_SINK, CHAIN2_SINK],
+                                start=start)
+    rewards = result.expected_rewards
+    # Every race block (the split block included) is eventually locked
+    # or orphaned exactly once, so the four channels sum to the length.
+    length = (rewards["alice"] + rewards["others"]
+              + rewards["alice_orphans"] + rewards["others_orphans"])
+    return RaceStatistics(
+        chain2_win_probability=result.absorption_probability[CHAIN2_SINK],
+        expected_length=float(length),
+        expected_orphans=float(rewards["alice_orphans"]
+                               + rewards["others_orphans"]),
+        expected_others_orphans=float(rewards["others_orphans"]),
+        expected_alice_locked=float(rewards["alice"]),
+        expected_double_spend=float(rewards["ds"]))

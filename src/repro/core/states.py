@@ -1,0 +1,138 @@
+"""State encoding of the Section 4 attack MDP.
+
+A state is the 5-tuple ``(l1, l2, a1, a2, r)`` of the paper, encoded as
+tagged tuples so base and fork states are unambiguous:
+
+- ``("base", r)`` -- no ongoing fork.  ``r = 0`` is the phase-1 base
+  state (both sticky gates closed); ``1 <= r <= gate_window`` is a
+  phase-2 base state (Bob's gate open, ``r`` locked blocks left until
+  it closes).
+- ``("fork1", l1, l2, a1, a2)`` -- a phase-1 fork: Chain 2 starts with
+  Alice's size-``EB_C`` block (accepted by Carol, excessive for Bob).
+- ``("fork2", l1, l2, a1, a2, r)`` -- a phase-2 fork: Chain 2 starts
+  with Alice's oversize block (accepted by Bob through his open gate,
+  excessive for Carol).
+
+Invariants (checked by :func:`validate_state`):
+
+- ``0 <= l1 <= l2 <= AD - 1`` and ``l2 >= 1`` (Chain 1 winning is
+  resolved immediately, Chain 2 reaching AD locks it);
+- ``0 <= a1 <= l1`` and ``1 <= a2 <= l2`` (Chain 2 opens with Alice's
+  block);
+- fork2 carries the gate counter ``r`` frozen at its fork-start value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.core.config import AttackConfig
+from repro.errors import ReproError
+
+State = Tuple
+
+
+def base1_state() -> State:
+    """The phase-1 base state (the MDP's start state)."""
+    return ("base", 0)
+
+
+def base2_state(r: int) -> State:
+    """A phase-2 base state with ``r`` blocks left on the gate counter."""
+    if r < 1:
+        raise ReproError("phase-2 base requires r >= 1")
+    return ("base", r)
+
+
+def fork1_state(l1: int, l2: int, a1: int, a2: int) -> State:
+    """A phase-1 fork state."""
+    return ("fork1", l1, l2, a1, a2)
+
+
+def fork2_state(l1: int, l2: int, a1: int, a2: int, r: int) -> State:
+    """A phase-2 fork state."""
+    return ("fork2", l1, l2, a1, a2, r)
+
+
+def is_base(state: State) -> bool:
+    """Whether ``state`` is a base (un-forked) state."""
+    return state[0] == "base"
+
+
+def state_phase(state: State) -> int:
+    """Return the phase (1 or 2) of a state."""
+    if state[0] == "base":
+        return 1 if state[1] == 0 else 2
+    return 1 if state[0] == "fork1" else 2
+
+
+def validate_state(state: State, config: AttackConfig) -> None:
+    """Raise :class:`ReproError` if ``state`` violates an invariant."""
+    tag = state[0]
+    if tag == "base":
+        r = state[1]
+        if not 0 <= r <= config.gate_window:
+            raise ReproError(f"base state r={r} out of range")
+        if r > 0 and config.setting == 1:
+            raise ReproError("phase-2 base state in setting 1")
+        return
+    if tag == "fork1":
+        l1, l2, a1, a2 = state[1:]
+        ad = config.ad_bob
+    elif tag == "fork2":
+        l1, l2, a1, a2, r = state[1:]
+        ad = config.effective_ad_carol
+        if config.setting == 1:
+            raise ReproError("phase-2 fork state in setting 1")
+        if not 1 <= r <= config.gate_window:
+            raise ReproError(f"fork2 state r={r} out of range")
+    else:
+        raise ReproError(f"unknown state tag {tag!r}")
+    if not 1 <= l2 <= ad - 1:
+        raise ReproError(f"l2={l2} out of range for AD={ad}")
+    if not 0 <= l1 <= l2:
+        raise ReproError(f"l1={l1} violates 0 <= l1 <= l2={l2}")
+    if not 0 <= a1 <= l1:
+        raise ReproError(f"a1={a1} violates 0 <= a1 <= l1={l1}")
+    if not 1 <= a2 <= l2:
+        raise ReproError(f"a2={a2} violates 1 <= a2 <= l2={l2}")
+
+
+def enumerate_fork_shapes(ad: int) -> Iterator[Tuple[int, int, int, int]]:
+    """Yield every feasible ``(l1, l2, a1, a2)`` fork shape for ``ad``."""
+    for l2 in range(1, ad):
+        for l1 in range(0, l2 + 1):
+            for a1 in range(0, l1 + 1):
+                for a2 in range(1, l2 + 1):
+                    yield (l1, l2, a1, a2)
+
+
+def enumerate_states(config: AttackConfig) -> Iterator[State]:
+    """Yield the full state space of a configuration.
+
+    This is the *closed-form* enumeration; the MDP builder reaches the
+    same set by BFS from the base state (tested for equality).
+    """
+    yield base1_state()
+    for shape in enumerate_fork_shapes(config.ad_bob):
+        yield ("fork1",) + shape
+    if config.setting == 2:
+        for r in range(1, config.gate_window + 1):
+            yield base2_state(r)
+        if config.phase2_attack:
+            for r in range(1, config.gate_window + 1):
+                for shape in enumerate_fork_shapes(
+                        config.effective_ad_carol):
+                    yield ("fork2",) + shape + (r,)
+
+
+def count_states(config: AttackConfig) -> int:
+    """Closed-form size of the state space."""
+    shapes1 = sum(1 for _ in enumerate_fork_shapes(config.ad_bob))
+    if config.setting == 1:
+        return 1 + shapes1
+    if not config.phase2_attack:
+        return 1 + shapes1 + config.gate_window
+    shapes2 = sum(1 for _ in
+                  enumerate_fork_shapes(config.effective_ad_carol))
+    return 1 + shapes1 + config.gate_window * (1 + shapes2)

@@ -1,0 +1,219 @@
+"""Transition and reward function of the attack MDP.
+
+Implements Table 1 of the paper (setting 1: phase 1 only) and its
+phase-2 extension (setting 2: sticky gate enabled), generalized with
+the reward channels needed by all three incentive models:
+
+- ``alice`` / ``others``: block rewards locked into the blockchain
+  (Table 1's ``(R_A, R_others)`` pair);
+- ``alice_orphans`` / ``others_orphans``: blocks orphaned when a race
+  resolves (Section 4.4's non-profit-driven utility);
+- ``ds``: double-spending bonuses (Section 4.3).
+
+Every resolved race conserves rewards: the winning chain's length
+equals ``alice + others`` and the losing chain's length equals
+``alice_orphans + others_orphans``.  (Two cells of the paper's Table 1
+violate this by one block; we treat those as transcription typos --
+see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT, action_names
+from repro.core.config import AttackConfig
+from repro.core.double_spend import double_spend_bonus
+from repro.core.states import State, base1_state, base2_state
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (state, action) outcome.
+
+    Attributes
+    ----------
+    state, action, next_state:
+        Source state, Alice's action, destination state.
+    prob:
+        Probability of this outcome.
+    rewards:
+        Channel name -> reward issued if this outcome happens.
+    """
+
+    state: State
+    action: str
+    next_state: State
+    prob: float
+    rewards: Dict[str, float] = field(default_factory=dict)
+
+
+#: Names of the reward channels emitted by the transition function.
+CHANNELS = ("alice", "others", "alice_orphans", "others_orphans", "ds")
+
+
+def _chain1_win_rewards(config: AttackConfig, l1_final: int, a1_final: int,
+                        l2: int, a2: int) -> Dict[str, float]:
+    """Rewards when Chain 1 outgrows Chain 2: the ``l1_final`` Chain-1
+    blocks lock, the ``l2`` Chain-2 blocks are orphaned."""
+    return {
+        "alice": float(a1_final),
+        "others": float(l1_final - a1_final),
+        "alice_orphans": float(a2),
+        "others_orphans": float(l2 - a2),
+        "ds": double_spend_bonus(l2, config.rds, config.confirmations),
+    }
+
+
+def _chain2_win_rewards(config: AttackConfig, l2_final: int, a2_final: int,
+                        l1: int, a1: int) -> Dict[str, float]:
+    """Rewards when Chain 2 reaches AD: its blocks lock, the ``l1``
+    Chain-1 blocks are orphaned."""
+    return {
+        "alice": float(a2_final),
+        "others": float(l2_final - a2_final),
+        "alice_orphans": float(a1),
+        "others_orphans": float(l1 - a1),
+        "ds": double_spend_bonus(l1, config.rds, config.confirmations),
+    }
+
+
+def _next_base(config: AttackConfig, r: int, locked: int) -> State:
+    """Base state after ``locked`` non-excessive blocks lock while the
+    gate counter stands at ``r`` (``r = 0`` means phase 1)."""
+    if r == 0:
+        return base1_state()
+    r_next = max(r - locked, 0)
+    return base1_state() if r_next == 0 else base2_state(r_next)
+
+
+def _phase3_state(config: AttackConfig) -> State:
+    """State after Carol's sticky gate opens (transient phase 3)."""
+    if config.phase3_return == "phase1":
+        return base1_state()
+    return base2_state(config.gate_window)
+
+
+def _gate_decrement(config: AttackConfig, l1_final: int) -> int:
+    """Blocks subtracted from the gate counter by a Chain-1 win."""
+    return l1_final if config.gate_countdown == "locked_blocks" \
+        else max(l1_final - 1, 0)
+
+
+def _base_transitions(config: AttackConfig, r: int) -> Iterator[Transition]:
+    """Transitions out of a base state (phase 1 when ``r = 0``)."""
+    state = base1_state() if r == 0 else base2_state(r)
+    others = config.beta + config.gamma
+    one_locked = _next_base(config, r, 1)
+    fork = (("fork1", 0, 1, 0, 1) if r == 0
+            else ("fork2", 0, 1, 0, 1, r))
+    yield Transition(state, ON_CHAIN_1, one_locked, config.alpha,
+                     {"alice": 1.0})
+    yield Transition(state, ON_CHAIN_1, one_locked, others,
+                     {"others": 1.0})
+    if r == 0 or config.phase2_attack:
+        yield Transition(state, ON_CHAIN_2, fork, config.alpha, {})
+        yield Transition(state, ON_CHAIN_2, one_locked, others,
+                         {"others": 1.0})
+    if config.include_wait:
+        yield Transition(state, WAIT, one_locked, 1.0, {"others": 1.0})
+
+
+def _fork_events(config: AttackConfig, state: State
+                 ) -> Iterator[Tuple[str, float, bool, State, Dict[str, float]]]:
+    """Yield ``(event, prob, is_alice_choice, next_state, rewards)`` for
+    every miner-block event in a fork state, *per chain extended*.
+
+    ``event`` is ``"c1"`` or ``"c2"`` (which chain the block extends);
+    ``is_alice_choice`` marks the attacker's block (which only happens
+    under the matching action).
+    """
+    tag = state[0]
+    if tag == "fork1":
+        l1, l2, a1, a2 = state[1:]
+        r = 0
+        compliant_c1, compliant_c2 = config.beta, config.gamma
+        lock_depth = config.ad_bob
+    elif tag == "fork2":
+        l1, l2, a1, a2, r = state[1:]
+        compliant_c1, compliant_c2 = config.gamma, config.beta
+        lock_depth = config.effective_ad_carol
+    else:  # pragma: no cover - guarded by callers
+        raise ReproError(f"not a fork state: {state!r}")
+
+    def on_chain1(delta_a: int) -> Tuple[State, Dict[str, float]]:
+        l1_new, a1_new = l1 + 1, a1 + delta_a
+        if l1_new > l2:  # Chain 1 outgrows Chain 2: race resolved.
+            rewards = _chain1_win_rewards(config, l1_new, a1_new, l2, a2)
+            nxt = _next_base(config, r, _gate_decrement(config, l1_new)) \
+                if r > 0 else base1_state()
+            return nxt, rewards
+        return (tag,) + ((l1_new, l2, a1_new, a2) if tag == "fork1"
+                         else (l1_new, l2, a1_new, a2, r)), {}
+
+    def on_chain2(delta_a: int) -> Tuple[State, Dict[str, float]]:
+        l2_new, a2_new = l2 + 1, a2 + delta_a
+        if l2_new == lock_depth:  # Chain 2 reaches AD: locked.
+            rewards = _chain2_win_rewards(config, l2_new, a2_new, l1, a1)
+            if tag == "fork1":
+                nxt = (base2_state(config.gate_window) if config.setting == 2
+                       else base1_state())
+            else:  # Carol's gate opens -> transient phase 3.
+                nxt = _phase3_state(config)
+            return nxt, rewards
+        return (tag,) + ((l1, l2_new, a1, a2_new) if tag == "fork1"
+                         else (l1, l2_new, a1, a2_new, r)), {}
+
+    nxt, rewards = on_chain1(1)
+    yield ("c1", config.alpha, True, nxt, rewards)
+    nxt, rewards = on_chain2(1)
+    yield ("c2", config.alpha, True, nxt, rewards)
+    nxt, rewards = on_chain1(0)
+    yield ("c1", compliant_c1, False, nxt, rewards)
+    nxt, rewards = on_chain2(0)
+    yield ("c2", compliant_c2, False, nxt, rewards)
+
+
+def _fork_transitions(config: AttackConfig,
+                      state: State) -> Iterator[Transition]:
+    """Transitions out of a fork state, for every action."""
+    events = list(_fork_events(config, state))
+    compliant = [(e, p, nxt, rew) for e, p, alice, nxt, rew in events
+                 if not alice]
+    alice_events = {e: (p, nxt, rew) for e, p, alice, nxt, rew in events
+                    if alice}
+    for action, event in ((ON_CHAIN_1, "c1"), (ON_CHAIN_2, "c2")):
+        p, nxt, rew = alice_events[event]
+        yield Transition(state, action, nxt, p, rew)
+        for _e, cp, cnxt, crew in compliant:
+            yield Transition(state, action, cnxt, cp, crew)
+    if config.include_wait:
+        total = sum(cp for _e, cp, _n, _r in compliant)
+        for _e, cp, cnxt, crew in compliant:
+            yield Transition(state, WAIT, cnxt, cp / total, crew)
+
+
+def generate_transitions(config: AttackConfig) -> Iterator[Transition]:
+    """Yield every transition of the attack MDP, discovering states by
+    breadth-first search from the phase-1 base state."""
+    start = base1_state()
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        if state[0] == "base":
+            produced = _base_transitions(config, state[1])
+        else:
+            produced = _fork_transitions(config, state)
+        for tr in produced:
+            yield tr
+            if tr.next_state not in seen:
+                seen.add(tr.next_state)
+                frontier.append(tr.next_state)
+
+
+def actions_for(config: AttackConfig):
+    """Action names available in this configuration."""
+    return action_names(config.include_wait)

@@ -1,0 +1,28 @@
+"""The paper's countermeasure (Section 6.3): miner block-voting on the
+block size limit while a prescribed BVC holds at every height."""
+
+from repro.countermeasure.voting import (
+    PreferenceVoter,
+    Vote,
+    VoteParams,
+    VotingSimulation,
+    equilibrium_limit,
+    limit_schedule,
+)
+from repro.countermeasure.bip100 import (
+    BIP100Params,
+    bip100_schedule,
+    simulate_bip100,
+)
+
+__all__ = [
+    "Vote",
+    "VoteParams",
+    "PreferenceVoter",
+    "VotingSimulation",
+    "limit_schedule",
+    "equilibrium_limit",
+    "BIP100Params",
+    "bip100_schedule",
+    "simulate_bip100",
+]

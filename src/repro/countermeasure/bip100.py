@@ -1,0 +1,116 @@
+"""BIP 100: dynamic maximum block size by miner vote (Garzik et al.).
+
+The paper's Section 6.3 cites BIP 100 as an existing design that keeps
+a prescribed BVC while letting miners adjust the limit: each block
+carries an explicit size vote in its coinbase; at every 2016-block
+boundary the new limit is a low percentile of the period's votes
+(protecting the slow minority), clamped to at most a small multiplier
+of change per period.  Like :mod:`repro.countermeasure.voting`, the
+limit at any height is a pure function of the shared chain prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.protocol.params import DIFFICULTY_PERIOD, MESSAGE_LIMIT_MB
+
+
+@dataclass(frozen=True)
+class BIP100Params:
+    """Rules of the BIP 100 adjustment.
+
+    Attributes
+    ----------
+    period:
+        Blocks per voting period.
+    percentile:
+        The vote percentile adopted as the new limit (BIP 100 uses the
+        20th percentile: 80% of blocks must vote at or above a size
+        for it to pass).
+    max_change:
+        Maximum multiplicative change per period (BIP 100: 1.05).
+    initial_limit, min_limit, max_limit:
+        Limit bounds.
+    """
+
+    period: int = DIFFICULTY_PERIOD
+    percentile: float = 20.0
+    max_change: float = 1.05
+    initial_limit: float = 1.0
+    min_limit: float = 0.1
+    max_limit: float = MESSAGE_LIMIT_MB
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ReproError("period must be positive")
+        if not 0 < self.percentile < 100:
+            raise ReproError("percentile must lie in (0, 100)")
+        if self.max_change <= 1.0:
+            raise ReproError("max_change must exceed 1")
+        if not (self.min_limit <= self.initial_limit <= self.max_limit):
+            raise ReproError("initial limit outside [min, max]")
+
+
+def bip100_schedule(size_votes: Sequence[float],
+                    params: Optional[BIP100Params] = None) -> List[float]:
+    """Return the limit in force at every height, given each block's
+    coinbase size vote.
+
+    ``result[h]`` depends only on votes ``0..h-1`` -- the prescribed-BVC
+    property, shared with :func:`repro.countermeasure.voting.limit_schedule`.
+    """
+    params = params or BIP100Params()
+    if any(v <= 0 for v in size_votes):
+        raise ReproError("size votes must be positive")
+    limits: List[float] = []
+    limit = params.initial_limit
+    for h in range(len(size_votes) + 1):
+        if h % params.period == 0 and h > 0:
+            votes = np.asarray(size_votes[h - params.period: h])
+            target = float(np.percentile(votes, params.percentile))
+            lo = limit / params.max_change
+            hi = limit * params.max_change
+            limit = float(np.clip(np.clip(target, lo, hi),
+                                  params.min_limit, params.max_limit))
+        limits.append(limit)
+    return limits
+
+
+def simulate_bip100(preferences: Sequence[float],
+                    powers: Sequence[float], n_periods: int,
+                    params: Optional[BIP100Params] = None,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> List[float]:
+    """Simulate miners voting their preferred sizes.
+
+    With ``rng=None`` the vote sequence interleaves deterministically in
+    proportion to power; otherwise block authors are sampled.
+    Returns the limit trajectory (one entry per height).
+    """
+    params = params or BIP100Params()
+    if len(preferences) != len(powers) or not preferences:
+        raise ReproError("preferences and powers must align and be "
+                         "non-empty")
+    weights = np.asarray(powers, dtype=float)
+    if weights.min() <= 0:
+        raise ReproError("powers must be positive")
+    weights = weights / weights.sum()
+    n_blocks = n_periods * params.period
+    if rng is None:
+        # Deterministic proportional interleaving (largest remainder).
+        counts = np.floor(weights * params.period).astype(int)
+        while counts.sum() < params.period:
+            counts[int(np.argmax(weights * params.period - counts))] += 1
+        period_votes: List[float] = []
+        for pref, count in zip(preferences, counts):
+            period_votes.extend([pref] * int(count))
+        votes = period_votes * n_periods
+    else:
+        authors = rng.choice(len(weights), size=n_blocks, p=weights)
+        votes = [preferences[int(a)] for a in authors]
+    return bip100_schedule(votes, params)

@@ -1,0 +1,280 @@
+"""Dynamic block size limit by miner block-voting (Section 6.3).
+
+The countermeasure keeps a *prescribed* BVC -- at any height every
+participant derives the same block size limit from the shared chain
+prefix -- while letting miners adjust the limit over time:
+
+- each block carries a vote: *up*, *down*, or *abstain*;
+- per 2016-block difficulty period, if the fraction of up-votes is at
+  least ``up_threshold`` **and** the fraction of down-votes is at most
+  ``veto_threshold``, the limit increases by ``step`` -- but only after
+  ``activation_delay`` further blocks of the next period, so a fork at
+  the period boundary cannot create disagreement about whether the
+  thresholds were met;
+- decreases mirror increases.
+
+Because the limit at height ``h`` is a pure function of the first
+``h`` votes, BVC holds by construction; :func:`limit_schedule` *is*
+that pure function, and the tests check every node evaluating it on
+the same chain agrees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.protocol.params import DIFFICULTY_PERIOD, MESSAGE_LIMIT_MB
+
+
+class Vote(enum.Enum):
+    """A block's block-size vote."""
+
+    UP = "up"
+    DOWN = "down"
+    ABSTAIN = "abstain"
+
+
+@dataclass(frozen=True)
+class VoteParams:
+    """Rules of the voting scheme.
+
+    Attributes
+    ----------
+    period:
+        Number of blocks per voting (difficulty) period.
+    activation_delay:
+        Blocks of the next period that must be mined before an approved
+        adjustment takes effect (the paper suggests two hundred).
+    step:
+        Size of one adjustment, in megabytes.
+    up_threshold:
+        Minimum fraction of blocks voting in favour.
+    veto_threshold:
+        Maximum fraction of blocks voting against.
+    initial_limit, min_limit, max_limit:
+        Limit bounds (the message cap bounds any block anyway).
+    """
+
+    period: int = DIFFICULTY_PERIOD
+    activation_delay: int = 200
+    step: float = 0.1
+    up_threshold: float = 0.75
+    veto_threshold: float = 0.25
+    initial_limit: float = 1.0
+    min_limit: float = 0.1
+    max_limit: float = MESSAGE_LIMIT_MB
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ReproError("period must be positive")
+        if not 0 <= self.activation_delay <= self.period:
+            raise ReproError("activation_delay must lie in [0, period]")
+        if self.step <= 0:
+            raise ReproError("step must be positive")
+        if not 0 < self.up_threshold <= 1:
+            raise ReproError("up_threshold must lie in (0, 1]")
+        if not 0 <= self.veto_threshold < 1:
+            raise ReproError("veto_threshold must lie in [0, 1)")
+        if not (self.min_limit <= self.initial_limit <= self.max_limit):
+            raise ReproError("initial limit outside [min, max]")
+
+
+def limit_schedule(votes: Sequence[Vote],
+                   params: VoteParams) -> List[float]:
+    """Return the block size limit in force at every height.
+
+    ``result[h]`` is the limit applied to the block at height ``h``
+    (0-based), derived purely from the votes of blocks ``0..h-1`` --
+    the prescribed-BVC property.
+    """
+    limits: List[float] = []
+    limit = params.initial_limit
+    pending: Optional[float] = None  # adjustment awaiting activation
+    ups = downs = 0
+    for h in range(len(votes) + 1):
+        in_period = h % params.period
+        if in_period == 0 and h > 0:
+            # Period just ended: tally and stage an adjustment.
+            up_frac = ups / params.period
+            down_frac = downs / params.period
+            delta = 0.0
+            if (up_frac >= params.up_threshold
+                    and down_frac <= params.veto_threshold):
+                delta = params.step
+            elif (down_frac >= params.up_threshold
+                    and up_frac <= params.veto_threshold):
+                delta = -params.step
+            pending = delta if delta else None
+            ups = downs = 0
+        if pending is not None and in_period >= params.activation_delay:
+            limit = float(np.clip(limit + pending, params.min_limit,
+                                  params.max_limit))
+            pending = None
+        limits.append(limit)
+        if h < len(votes):
+            if votes[h] is Vote.UP:
+                ups += 1
+            elif votes[h] is Vote.DOWN:
+                downs += 1
+    return limits
+
+
+@dataclass(frozen=True)
+class PreferenceVoter:
+    """A miner voting according to a preferred block size.
+
+    Votes *up* when its preference exceeds the current limit by more
+    than ``slack``, *down* when the limit exceeds the preference by
+    more than ``slack``, and abstains otherwise.
+    """
+
+    name: str
+    power: float
+    preferred_size: float
+    slack: float = 0.0
+
+    def vote(self, current_limit: float) -> Vote:
+        """The miner's vote given the limit in force."""
+        if self.preferred_size > current_limit + self.slack:
+            return Vote.UP
+        if self.preferred_size < current_limit - self.slack:
+            return Vote.DOWN
+        return Vote.ABSTAIN
+
+
+class VotingSimulation:
+    """Simulates the countermeasure with preference voters.
+
+    Block authors are drawn by mining power; each block's vote follows
+    the author's preference against the limit in force at its height.
+    """
+
+    def __init__(self, miners: Sequence[PreferenceVoter],
+                 params: Optional[VoteParams] = None) -> None:
+        if not miners:
+            raise ReproError("need at least one miner")
+        total = sum(m.power for m in miners)
+        if total <= 0:
+            raise ReproError("total mining power must be positive")
+        self.miners = list(miners)
+        self.weights = np.array([m.power / total for m in miners])
+        self.params = params or VoteParams()
+
+    def run(self, n_periods: int,
+            rng: Optional[np.random.Generator] = None) -> "VotingTrace":
+        """Simulate ``n_periods`` full periods and return the trace.
+
+        With ``rng=None`` the simulation is *expected-vote*
+        deterministic: each period's vote fractions equal the mining
+        power fractions of each stance (removing sampling noise, which
+        is what the equilibrium analysis predicts).
+        """
+        params = self.params
+        n_blocks = n_periods * params.period
+        votes: List[Vote] = []
+        limits: List[float] = []
+        limit = params.initial_limit
+        pending: Optional[float] = None
+        ups = downs = 0.0
+        for h in range(n_blocks):
+            in_period = h % params.period
+            if in_period == 0 and h > 0:
+                up_frac = ups / params.period
+                down_frac = downs / params.period
+                delta = 0.0
+                if (up_frac >= params.up_threshold
+                        and down_frac <= params.veto_threshold):
+                    delta = params.step
+                elif (down_frac >= params.up_threshold
+                        and up_frac <= params.veto_threshold):
+                    delta = -params.step
+                pending = delta if delta else None
+                ups = downs = 0.0
+            if pending is not None and in_period >= params.activation_delay:
+                limit = float(np.clip(limit + pending, params.min_limit,
+                                      params.max_limit))
+                pending = None
+            limits.append(limit)
+            if rng is None:
+                stance_up = sum(w for m, w in zip(self.miners, self.weights)
+                                if m.vote(limit) is Vote.UP)
+                stance_down = sum(w for m, w in
+                                  zip(self.miners, self.weights)
+                                  if m.vote(limit) is Vote.DOWN)
+                ups += stance_up
+                downs += stance_down
+                votes.append(Vote.ABSTAIN)  # aggregate mode
+            else:
+                author = self.miners[int(rng.choice(len(self.miners),
+                                                    p=self.weights))]
+                vote = author.vote(limit)
+                votes.append(vote)
+                if vote is Vote.UP:
+                    ups += 1
+                elif vote is Vote.DOWN:
+                    downs += 1
+        return VotingTrace(limits=limits, votes=votes, params=params)
+
+
+@dataclass
+class VotingTrace:
+    """Result of a voting simulation.
+
+    Attributes
+    ----------
+    limits:
+        Limit in force at every height.
+    votes:
+        Per-block votes (aggregate mode records abstain placeholders).
+    params:
+        The rules used.
+    """
+
+    limits: List[float]
+    votes: List[Vote]
+    params: VoteParams
+
+    @property
+    def final_limit(self) -> float:
+        """Limit in force after the last simulated block."""
+        return self.limits[-1]
+
+    def bvc_holds(self) -> bool:
+        """Whether two independent evaluations of the limit schedule
+        agree at every height (trivially true by construction; kept as
+        an executable statement of the invariant)."""
+        replay = limit_schedule(self.votes, self.params)[:len(self.limits)]
+        if len(self.votes) == len(self.limits) and all(
+                v is Vote.ABSTAIN for v in self.votes):
+            return True  # aggregate mode: per-block votes not recorded
+        return replay == self.limits
+
+
+def equilibrium_limit(miners: Sequence[PreferenceVoter],
+                      params: Optional[VoteParams] = None) -> float:
+    """The limit at which expected-vote dynamics stop moving: the first
+    reachable value (stepping from the initial limit) where neither the
+    up- nor the down-coalition clears its threshold."""
+    params = params or VoteParams()
+    total = sum(m.power for m in miners)
+    limit = params.initial_limit
+    for _ in range(100_000):
+        up = sum(m.power for m in miners
+                 if m.vote(limit) is Vote.UP) / total
+        down = sum(m.power for m in miners
+                   if m.vote(limit) is Vote.DOWN) / total
+        if up >= params.up_threshold and down <= params.veto_threshold:
+            new = min(limit + params.step, params.max_limit)
+        elif down >= params.up_threshold and up <= params.veto_threshold:
+            new = max(limit - params.step, params.min_limit)
+        else:
+            return limit
+        if new == limit:
+            return limit
+        limit = new
+    raise ReproError("equilibrium search did not terminate")

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses exist
+for the major subsystems (chain substrate, MDP toolkit, games) to keep
+error handling targeted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ChainError(ReproError):
+    """Base class for blockchain substrate errors."""
+
+
+class UnknownBlockError(ChainError):
+    """A referenced block id is not present in the block tree."""
+
+
+class DuplicateBlockError(ChainError):
+    """A block with the same id was already inserted into the tree."""
+
+
+class OrphanParentError(ChainError):
+    """A block references a parent that is not in the tree."""
+
+
+class InvalidBlockError(ChainError):
+    """A block violates a structural rule (e.g. non-positive size)."""
+
+
+class MDPError(ReproError):
+    """Base class for MDP construction and solving errors."""
+
+
+class InvalidTransitionError(MDPError):
+    """A transition's probabilities are malformed (negative, or do not
+    sum to one per state/action pair)."""
+
+
+class NoActionError(MDPError):
+    """A state was built with no available action."""
+
+
+class SolverError(MDPError):
+    """An MDP solver failed to converge or hit a numerical problem."""
+
+
+class GameError(ReproError):
+    """Base class for game-theoretic module errors."""
+
+
+class InvalidPowerVectorError(GameError):
+    """Mining power shares are malformed (negative, or do not sum to 1)."""
+
+
+class SimulationError(ReproError):
+    """The Monte-Carlo simulator hit an inconsistent state."""

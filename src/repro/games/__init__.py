@@ -1,0 +1,46 @@
+"""Game-theoretic analysis of emergent consensus (Section 5).
+
+- :mod:`repro.games.eb_choosing` -- the EB choosing game (Section 5.1):
+  when every miner is profitable with any EB, choosing a common EB is a
+  Nash equilibrium (Analytical Result 4);
+- :mod:`repro.games.block_size` -- the block size increasing game
+  (Section 5.2): with per-miner maximum profitable block sizes, large
+  miners form coalitions to force small miners out unless the groups
+  form a *stable set* (Analytical Result 5, Figure 4);
+- :mod:`repro.games.stability` -- the stable-set recursion shared by
+  the analytic and play-out views of the block size game.
+"""
+
+from repro.games.eb_choosing import EBChoosingGame, EBProfile
+from repro.games.multi_eb_choosing import MultiEBChoosingGame
+from repro.games.block_size import (
+    BlockSizeIncreasingGame,
+    GameRound,
+    MinerGroup,
+    PlayedGame,
+)
+from repro.games.stability import is_stable_suffix, terminal_suffix_start
+from repro.games.fee_market import (
+    FeeMarketMiner,
+    FeeMarketParams,
+    max_profitable_block_size,
+    miner_groups_from_market,
+    optimal_block_size,
+)
+
+__all__ = [
+    "EBChoosingGame",
+    "EBProfile",
+    "MultiEBChoosingGame",
+    "MinerGroup",
+    "BlockSizeIncreasingGame",
+    "GameRound",
+    "PlayedGame",
+    "is_stable_suffix",
+    "terminal_suffix_start",
+    "FeeMarketMiner",
+    "FeeMarketParams",
+    "optimal_block_size",
+    "max_profitable_block_size",
+    "miner_groups_from_market",
+]

@@ -1,0 +1,181 @@
+"""The block size increasing game (Section 5.2).
+
+Miner groups are ordered by increasing *maximum profitable block size*
+(MPB).  All miners start mining at the smallest MPB; in each round the
+remaining groups vote on raising the generation size MG to the next
+MPB.  If at least half of the remaining power votes yes, the size rises
+and the lowest group -- now unprofitable -- leaves the business.  The
+game ends when more than half of the remaining power votes no, i.e.
+exactly when the remaining groups form a *stable set*
+(:mod:`repro.games.stability`).
+
+Voting is strategic: a group votes yes iff it survives in the terminal
+set of the continuation game (backward induction).  Figure 4's example
+(10/20/30/40% groups) is reproduced in the tests and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.errors import GameError, InvalidPowerVectorError
+from repro.games.stability import is_stable_suffix, terminal_suffix_start
+
+_POWER_TOL = Fraction(1, 10**9)
+
+
+@dataclass(frozen=True)
+class MinerGroup:
+    """A group of miners sharing an MPB.
+
+    Attributes
+    ----------
+    mpb:
+        Maximum profitable block size (megabytes).
+    power:
+        The group's mining power share.
+    name:
+        Optional label used in reports.
+    """
+
+    mpb: float
+    power: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mpb <= 0:
+            raise GameError("MPB must be positive")
+        if self.power <= 0:
+            raise GameError("group power must be positive")
+
+
+@dataclass(frozen=True)
+class GameRound:
+    """One voting round.
+
+    Attributes
+    ----------
+    proposed_mpb:
+        The MPB voted on (the next group's maximum).
+    yes_votes, no_votes:
+        Group indices voting each way.
+    yes_power:
+        Total power voting yes.
+    passed:
+        Whether the size increase passed (yes power >= half).
+    evicted:
+        Index of the group forced out (or ``None``).
+    """
+
+    proposed_mpb: float
+    yes_votes: Tuple[int, ...]
+    no_votes: Tuple[int, ...]
+    yes_power: Fraction
+    passed: bool
+    evicted: object
+
+
+@dataclass
+class PlayedGame:
+    """Full play-out of the block size increasing game.
+
+    Attributes
+    ----------
+    rounds:
+        The voting rounds in order.
+    survivors:
+        Indices of the groups remaining at termination.
+    final_mg:
+        The generation size when the game ends.
+    utilities:
+        Per-group utility: power-proportional share among survivors,
+        zero for evicted groups.
+    """
+
+    rounds: List[GameRound]
+    survivors: Tuple[int, ...]
+    final_mg: float
+    utilities: List[Fraction]
+
+
+class BlockSizeIncreasingGame:
+    """The Section 5.2 game over an ordered list of miner groups."""
+
+    def __init__(self, groups: Sequence[MinerGroup]) -> None:
+        if len(groups) < 1:
+            raise GameError("need at least one miner group")
+        mpbs = [g.mpb for g in groups]
+        if sorted(mpbs) != mpbs or len(set(mpbs)) != len(mpbs):
+            raise GameError("groups must have strictly increasing MPBs")
+        self.groups = list(groups)
+        self.powers: List[Fraction] = [
+            Fraction(g.power).limit_denominator(10**9) for g in groups]
+        if abs(sum(self.powers) - 1) > _POWER_TOL:
+            raise InvalidPowerVectorError("group powers must sum to 1")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of miner groups."""
+        return len(self.groups)
+
+    # -- analytics -----------------------------------------------------
+
+    def is_stable(self, j: int = 0) -> bool:
+        """Whether the suffix of groups starting at ``j`` is stable."""
+        return is_stable_suffix(self.powers, j)
+
+    def terminal_set(self, j: int = 0) -> Tuple[int, ...]:
+        """Indices of the groups remaining when the game (started at
+        suffix ``j``) terminates."""
+        start = terminal_suffix_start(self.powers, j)
+        return tuple(range(start, self.n_groups))
+
+    def predicted_final_mg(self) -> float:
+        """The generation size the analysis predicts at termination:
+        the smallest surviving group's MPB."""
+        return self.groups[self.terminal_set()[0]].mpb
+
+    # -- play-out ------------------------------------------------------
+
+    def _votes(self, j: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Strategic votes in the round where suffix ``j`` considers
+        raising MG to ``groups[j + 1].mpb``: group ``j`` votes no, every
+        other group votes yes iff it survives the continuation game."""
+        survivors_if_raised = set(self.terminal_set(j + 1))
+        yes = tuple(g for g in range(j + 1, self.n_groups)
+                    if g in survivors_if_raised)
+        no = tuple(g for g in range(j, self.n_groups)
+                   if g not in survivors_if_raised)
+        return yes, no
+
+    def play(self) -> PlayedGame:
+        """Play the game round by round with strategic voters and
+        return the full transcript.
+
+        The outcome provably coincides with :meth:`terminal_set`
+        (property-tested), but the transcript shows the votes, as in
+        the paper's Figure 4.
+        """
+        rounds: List[GameRound] = []
+        j = 0
+        while j < self.n_groups - 1:
+            yes, no = self._votes(j)
+            yes_power = sum(self.powers[g] for g in yes)
+            remaining_power = sum(self.powers[j:])
+            passed = 2 * yes_power >= remaining_power
+            rounds.append(GameRound(
+                proposed_mpb=self.groups[j + 1].mpb,
+                yes_votes=yes, no_votes=no, yes_power=yes_power,
+                passed=passed, evicted=j if passed else None))
+            if not passed:
+                break
+            j += 1
+        survivors = tuple(range(j, self.n_groups))
+        total = sum(self.powers[g] for g in survivors)
+        utilities = [self.powers[g] / total if g in survivors
+                     else Fraction(0) for g in range(self.n_groups)]
+        return PlayedGame(rounds=rounds, survivors=survivors,
+                          final_mg=self.groups[j].mpb,
+                          utilities=utilities)

@@ -1,0 +1,157 @@
+"""The EB choosing game (Section 5.1).
+
+``n`` miners with positive power shares each pick one of two EB values
+and mine blocks of exactly that size.  The side chosen by more mining
+power wins the block races; its members split the rewards in proportion
+to power, the other side earns nothing, and an exact power tie leaves
+everyone with nothing (the paper's "unpredictable, bad for all"
+simplification).
+
+Analytical Result 4: every profile in which all miners choose the same
+EB is a Nash equilibrium -- a deviator becomes a strict minority (each
+miner holds < 50%) and earns zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GameError, InvalidPowerVectorError
+
+_POWER_TOL = Fraction(1, 10**9)
+
+
+@dataclass(frozen=True)
+class EBProfile:
+    """A strategy profile: one EB choice (by index) per miner."""
+
+    choices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(c not in (0, 1) for c in self.choices):
+            raise GameError("choices must index one of the two EB values")
+
+
+class EBChoosingGame:
+    """The two-value EB choosing game.
+
+    Parameters
+    ----------
+    powers:
+        Positive mining power shares summing to one; every miner must
+        hold strictly less than 50% (the paper's threat model).
+    eb_values:
+        The two EB values on offer (labels only; utilities depend just
+        on which side holds more power).
+    """
+
+    def __init__(self, powers: Sequence[float],
+                 eb_values: Tuple[float, float] = (1.0, 2.0)) -> None:
+        self.powers: List[Fraction] = [
+            p if isinstance(p, Fraction)
+            else Fraction(p).limit_denominator(10**9) for p in powers]
+        if len(self.powers) < 2:
+            raise InvalidPowerVectorError("need at least two miners")
+        if any(p <= 0 for p in self.powers):
+            raise InvalidPowerVectorError("powers must be positive")
+        if abs(sum(self.powers) - 1) > _POWER_TOL:
+            raise InvalidPowerVectorError("powers must sum to 1")
+        if any(p >= Fraction(1, 2) for p in self.powers):
+            raise InvalidPowerVectorError(
+                "every miner must hold strictly less than 50%")
+        if eb_values[0] == eb_values[1]:
+            raise GameError("the two EB values must differ")
+        self.eb_values = eb_values
+
+    @property
+    def n_miners(self) -> int:
+        """Number of miners."""
+        return len(self.powers)
+
+    def side_powers(self, profile: EBProfile) -> Tuple[Fraction, Fraction]:
+        """Total power choosing each EB value."""
+        self._check(profile)
+        m0 = sum(p for p, c in zip(self.powers, profile.choices) if c == 0)
+        m1 = sum(self.powers) - m0
+        return m0, m1
+
+    def winning_side(self, profile: EBProfile) -> Optional[int]:
+        """Index of the EB value chosen by strictly more power, or
+        ``None`` on an exact tie."""
+        m0, m1 = self.side_powers(profile)
+        if m0 == m1:
+            return None
+        return 0 if m0 > m1 else 1
+
+    def utilities(self, profile: EBProfile) -> List[Fraction]:
+        """Per-miner utility: power-proportional share of the rewards on
+        the winning side, zero elsewhere (Section 5.1.1)."""
+        winner = self.winning_side(profile)
+        if winner is None:
+            return [Fraction(0)] * self.n_miners
+        total = sum(p for p, c in zip(self.powers, profile.choices)
+                    if c == winner)
+        return [p / total if c == winner else Fraction(0)
+                for p, c in zip(self.powers, profile.choices)]
+
+    def best_response(self, profile: EBProfile, miner: int) -> int:
+        """The miner's utility-maximizing choice against the others'
+        fixed choices (ties keep the current choice)."""
+        self._check(profile)
+        current = profile.choices[miner]
+        alternative = 1 - current
+        u_now = self.utilities(profile)[miner]
+        flipped = EBProfile(tuple(
+            alternative if i == miner else c
+            for i, c in enumerate(profile.choices)))
+        u_alt = self.utilities(flipped)[miner]
+        return alternative if u_alt > u_now else current
+
+    def is_nash_equilibrium(self, profile: EBProfile) -> bool:
+        """Whether no miner can strictly gain by switching EB."""
+        return all(self.best_response(profile, i) == profile.choices[i]
+                   for i in range(self.n_miners))
+
+    def consensus_profiles(self) -> Iterator[EBProfile]:
+        """The two all-same profiles (Analytical Result 4 equilibria)."""
+        yield EBProfile((0,) * self.n_miners)
+        yield EBProfile((1,) * self.n_miners)
+
+    def all_profiles(self) -> Iterator[EBProfile]:
+        """Enumerate every strategy profile (2^n; small games only)."""
+        if self.n_miners > 20:
+            raise GameError("profile enumeration limited to 20 miners")
+        for mask in range(2 ** self.n_miners):
+            yield EBProfile(tuple((mask >> i) & 1
+                                  for i in range(self.n_miners)))
+
+    def nash_equilibria(self) -> List[EBProfile]:
+        """All pure Nash equilibria (exhaustive; small games only)."""
+        return [p for p in self.all_profiles() if self.is_nash_equilibrium(p)]
+
+    def best_response_dynamics(self, start: EBProfile,
+                               max_rounds: int = 100) -> List[EBProfile]:
+        """Iterate sequential best responses until a fixed point;
+        returns the trajectory (ending in an equilibrium if reached)."""
+        trajectory = [start]
+        profile = start
+        for _ in range(max_rounds):
+            changed = False
+            choices = list(profile.choices)
+            for miner in range(self.n_miners):
+                response = self.best_response(EBProfile(tuple(choices)),
+                                              miner)
+                if response != choices[miner]:
+                    choices[miner] = response
+                    changed = True
+            profile = EBProfile(tuple(choices))
+            trajectory.append(profile)
+            if not changed:
+                return trajectory
+        return trajectory
+
+    def _check(self, profile: EBProfile) -> None:
+        if len(profile.choices) != self.n_miners:
+            raise GameError("profile size does not match miner count")

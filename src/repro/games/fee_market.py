@@ -1,0 +1,222 @@
+"""Rizun's fee market: optimal block sizes without a limit (Section 2.3).
+
+The paper builds Section 5.2's Assumption 2 ("every miner has a maximum
+profitable block size") on Rizun's observation that, absent any limit,
+a rational miner's block size trades higher transaction fees against a
+higher orphan risk.  This module makes that trade-off concrete:
+
+- a block of size ``q`` takes ``tau(q) = tau0 + q / bandwidth`` seconds
+  to propagate, during which a rival block appears with probability
+  ``1 - exp(-tau/T)`` (T = 600 s), orphaning the block if any of the
+  other ``1 - h`` mining power found it;
+- ordering mempool transactions by fee rate gives diminishing fee
+  returns ``fees(q) = fee_density * q0 * (1 - exp(-q / q0))``;
+- the miner maximizes expected value per solved block,
+  ``V(q) = (R + fees(q)) * (1 - p_orphan(q))``.
+
+Different bandwidths yield different optimal sizes and different
+*maximum profitable block sizes* (the network block size beyond which a
+miner's expected income no longer covers its operating cost) --
+exactly the heterogeneity the block size increasing game consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import GameError
+from repro.games.block_size import MinerGroup
+from repro.protocol.params import MESSAGE_LIMIT_MB
+
+
+@dataclass(frozen=True)
+class FeeMarketMiner:
+    """A miner in the fee-market model.
+
+    Attributes
+    ----------
+    name:
+        Label.
+    power:
+        Hash power share ``h``.
+    bandwidth:
+        Effective propagation bandwidth in MB/s (covers both upload
+        and peers' validation).
+    operating_cost:
+        Cost per block interval, in block-reward units.
+    """
+
+    name: str
+    power: float
+    bandwidth: float
+    operating_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.power < 1:
+            raise GameError("power must lie in (0, 1)")
+        if self.bandwidth <= 0:
+            raise GameError("bandwidth must be positive")
+        if self.operating_cost < 0:
+            raise GameError("operating cost cannot be negative")
+
+
+@dataclass(frozen=True)
+class FeeMarketParams:
+    """Market-wide constants.
+
+    Attributes
+    ----------
+    block_reward:
+        Fixed reward R per block (units: block rewards, so 1.0).
+    fee_density:
+        Fee rate of the best mempool transactions (reward units / MB).
+    fee_decay:
+        Mempool depth scale ``q0``: fees decay as ``exp(-q / q0)``.
+    base_delay:
+        Size-independent propagation delay ``tau0`` (seconds).
+    block_interval:
+        Mean block interval T (seconds).
+    """
+
+    block_reward: float = 1.0
+    fee_density: float = 0.1
+    fee_decay: float = 4.0
+    base_delay: float = 2.0
+    block_interval: float = 600.0
+
+    def __post_init__(self) -> None:
+        if min(self.block_reward, self.fee_density, self.fee_decay,
+               self.block_interval) <= 0:
+            raise GameError("market parameters must be positive")
+        if self.base_delay < 0:
+            raise GameError("base delay cannot be negative")
+
+
+def fees(q: float, params: FeeMarketParams) -> float:
+    """Total fees collected by a block of size ``q`` MB."""
+    if q < 0:
+        raise GameError("block size cannot be negative")
+    return params.fee_density * params.fee_decay * (
+        1.0 - math.exp(-q / params.fee_decay))
+
+
+def orphan_probability(q: float, miner: FeeMarketMiner,
+                       params: FeeMarketParams) -> float:
+    """Probability a block of size ``q`` mined by ``miner`` is orphaned:
+    a rival appears during propagation and belongs to the other
+    ``1 - h`` of the power."""
+    tau = params.base_delay + q / miner.bandwidth
+    race = 1.0 - math.exp(-tau / params.block_interval)
+    return (1.0 - miner.power) * race
+
+
+def expected_block_value(q: float, miner: FeeMarketMiner,
+                         params: FeeMarketParams) -> float:
+    """Expected reward of a solved block of size ``q`` (Rizun's V)."""
+    return (params.block_reward + fees(q, params)) * (
+        1.0 - orphan_probability(q, miner, params))
+
+
+def optimal_block_size(miner: FeeMarketMiner, params: FeeMarketParams,
+                       upper: float = MESSAGE_LIMIT_MB,
+                       tol: float = 1e-6, grid: int = 2048) -> float:
+    """The size maximizing :func:`expected_block_value` on [0, upper].
+
+    V(q) is smooth but not unimodal (for slow miners the boundary
+    q = 0 dominates while fees still climb near the cap), so the search
+    scans a dense grid and then refines the best bracket by
+    golden-section."""
+    step = float(upper) / grid
+    values = [expected_block_value(i * step, miner, params)
+              for i in range(grid + 1)]
+    best = max(range(grid + 1), key=values.__getitem__)
+    lo = max(0.0, (best - 1) * step)
+    hi = min(float(upper), (best + 1) * step)
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    c = hi - phi * (hi - lo)
+    d = lo + phi * (hi - lo)
+    fc = expected_block_value(c, miner, params)
+    fd = expected_block_value(d, miner, params)
+    while hi - lo > tol:
+        if fc >= fd:
+            hi, d, fd = d, c, fc
+            c = hi - phi * (hi - lo)
+            fc = expected_block_value(c, miner, params)
+        else:
+            lo, c, fc = c, d, fd
+            d = lo + phi * (hi - lo)
+            fd = expected_block_value(d, miner, params)
+    return 0.5 * (lo + hi)
+
+
+def profit_rate(network_size: float, miner: FeeMarketMiner,
+                params: FeeMarketParams) -> float:
+    """Expected income per block interval when the whole network mines
+    blocks of ``network_size`` MB, minus operating cost.
+
+    The miner wins ``h`` of the blocks and keeps each with the same
+    size-dependent survival probability (its own bandwidth sets how
+    fast its blocks spread)."""
+    if network_size < 0:
+        raise GameError("network size cannot be negative")
+    value = expected_block_value(network_size, miner, params)
+    return miner.power * value - miner.operating_cost
+
+
+def max_profitable_block_size(miner: FeeMarketMiner,
+                              params: FeeMarketParams,
+                              upper: float = MESSAGE_LIMIT_MB,
+                              tol: float = 1e-6) -> float:
+    """The miner's MPB: the largest network block size at which its
+    profit rate stays non-negative (Assumption 2).
+
+    Returns 0 when the miner is unprofitable even with empty blocks and
+    ``upper`` when it stays profitable at the message cap.
+    """
+    if profit_rate(0.0, miner, params) < 0:
+        return 0.0
+    if profit_rate(upper, miner, params) >= 0:
+        return float(upper)
+    # Profit is not monotone in the network size (fees climb while the
+    # orphan factor saturates), so locate the largest non-negative grid
+    # point before refining the boundary.
+    grid = 2048
+    step = float(upper) / grid
+    last_ok = 0
+    for i in range(grid + 1):
+        if profit_rate(i * step, miner, params) >= 0:
+            last_ok = i
+    lo = last_ok * step
+    hi = min(float(upper), (last_ok + 1) * step)
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if profit_rate(mid, miner, params) >= 0:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def miner_groups_from_market(miners: Sequence[FeeMarketMiner],
+                             params: FeeMarketParams
+                             ) -> List[MinerGroup]:
+    """Derive block-size-increasing-game groups from fee-market miners:
+    each miner's group carries its MPB and power.  Miners sharing an
+    MPB (to 1e-6) merge; groups come out MPB-sorted, ready for
+    :class:`repro.games.block_size.BlockSizeIncreasingGame`."""
+    if not miners:
+        raise GameError("need at least one miner")
+    merged = {}
+    for miner in miners:
+        mpb = round(max_profitable_block_size(miner, params), 6)
+        if mpb <= 0:
+            continue  # already out of business
+        merged[mpb] = merged.get(mpb, 0.0) + miner.power
+    if not merged:
+        raise GameError("no miner is profitable at any block size")
+    total = sum(merged.values())
+    return [MinerGroup(mpb=mpb, power=power / total,
+                       name=f"mpb={mpb:g}")
+            for mpb, power in sorted(merged.items())]

@@ -1,0 +1,109 @@
+"""The EB choosing game with more than two values.
+
+Section 5.1 analyzes two EB values and remarks that "when more EB
+values are in the market, the same equilibrium holds".  This module
+generalizes the game to ``k`` values: the EB backed by a strict
+plurality of mining power wins the block races; its backers split the
+rewards by power; everyone else (and everyone, on a plurality tie)
+earns nothing.  The consensus-is-Nash result carries over and is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GameError, InvalidPowerVectorError
+
+_POWER_TOL = Fraction(1, 10**9)
+
+
+class MultiEBChoosingGame:
+    """The k-value EB choosing game."""
+
+    def __init__(self, powers: Sequence[float],
+                 eb_values: Sequence[float]) -> None:
+        self.powers: List[Fraction] = [
+            p if isinstance(p, Fraction)
+            else Fraction(p).limit_denominator(10**9) for p in powers]
+        if len(self.powers) < 2:
+            raise InvalidPowerVectorError("need at least two miners")
+        if any(p <= 0 for p in self.powers):
+            raise InvalidPowerVectorError("powers must be positive")
+        if abs(sum(self.powers) - 1) > _POWER_TOL:
+            raise InvalidPowerVectorError("powers must sum to 1")
+        if any(p >= Fraction(1, 2) for p in self.powers):
+            raise InvalidPowerVectorError(
+                "every miner must hold strictly less than 50%")
+        if len(set(eb_values)) != len(eb_values) or len(eb_values) < 2:
+            raise GameError("need at least two distinct EB values")
+        self.eb_values = list(eb_values)
+
+    @property
+    def n_miners(self) -> int:
+        """Number of miners."""
+        return len(self.powers)
+
+    @property
+    def n_values(self) -> int:
+        """Number of EB values on offer."""
+        return len(self.eb_values)
+
+    def _check(self, profile: Tuple[int, ...]) -> None:
+        if len(profile) != self.n_miners:
+            raise GameError("profile size does not match miner count")
+        if any(not 0 <= c < self.n_values for c in profile):
+            raise GameError("choice index out of range")
+
+    def side_power(self, profile: Tuple[int, ...], value: int) -> Fraction:
+        """Total power choosing EB index ``value``."""
+        self._check(profile)
+        return sum((p for p, c in zip(self.powers, profile) if c == value),
+                   Fraction(0))
+
+    def winning_value(self, profile: Tuple[int, ...]) -> Optional[int]:
+        """The EB index with a strict power plurality, or ``None``."""
+        self._check(profile)
+        totals = [self.side_power(profile, v)
+                  for v in range(self.n_values)]
+        best = max(totals)
+        winners = [v for v, t in enumerate(totals) if t == best]
+        return winners[0] if len(winners) == 1 else None
+
+    def utilities(self, profile: Tuple[int, ...]) -> List[Fraction]:
+        """Power-proportional shares on the plurality side, zero
+        elsewhere (and everywhere on a plurality tie)."""
+        winner = self.winning_value(profile)
+        if winner is None:
+            return [Fraction(0)] * self.n_miners
+        total = self.side_power(profile, winner)
+        return [p / total if c == winner else Fraction(0)
+                for p, c in zip(self.powers, profile)]
+
+    def is_nash_equilibrium(self, profile: Tuple[int, ...]) -> bool:
+        """Whether no miner can strictly gain by switching its EB."""
+        base = self.utilities(profile)
+        for i in range(self.n_miners):
+            for alt in range(self.n_values):
+                if alt == profile[i]:
+                    continue
+                flipped = tuple(alt if j == i else c
+                                for j, c in enumerate(profile))
+                if self.utilities(flipped)[i] > base[i]:
+                    return False
+        return True
+
+    def consensus_profiles(self) -> Iterator[Tuple[int, ...]]:
+        """The k all-same profiles."""
+        for v in range(self.n_values):
+            yield (v,) * self.n_miners
+
+    def nash_equilibria(self) -> List[Tuple[int, ...]]:
+        """All pure equilibria by enumeration (small games only)."""
+        if self.n_values ** self.n_miners > 100_000:
+            raise GameError("enumeration too large")
+        return [p for p in product(range(self.n_values),
+                                   repeat=self.n_miners)
+                if self.is_nash_equilibrium(p)]

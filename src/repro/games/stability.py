@@ -1,0 +1,84 @@
+"""Stable sets of miner groups (Section 5.2.3).
+
+Miner groups are ordered by increasing maximum profitable block size
+(MPB); the game state is always a *suffix* ``{j, ..., n-1}`` of that
+order (smaller-MPB groups get evicted first).  The paper's definition,
+restated over suffix start indices:
+
+A suffix starting at ``j`` is **stable** iff
+
+1. it contains a single group (``j == n - 1``), or
+2. letting ``k`` be the start of its largest *proper* stable suffix,
+   the "front" groups ``j..k-1`` jointly out-power the stable tail
+   (``sum(m[j:k]) > sum(m[k:])``) while the front *without group j*
+   does not (``sum(m[j+1:k]) <= sum(m[k:])``).
+
+The rationale: the tail ``k..`` can only evict the front if it holds a
+power majority; condition (2) says the front can hold the line as long
+as group ``j`` is present, and that every front group knows it would be
+next in line if ``j`` were evicted -- so all of them vote against
+larger blocks.
+
+All arithmetic uses :class:`fractions.Fraction` to make ties exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+from repro.errors import GameError
+
+
+def _as_fractions(powers: Sequence) -> Tuple[Fraction, ...]:
+    out = tuple(Fraction(p).limit_denominator(10**9) if not
+                isinstance(p, Fraction) else p for p in powers)
+    if any(p <= 0 for p in out):
+        raise GameError("all group powers must be positive")
+    return out
+
+
+def is_stable_suffix(powers: Sequence, j: int) -> bool:
+    """Whether the suffix of ``powers`` starting at index ``j`` is a
+    stable set."""
+    m = _as_fractions(powers)
+    n = len(m)
+    if not 0 <= j < n:
+        raise GameError(f"suffix start {j} out of range")
+    return _stable(m, j)
+
+
+@lru_cache(maxsize=4096)
+def _stable_cached(m: Tuple[Fraction, ...], j: int) -> bool:
+    n = len(m)
+    if j == n - 1:
+        return True
+    # Largest proper stable suffix = smallest k > j that is stable.
+    k = j + 1
+    while not _stable_cached(m, k):
+        k += 1
+    front = sum(m[j:k])
+    tail = sum(m[k:])
+    front_without_j = front - m[j]
+    return front > tail and front_without_j <= tail
+
+
+def _stable(m: Tuple[Fraction, ...], j: int) -> bool:
+    return _stable_cached(m, j)
+
+
+def terminal_suffix_start(powers: Sequence, j: int = 0) -> int:
+    """Return the start index of the suffix at which the block size
+    increasing game terminates, starting from suffix ``j``.
+
+    The game evicts the lowest-MPB remaining group until the remaining
+    groups form a stable set (the paper's termination theorem).
+    """
+    m = _as_fractions(powers)
+    n = len(m)
+    if not 0 <= j < n:
+        raise GameError(f"suffix start {j} out of range")
+    while not _stable(m, j):
+        j += 1
+    return j

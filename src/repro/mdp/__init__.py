@@ -1,0 +1,60 @@
+"""A Markov-decision-process toolkit for mining-protocol analysis.
+
+The toolkit mirrors what the paper relies on: undiscounted
+average-reward MDPs (each step mines exactly one block) and the
+Sapirshtein-style transformation that turns ratio objectives such as
+relative revenue into a family of average-reward problems.
+
+- :mod:`repro.mdp.model` -- immutable sparse MDP container with named
+  actions and multi-channel rewards;
+- :mod:`repro.mdp.builder` -- incremental construction with validation;
+- :mod:`repro.mdp.value_iteration` -- discounted value iteration;
+- :mod:`repro.mdp.average_reward` -- relative value iteration;
+- :mod:`repro.mdp.policy_iteration` -- Howard policy iteration with
+  exact sparse gain/bias evaluation (the default solver);
+- :mod:`repro.mdp.stationary` -- stationary distributions and exact
+  per-channel gain evaluation of a fixed policy;
+- :mod:`repro.mdp.ratio` -- maximization of gain ratios via Dinkelbach
+  iteration with a bisection fallback;
+- :mod:`repro.mdp.simulate` -- Monte-Carlo rollouts of a policy for
+  cross-validation.
+"""
+
+from repro.mdp.model import MDP
+from repro.mdp.builder import MDPBuilder
+from repro.mdp.policy import Policy
+from repro.mdp.value_iteration import DiscountedSolution, value_iteration
+from repro.mdp.average_reward import relative_value_iteration
+from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
+from repro.mdp.absorbing import AbsorptionResult, absorbing_analysis
+from repro.mdp.finite_horizon import (
+    FiniteHorizonSolution,
+    backward_induction,
+)
+from repro.mdp.linear_programming import lp_average_reward, lp_gain
+from repro.mdp.stationary import policy_gains, stationary_distribution
+from repro.mdp.ratio import RatioSolution, maximize_ratio
+from repro.mdp.simulate import RolloutResult, rollout
+
+__all__ = [
+    "MDP",
+    "MDPBuilder",
+    "Policy",
+    "value_iteration",
+    "DiscountedSolution",
+    "relative_value_iteration",
+    "policy_iteration",
+    "AverageRewardSolution",
+    "stationary_distribution",
+    "policy_gains",
+    "lp_average_reward",
+    "lp_gain",
+    "absorbing_analysis",
+    "AbsorptionResult",
+    "backward_induction",
+    "FiniteHorizonSolution",
+    "maximize_ratio",
+    "RatioSolution",
+    "rollout",
+    "RolloutResult",
+]

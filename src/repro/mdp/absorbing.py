@@ -1,0 +1,96 @@
+"""Absorbing-chain analysis of a fixed policy.
+
+Given a policy and a set of *absorbing* states, this module computes --
+exactly, via the fundamental matrix ``N = (I - Q)^-1`` of the transient
+block -- the absorption probabilities, the expected number of steps to
+absorption, and the expected reward accumulated per channel on the way.
+
+The attack analysis uses it to answer per-race questions the long-run
+gains cannot: "when Alice opens a fork, how likely is Chain 2 to win,
+and how many blocks does the race burn?" (Section 4's narrative,
+:mod:`repro.core.race_analysis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sla
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+
+
+@dataclass
+class AbsorptionResult:
+    """Absorbing-chain statistics from one start state.
+
+    Attributes
+    ----------
+    absorption_probability:
+        Absorbing state key -> probability of being absorbed there.
+    expected_steps:
+        Expected transitions until absorption.
+    expected_rewards:
+        Channel name -> expected accumulated reward until absorption
+        (including the reward of the absorbing transition).
+    """
+
+    absorption_probability: Dict[Hashable, float]
+    expected_steps: float
+    expected_rewards: Dict[str, float]
+
+
+def absorbing_analysis(mdp: MDP, policy: np.ndarray,
+                       absorbing: Sequence[Hashable],
+                       start: Hashable) -> AbsorptionResult:
+    """Analyze ``policy`` with the given states made absorbing.
+
+    ``start`` must be a transient (non-absorbing) state; rewards earned
+    on transitions *into* absorbing states are counted.
+    """
+    policy = np.asarray(policy, dtype=int)
+    absorbing_idx = {mdp.state_index(k) for k in absorbing}
+    start_idx = mdp.state_index(start)
+    if start_idx in absorbing_idx:
+        raise SolverError("start state must be transient")
+
+    transient = np.array([i for i in range(mdp.n_states)
+                          if i not in absorbing_idx], dtype=int)
+    pos = {int(s): j for j, s in enumerate(transient)}
+    p_pi = mdp.policy_matrix(policy).tocsr()
+
+    q = p_pi[transient][:, transient]
+    r_to_abs = p_pi[transient][:, sorted(absorbing_idx)]
+    n_t = len(transient)
+    eye = sparse.identity(n_t, format="csc")
+    try:
+        lu = sla.splu(sparse.csc_matrix(eye - q))
+    except Exception as exc:  # pragma: no cover - singular only if the
+        raise SolverError(                 # chain cannot be absorbed
+            f"transient block is singular (absorption not certain): "
+            f"{exc}") from exc
+
+    e_start = np.zeros(n_t)
+    e_start[pos[start_idx]] = 1.0
+    # Expected visits to each transient state starting from `start`:
+    # row of N = e_start^T (I - Q)^-1, via the transposed solve.
+    visits = lu.solve(e_start, trans="T")
+    if visits.min() < -1e-9:
+        raise SolverError("negative expected visits; inputs inconsistent")
+
+    expected_steps = float(visits.sum())
+    abs_keys = [mdp.state_keys[i] for i in sorted(absorbing_idx)]
+    abs_probs = visits @ r_to_abs
+    absorption = {k: float(p) for k, p in zip(abs_keys, abs_probs)}
+
+    rewards = {}
+    for name in mdp.channels:
+        r_pi = mdp.policy_reward(policy, mdp.channel_reward(name))
+        rewards[name] = float(visits @ r_pi[transient])
+    return AbsorptionResult(absorption_probability=absorption,
+                            expected_steps=expected_steps,
+                            expected_rewards=rewards)

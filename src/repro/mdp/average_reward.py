@@ -1,0 +1,62 @@
+"""Relative value iteration for undiscounted average-reward MDPs.
+
+This is the simple reference solver: iterate the Bellman operator and
+renormalize by the value of a reference state; the gain is bracketed by
+the min/max one-step change and the iteration stops when that bracket's
+span falls below ``epsilon``.  An aperiodicity transformation (damping
+factor ``tau``) guards against periodic chains.
+
+For production solves prefer :func:`repro.mdp.policy_iteration.policy_iteration`,
+which computes exact gains via sparse linear solves and converges in a
+handful of iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+from repro.mdp.policy_iteration import AverageRewardSolution
+
+
+def relative_value_iteration(mdp: MDP, reward: np.ndarray,
+                             epsilon: float = 1e-9,
+                             max_iter: int = 500_000,
+                             tau: float = 0.9) -> AverageRewardSolution:
+    """Solve an average-reward MDP by relative value iteration.
+
+    Parameters
+    ----------
+    mdp, reward:
+        The model and a precombined ``(A, N)`` reward array.
+    epsilon:
+        Convergence threshold on the span of the one-step change (which
+        brackets the optimal gain).
+    tau:
+        Damping factor of the aperiodicity transformation:
+        ``h' = (1 - tau) * h + tau * T(h)``.  The transformed problem
+        has gain ``tau * g``; the returned gain is rescaled.
+    """
+    if not 0 < tau <= 1:
+        raise SolverError("tau must lie in (0, 1]")
+    reward = np.asarray(reward, dtype=float)
+    h = np.zeros(mdp.n_states)
+    ref = mdp.start
+    for it in range(1, max_iter + 1):
+        q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
+        for a in range(mdp.n_actions):
+            q[a] = reward[a] + mdp.transition[a].dot(h)
+        q[~mdp.available] = -np.inf
+        t_h = q.max(axis=0)
+        new_h = (1.0 - tau) * h + tau * t_h
+        diff = new_h - h
+        span = diff.max() - diff.min()
+        gain = diff[ref] / tau
+        h = new_h - new_h[ref]
+        if span < epsilon * tau:
+            policy = np.asarray(q.argmax(axis=0), dtype=int)
+            return AverageRewardSolution(gain=float(gain), bias=h,
+                                         policy=policy, iterations=it)
+    raise SolverError(
+        f"relative value iteration did not converge in {max_iter} sweeps")

@@ -1,0 +1,116 @@
+"""Incremental MDP construction.
+
+The builder interns state keys, accumulates transitions per
+(state, action) pair, merges duplicate (state, action, next) entries by
+summing probabilities (with probability-weighted rewards, the way the
+paper's Table 1 merges events that lead to the same state), and
+validates row-stochasticity when :meth:`MDPBuilder.build` is called.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidTransitionError, MDPError
+from repro.mdp.model import MDP, PROB_TOL
+
+
+class MDPBuilder:
+    """Builds an :class:`repro.mdp.model.MDP` incrementally."""
+
+    def __init__(self, actions: Sequence[str],
+                 channels: Sequence[str]) -> None:
+        if len(set(actions)) != len(actions):
+            raise MDPError("duplicate action names")
+        if len(set(channels)) != len(channels):
+            raise MDPError("duplicate channel names")
+        self.actions: List[str] = list(actions)
+        self.channels: List[str] = list(channels)
+        self._action_index = {a: i for i, a in enumerate(self.actions)}
+        self._keys: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+        # (state, action) -> {next_state: [prob, channel_reward_sums...]}
+        self._entries: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+
+    def state_id(self, key: Hashable) -> int:
+        """Intern ``key`` and return its state index."""
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._keys)
+            self._index[key] = idx
+            self._keys.append(key)
+        return idx
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    @property
+    def n_states(self) -> int:
+        """Number of states interned so far."""
+        return len(self._keys)
+
+    def add(self, state: Hashable, action: str, next_state: Hashable,
+            prob: float, **rewards: float) -> None:
+        """Record a transition.
+
+        ``rewards`` are the channel rewards received *if this event
+        happens*; the builder converts them to expected rewards when
+        multiple events merge.
+        """
+        if prob < 0 or prob > 1 + PROB_TOL:
+            raise InvalidTransitionError(f"probability {prob} out of range")
+        if prob == 0:
+            return
+        unknown = set(rewards) - set(self.channels)
+        if unknown:
+            raise MDPError(f"unknown reward channels {sorted(unknown)}")
+        a = self._action_index.get(action)
+        if a is None:
+            raise MDPError(f"unknown action {action!r}")
+        s = self.state_id(state)
+        t = self.state_id(next_state)
+        bucket = self._entries.setdefault((s, a), {})
+        row = bucket.get(t)
+        if row is None:
+            row = np.zeros(1 + len(self.channels))
+            bucket[t] = row
+        row[0] += prob
+        for i, name in enumerate(self.channels):
+            row[1 + i] += prob * rewards.get(name, 0.0)
+
+    def build(self, start: Hashable, validate: bool = True) -> MDP:
+        """Assemble the MDP.  ``start`` must be an interned state key."""
+        if start not in self._index:
+            raise MDPError(f"unknown start state {start!r}")
+        n = len(self._keys)
+        n_actions = len(self.actions)
+        available = np.zeros((n_actions, n), dtype=bool)
+        rewards = {c: np.zeros((n_actions, n)) for c in self.channels}
+        mats: List[sparse.csr_matrix] = []
+        per_action: List[Tuple[List[int], List[int], List[float]]] = [
+            ([], [], []) for _ in range(n_actions)]
+        for (s, a), bucket in self._entries.items():
+            available[a, s] = True
+            rows, cols, vals = per_action[a]
+            total = 0.0
+            for t, row in bucket.items():
+                rows.append(s)
+                cols.append(t)
+                vals.append(row[0])
+                total += row[0]
+                for i, name in enumerate(self.channels):
+                    rewards[name][a, s] += row[1 + i]
+            if validate and abs(total - 1.0) > PROB_TOL:
+                raise InvalidTransitionError(
+                    f"probabilities for state {self._keys[s]!r} action "
+                    f"{self.actions[a]!r} sum to {total}")
+        for a in range(n_actions):
+            rows, cols, vals = per_action[a]
+            mats.append(sparse.csr_matrix(
+                (vals, (rows, cols)), shape=(n, n)))
+        return MDP(state_keys=self._keys, actions=self.actions,
+                   transition=mats, rewards=rewards, available=available,
+                   start=self._index[start], validate=validate)

@@ -1,0 +1,77 @@
+"""Finite-horizon backward induction.
+
+The average-reward solvers answer "what does a perpetual attack earn
+per block?"; backward induction answers "what does an attack lasting T
+blocks earn in total?" -- relevant because real attacks end (merchants
+raise confirmation counts, clients patch, the paper's Section 6.1
+discussion of attack likelihood).  Rewards are undiscounted and the
+policy is time-dependent (an optimal attacker behaves differently near
+the deadline: no point opening a race it cannot finish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+
+
+@dataclass
+class FiniteHorizonSolution:
+    """Result of a backward-induction solve.
+
+    Attributes
+    ----------
+    horizon:
+        Number of steps solved.
+    values:
+        ``(horizon + 1, N)`` array: ``values[t, s]`` is the optimal
+        total reward collectable in the remaining ``t`` steps from
+        state ``s``.
+    policies:
+        ``(horizon, N)`` int array: ``policies[t]`` is the optimal
+        action with ``t + 1`` steps remaining.
+    """
+
+    horizon: int
+    values: np.ndarray
+    policies: np.ndarray
+    start_index: int
+
+    @property
+    def start_value(self) -> float:
+        """Optimal total reward from the MDP's start state -- callers
+        divide by the horizon for a per-block figure."""
+        return float(self.values[self.horizon, self.start_index])
+
+    def value_from(self, mdp: MDP, state_key) -> float:
+        """Optimal total reward from a given start state."""
+        return float(self.values[self.horizon, mdp.state_index(state_key)])
+
+
+def backward_induction(mdp: MDP, reward: np.ndarray,
+                       horizon: int) -> FiniteHorizonSolution:
+    """Solve the undiscounted finite-horizon problem exactly.
+
+    Note the returned ``values`` are indexed by *steps remaining*, and
+    ``values[t, mdp.start]`` is at index ``[horizon, start]`` for the
+    full-horizon answer (exposed as :attr:`FiniteHorizonSolution.start_value`).
+    """
+    if horizon < 1:
+        raise SolverError("horizon must be at least 1")
+    reward = np.asarray(reward, dtype=float)
+    n = mdp.n_states
+    values = np.zeros((horizon + 1, n))
+    policies = np.zeros((horizon, n), dtype=int)
+    for t in range(1, horizon + 1):
+        q = np.full((mdp.n_actions, n), -np.inf)
+        for a in range(mdp.n_actions):
+            q[a] = reward[a] + mdp.transition[a].dot(values[t - 1])
+        q[~mdp.available] = -np.inf
+        values[t] = q.max(axis=0)
+        policies[t - 1] = q.argmax(axis=0)
+    return FiniteHorizonSolution(horizon=horizon, values=values,
+                                 policies=policies, start_index=mdp.start)

@@ -1,0 +1,179 @@
+"""Immutable sparse MDP container.
+
+An :class:`MDP` stores, per named action, a sparse row-stochastic
+transition matrix and, per named *reward channel*, the expected
+immediate reward of every (state, action) pair.  Multiple channels let
+one transition structure serve several utility functions: the paper's
+three incentive models all reuse the same strategy-space MDP and differ
+only in which channels enter the numerator and denominator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidTransitionError, MDPError, NoActionError
+
+#: Tolerance for "probabilities sum to one" checks.
+PROB_TOL = 1e-9
+
+
+class MDP:
+    """A finite MDP with named actions and multi-channel rewards.
+
+    Parameters
+    ----------
+    state_keys:
+        One hashable key per state (index = state id).
+    actions:
+        Action names; indices into ``transition`` and reward arrays.
+    transition:
+        One ``(N, N)`` CSR matrix per action.  Rows of unavailable
+        (state, action) pairs are all-zero.
+    rewards:
+        Channel name -> ``(A, N)`` array of expected immediate rewards.
+    available:
+        ``(A, N)`` boolean mask of action availability.
+    start:
+        Index of the start state.
+    """
+
+    def __init__(self, state_keys: Sequence, actions: Sequence[str],
+                 transition: Sequence[sparse.csr_matrix],
+                 rewards: Mapping[str, np.ndarray],
+                 available: np.ndarray, start: int,
+                 validate: bool = True) -> None:
+        self.state_keys: List = list(state_keys)
+        self.actions: List[str] = list(actions)
+        self.transition: List[sparse.csr_matrix] = [
+            sparse.csr_matrix(p) for p in transition]
+        self.rewards: Dict[str, np.ndarray] = {
+            name: np.asarray(r, dtype=float) for name, r in rewards.items()}
+        self.available = np.asarray(available, dtype=bool)
+        self.start = int(start)
+        self._index: Dict = {k: i for i, k in enumerate(self.state_keys)}
+        if validate:
+            self._validate()
+
+    # -- structure ---------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self.state_keys)
+
+    @property
+    def n_actions(self) -> int:
+        """Number of named actions."""
+        return len(self.actions)
+
+    @property
+    def channels(self) -> List[str]:
+        """Names of the reward channels."""
+        return list(self.rewards)
+
+    def state_index(self, key) -> int:
+        """Return the index of the state with the given key."""
+        try:
+            return self._index[key]
+        except KeyError:
+            raise MDPError(f"unknown state key {key!r}") from None
+
+    def action_index(self, name: str) -> int:
+        """Return the index of the named action."""
+        try:
+            return self.actions.index(name)
+        except ValueError:
+            raise MDPError(f"unknown action {name!r}") from None
+
+    # -- rewards -----------------------------------------------------
+
+    def combined_reward(self, weights: Mapping[str, float]) -> np.ndarray:
+        """Return the ``(A, N)`` reward array for a weighted combination
+        of channels, e.g. ``{"num": 1.0, "den": -rho}``."""
+        out = np.zeros((self.n_actions, self.n_states))
+        for name, w in weights.items():
+            if name not in self.rewards:
+                raise MDPError(f"unknown reward channel {name!r}")
+            if w != 0.0:
+                out += w * self.rewards[name]
+        return out
+
+    def channel_reward(self, name: str) -> np.ndarray:
+        """Return the ``(A, N)`` reward array of one channel."""
+        if name not in self.rewards:
+            raise MDPError(f"unknown reward channel {name!r}")
+        return self.rewards[name]
+
+    # -- policies ----------------------------------------------------
+
+    def policy_matrix(self, policy: np.ndarray) -> sparse.csr_matrix:
+        """Return the ``(N, N)`` transition matrix induced by ``policy``
+        (an array of action indices)."""
+        policy = np.asarray(policy, dtype=int)
+        if policy.shape != (self.n_states,):
+            raise MDPError("policy must assign one action per state")
+        out: Optional[sparse.csr_matrix] = None
+        for a in range(self.n_actions):
+            mask = (policy == a).astype(float)
+            if not mask.any():
+                continue
+            selected = sparse.diags(mask).dot(self.transition[a])
+            out = selected if out is None else out + selected
+        if out is None:
+            raise MDPError("empty policy")
+        return sparse.csr_matrix(out)
+
+    def policy_reward(self, policy: np.ndarray,
+                      reward: np.ndarray) -> np.ndarray:
+        """Return the per-state expected reward under ``policy`` for a
+        precombined ``(A, N)`` reward array."""
+        policy = np.asarray(policy, dtype=int)
+        return reward[policy, np.arange(self.n_states)]
+
+    def valid_policy(self, policy: np.ndarray) -> bool:
+        """Whether ``policy`` picks an available action in every state."""
+        policy = np.asarray(policy, dtype=int)
+        return bool(self.available[policy, np.arange(self.n_states)].all())
+
+    # -- validation --------------------------------------------------
+
+    def _validate(self) -> None:
+        n, a = self.n_states, self.n_actions
+        if len(self.transition) != a:
+            raise MDPError("one transition matrix required per action")
+        if self.available.shape != (a, n):
+            raise MDPError(f"available must have shape {(a, n)}")
+        if not (0 <= self.start < n):
+            raise MDPError("start state out of range")
+        for name, r in self.rewards.items():
+            if r.shape != (a, n):
+                raise MDPError(
+                    f"reward channel {name!r} must have shape {(a, n)}")
+        for ai, p in enumerate(self.transition):
+            if p.shape != (n, n):
+                raise MDPError(f"transition[{ai}] must have shape {(n, n)}")
+            if p.nnz and p.data.min() < -PROB_TOL:
+                raise InvalidTransitionError(
+                    f"negative probability under action {self.actions[ai]}")
+            sums = np.asarray(p.sum(axis=1)).ravel()
+            avail = self.available[ai]
+            bad_avail = avail & (np.abs(sums - 1.0) > PROB_TOL)
+            if bad_avail.any():
+                s = int(np.flatnonzero(bad_avail)[0])
+                raise InvalidTransitionError(
+                    f"probabilities for state {self.state_keys[s]!r} action "
+                    f"{self.actions[ai]!r} sum to {sums[s]!r}")
+            bad_unavail = (~avail) & (sums > PROB_TOL)
+            if bad_unavail.any():
+                s = int(np.flatnonzero(bad_unavail)[0])
+                raise InvalidTransitionError(
+                    f"unavailable pair (state {self.state_keys[s]!r}, action "
+                    f"{self.actions[ai]!r}) has transitions")
+        if not self.available.any(axis=0).all():
+            s = int(np.flatnonzero(~self.available.any(axis=0))[0])
+            raise NoActionError(
+                f"state {self.state_keys[s]!r} has no available action")

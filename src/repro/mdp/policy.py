@@ -1,0 +1,56 @@
+"""Policy wrapper mapping state keys to action names."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MDPError
+from repro.mdp.model import MDP
+
+
+class Policy:
+    """A deterministic stationary policy over a specific MDP."""
+
+    def __init__(self, mdp: MDP, action_indices: np.ndarray) -> None:
+        action_indices = np.asarray(action_indices, dtype=int)
+        if action_indices.shape != (mdp.n_states,):
+            raise MDPError("policy must assign one action per state")
+        if (action_indices < 0).any() or \
+                (action_indices >= mdp.n_actions).any():
+            raise MDPError("action index out of range")
+        if not mdp.valid_policy(action_indices):
+            raise MDPError("policy selects an unavailable action")
+        self.mdp = mdp
+        self.action_indices = action_indices
+
+    def action_for(self, key: Hashable) -> str:
+        """Return the action name chosen in the state with ``key``."""
+        return self.mdp.actions[self.action_indices[self.mdp.state_index(key)]]
+
+    def as_dict(self) -> Dict[Hashable, str]:
+        """Return the full state-key -> action-name mapping."""
+        return {k: self.mdp.actions[a]
+                for k, a in zip(self.mdp.state_keys, self.action_indices)}
+
+    def differences(self, other: "Policy") -> List[Hashable]:
+        """Return state keys where the two policies disagree."""
+        if other.mdp is not self.mdp:
+            raise MDPError("policies belong to different MDPs")
+        mask = self.action_indices != other.action_indices
+        return [self.mdp.state_keys[i] for i in np.flatnonzero(mask)]
+
+    def describe(self, keys: Optional[Iterable[Hashable]] = None,
+                 limit: int = 20) -> str:
+        """Render a readable summary (first ``limit`` states by default)."""
+        rows: List[Tuple[Hashable, str]] = []
+        if keys is None:
+            for k, a in zip(self.mdp.state_keys, self.action_indices):
+                rows.append((k, self.mdp.actions[a]))
+                if len(rows) >= limit:
+                    break
+        else:
+            for k in keys:
+                rows.append((k, self.action_for(k)))
+        return "\n".join(f"{k!r}: {a}" for k, a in rows)

@@ -1,0 +1,120 @@
+"""Howard policy iteration for undiscounted average-reward MDPs.
+
+This is the library's workhorse solver.  All of the paper's models are
+*unichain*: every stationary policy drives the system back to the base
+state (block races always resolve), so a policy's gain is
+state-independent and can be computed exactly from one sparse linear
+solve of the evaluation equations::
+
+    h = r_pi - g * 1 + P_pi h,     h[ref] = 0
+
+Improvement picks ``argmax_a r(s, a) + P(s, a) . h`` with ties broken in
+favour of the incumbent action, which guarantees termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sla
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+
+#: Improvement tolerance: an action must beat the incumbent by more than
+#: this to trigger a policy change.
+IMPROVE_TOL = 1e-11
+
+
+@dataclass
+class AverageRewardSolution:
+    """Result of an average-reward solve.
+
+    Attributes
+    ----------
+    gain:
+        Optimal long-run average reward per step.
+    bias:
+        Bias (relative value) vector, normalized to 0 at the start state.
+    policy:
+        Optimal action index per state.
+    iterations:
+        Number of policy improvements (or value-iteration sweeps).
+    """
+
+    gain: float
+    bias: np.ndarray
+    policy: np.ndarray
+    iterations: int
+
+
+def evaluate_policy(mdp: MDP, policy: np.ndarray,
+                    reward: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Exactly evaluate the gain and bias of ``policy`` for a
+    precombined ``(A, N)`` reward array.
+
+    Solves the (N+1)-dimensional linear system of the average-reward
+    evaluation equations with the bias pinned to zero at the MDP's
+    start state.  Assumes the policy is unichain.
+    """
+    n = mdp.n_states
+    p_pi = mdp.policy_matrix(policy)
+    r_pi = mdp.policy_reward(policy, np.asarray(reward, dtype=float))
+    eye = sparse.identity(n, format="csr")
+    ones = sparse.csr_matrix(np.ones((n, 1)))
+    pin = sparse.csr_matrix(
+        (np.ones(1), (np.zeros(1, dtype=int), np.array([mdp.start]))),
+        shape=(1, n))
+    top = sparse.hstack([eye - p_pi, ones], format="csr")
+    bottom = sparse.hstack([pin, sparse.csr_matrix((1, 1))], format="csr")
+    system = sparse.vstack([top, bottom], format="csc")
+    rhs = np.concatenate([r_pi, [0.0]])
+    try:
+        solution = sla.spsolve(system, rhs)
+    except Exception as exc:  # pragma: no cover - scipy failure modes
+        raise SolverError(f"policy evaluation failed: {exc}") from exc
+    if not np.all(np.isfinite(solution)):
+        raise SolverError(
+            "policy evaluation produced non-finite values; the policy is "
+            "likely multichain (start state unreachable)")
+    bias = solution[:n]
+    gain = float(solution[n])
+    return gain, bias
+
+
+def _default_policy(mdp: MDP) -> np.ndarray:
+    """First available action in each state."""
+    return np.asarray(mdp.available.argmax(axis=0), dtype=int)
+
+
+def policy_iteration(mdp: MDP, reward: np.ndarray,
+                     initial_policy: Optional[np.ndarray] = None,
+                     max_iter: int = 1000) -> AverageRewardSolution:
+    """Solve an average-reward MDP exactly by Howard policy iteration."""
+    reward = np.asarray(reward, dtype=float)
+    if initial_policy is None:
+        policy = _default_policy(mdp)
+    else:
+        policy = np.asarray(initial_policy, dtype=int).copy()
+        if not mdp.valid_policy(policy):
+            raise SolverError("initial policy selects unavailable actions")
+    states = np.arange(mdp.n_states)
+    for it in range(1, max_iter + 1):
+        gain, bias = evaluate_policy(mdp, policy, reward)
+        q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
+        for a in range(mdp.n_actions):
+            q[a] = reward[a] + mdp.transition[a].dot(bias)
+        q[~mdp.available] = -np.inf
+        best = q.max(axis=0)
+        incumbent = q[policy, states]
+        improvable = best > incumbent + IMPROVE_TOL
+        if not improvable.any():
+            return AverageRewardSolution(gain=gain, bias=bias, policy=policy,
+                                         iterations=it)
+        policy = policy.copy()
+        policy[improvable] = q[:, improvable].argmax(axis=0)
+    raise SolverError(f"policy iteration did not converge in {max_iter} "
+                      "improvements")

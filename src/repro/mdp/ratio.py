@@ -1,0 +1,167 @@
+"""Maximization of gain ratios over policies.
+
+The paper's relative-revenue utility (Eq. 1) and orphan-rate utility
+(Eq. 3) are ratios of long-run accumulation rates::
+
+    maximize over policies    gain_num(policy) / gain_den(policy)
+
+Following Sapirshtein et al., the transformed reward
+``w(rho) = num - rho * den`` turns this into a family of standard
+average-reward problems whose optimal gain ``f(rho)`` is non-increasing
+in ``rho`` and crosses zero exactly at the optimal ratio.
+
+Two methods are provided:
+
+- **Dinkelbach iteration** (default): repeatedly set ``rho`` to the
+  ratio of the current policy and re-solve; converges superlinearly
+  when every encountered policy has a positive denominator rate.
+- **Bisection**: robust fallback that also handles the degenerate case
+  where some policies have zero denominator rate (e.g. the "always
+  wait" policy of the non-profit-driven model, for which
+  ``f(rho) = 0`` for all ``rho`` beyond the optimum); there the answer
+  is the threshold ``sup { rho : f(rho) > 0 }``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.stationary import policy_gains
+
+#: A gain below this counts as "zero" when testing profitability of the
+#: transformed problem.
+GAIN_TOL = 1e-10
+
+#: Denominator rates below this abort Dinkelbach in favour of bisection.
+DEN_FLOOR = 1e-9
+
+
+@dataclass
+class RatioSolution:
+    """Result of a ratio maximization.
+
+    Attributes
+    ----------
+    value:
+        The maximal ratio ``gain_num / gain_den``.
+    policy:
+        A policy achieving it.
+    gain_num, gain_den:
+        The two channel rates under that policy.
+    iterations:
+        Number of transformed-MDP solves performed.
+    method:
+        ``"dinkelbach"`` or ``"bisection"`` (which method produced the
+        final answer).
+    """
+
+    value: float
+    policy: np.ndarray
+    gain_num: float
+    gain_den: float
+    iterations: int
+    method: str
+
+
+def _channel_gains(mdp: MDP, policy: np.ndarray,
+                   num: Mapping[str, float],
+                   den: Mapping[str, float]) -> tuple:
+    gains = policy_gains(mdp, policy, set(num) | set(den))
+    g_num = sum(w * gains[c] for c, w in num.items())
+    g_den = sum(w * gains[c] for c, w in den.items())
+    return g_num, g_den
+
+
+def _transformed(mdp: MDP, num: Mapping[str, float],
+                 den: Mapping[str, float], rho: float) -> np.ndarray:
+    weights = dict(num)
+    for c, w in den.items():
+        weights[c] = weights.get(c, 0.0) - rho * w
+    return mdp.combined_reward(weights)
+
+
+def maximize_ratio(mdp: MDP, num: Mapping[str, float],
+                   den: Mapping[str, float], lo: float, hi: float,
+                   tol: float = 1e-7, max_iter: int = 80,
+                   method: str = "dinkelbach",
+                   initial_policy: Optional[np.ndarray] = None
+                   ) -> RatioSolution:
+    """Maximize ``gain(num) / gain(den)`` over stationary policies.
+
+    Parameters
+    ----------
+    num, den:
+        Channel-weight mappings defining numerator and denominator.
+    lo, hi:
+        Bracket known to contain the optimal ratio.
+    tol:
+        Absolute precision of the returned ratio.
+    method:
+        ``"dinkelbach"`` (with automatic bisection fallback) or
+        ``"bisection"``.
+    initial_policy:
+        Optional warm start.
+    """
+    if hi <= lo:
+        raise SolverError("ratio bracket must satisfy lo < hi")
+    if method not in ("dinkelbach", "bisection"):
+        raise SolverError(f"unknown method {method!r}")
+    solves = 0
+    policy = initial_policy
+
+    if method == "dinkelbach":
+        rho = lo
+        best: Optional[RatioSolution] = None
+        for _ in range(max_iter):
+            solution = policy_iteration(
+                mdp, _transformed(mdp, num, den, rho),
+                initial_policy=policy)
+            solves += 1
+            policy = solution.policy
+            g_num, g_den = _channel_gains(mdp, policy, num, den)
+            if g_den < DEN_FLOOR:
+                break  # degenerate policy; fall back to bisection
+            new_rho = g_num / g_den
+            best = RatioSolution(value=new_rho, policy=policy,
+                                 gain_num=g_num, gain_den=g_den,
+                                 iterations=solves, method="dinkelbach")
+            if new_rho <= rho + tol and abs(solution.gain) <= max(
+                    GAIN_TOL, tol * max(g_den, DEN_FLOOR)):
+                return best
+            if new_rho <= rho:  # numerical stall; answer is converged
+                return best
+            rho = new_rho
+        if best is not None and solves >= max_iter:
+            return best
+        # fall through to bisection
+
+    # Bisection on the profitability threshold.
+    lo_b, hi_b = lo, hi
+    best_policy = policy
+    for _ in range(max_iter):
+        if hi_b - lo_b <= tol:
+            break
+        mid = 0.5 * (lo_b + hi_b)
+        solution = policy_iteration(mdp, _transformed(mdp, num, den, mid),
+                                    initial_policy=best_policy)
+        solves += 1
+        if solution.gain > GAIN_TOL:
+            lo_b = mid
+            best_policy = solution.policy
+        else:
+            hi_b = mid
+    if best_policy is None:
+        solution = policy_iteration(mdp, _transformed(mdp, num, den, lo_b))
+        solves += 1
+        best_policy = solution.policy
+    g_num, g_den = _channel_gains(mdp, best_policy, num, den)
+    value = g_num / g_den if g_den > DEN_FLOOR else 0.5 * (lo_b + hi_b)
+    return RatioSolution(value=float(value), policy=best_policy,
+                         gain_num=g_num, gain_den=g_den,
+                         iterations=solves, method="bisection")

@@ -1,0 +1,70 @@
+"""Stationary distributions and exact per-channel policy evaluation.
+
+Once a solver has produced an optimal policy, the long-run rate of any
+reward channel under that policy equals ``pi . r_pi`` where ``pi`` is
+the stationary distribution of the induced Markov chain.  This is how
+the library reports, e.g., the orphan rate of a revenue-optimal policy,
+and how ratio utilities are evaluated exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sla
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+
+
+def stationary_distribution(p: sparse.csr_matrix,
+                            start: Optional[int] = None) -> np.ndarray:
+    """Return the stationary distribution of a row-stochastic matrix.
+
+    Solves ``pi (P - I) = 0`` with the normalization ``sum(pi) = 1`` by
+    replacing one column of the transposed system.  For a unichain
+    matrix the solution is unique; transient states receive mass zero.
+
+    Parameters
+    ----------
+    p:
+        Row-stochastic ``(N, N)`` sparse matrix.
+    start:
+        Unused placeholder kept for API symmetry (the distribution of a
+        unichain matrix does not depend on the start state).
+    """
+    n = p.shape[0]
+    a = (p.T - sparse.identity(n, format="csr")).tolil()
+    # Replace the last equation with the normalization constraint.
+    a[n - 1, :] = np.ones(n)
+    rhs = np.zeros(n)
+    rhs[n - 1] = 1.0
+    try:
+        pi = sla.spsolve(sparse.csc_matrix(a), rhs)
+    except Exception as exc:  # pragma: no cover - scipy failure modes
+        raise SolverError(f"stationary solve failed: {exc}") from exc
+    if not np.all(np.isfinite(pi)):
+        raise SolverError("stationary solve produced non-finite values")
+    # Clip tiny negative round-off and renormalize.
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise SolverError("stationary distribution has zero mass")
+    return pi / total
+
+
+def policy_gains(mdp: MDP, policy: np.ndarray,
+                 channels: Optional[Iterable[str]] = None) -> Dict[str, float]:
+    """Exactly evaluate the per-step rate of each reward channel under
+    ``policy`` via the stationary distribution."""
+    policy = np.asarray(policy, dtype=int)
+    p_pi = mdp.policy_matrix(policy)
+    pi = stationary_distribution(p_pi, start=mdp.start)
+    names = list(channels) if channels is not None else mdp.channels
+    out: Dict[str, float] = {}
+    for name in names:
+        r_pi = mdp.policy_reward(policy, mdp.channel_reward(name))
+        out[name] = float(pi.dot(r_pi))
+    return out

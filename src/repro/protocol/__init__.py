@@ -1,0 +1,41 @@
+"""Protocol-level parameters, signaling, and node views.
+
+- :mod:`repro.protocol.params` -- protocol constants and the per-node
+  Bitcoin Unlimited parameter triple ``(MG, EB, AD)``;
+- :mod:`repro.protocol.signals` -- the network-wide registry of signaled
+  parameters, including the EB-split helper from Section 4.1.1;
+- :mod:`repro.protocol.node` -- a node view tying a validity rule to a
+  block tree with first-received fork choice.
+"""
+
+from repro.protocol.params import (
+    BUParams,
+    DIFFICULTY_PERIOD,
+    MESSAGE_LIMIT_MB,
+    STICKY_GATE_WINDOW,
+)
+from repro.protocol.signals import EBSplit, SignalRegistry
+from repro.protocol.node import NodeView
+from repro.protocol.buip055 import BUIP055Round, FutureEBSignal
+from repro.protocol.node_costs import (
+    NodeCapacity,
+    TransactionMix,
+    max_size_for_participation,
+    nodes_online,
+)
+
+__all__ = [
+    "BUParams",
+    "DIFFICULTY_PERIOD",
+    "MESSAGE_LIMIT_MB",
+    "STICKY_GATE_WINDOW",
+    "SignalRegistry",
+    "EBSplit",
+    "NodeView",
+    "BUIP055Round",
+    "FutureEBSignal",
+    "NodeCapacity",
+    "TransactionMix",
+    "nodes_online",
+    "max_size_for_participation",
+]

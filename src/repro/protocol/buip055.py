@@ -1,0 +1,139 @@
+"""BUIP055: advance signaling of future EBs (Section 6.2).
+
+BUIP055 lets miners announce the EB they intend to adopt and the date
+it takes effect, hoping miners coordinate before a new EB activates.
+The paper's objection: "a miner can change the signal without any
+negative consequence, [so] BUIP055 cannot bond the miners with their
+promises" -- and it even hands an attacker a tool to influence others.
+
+This module models that argument executably: a signaling round followed
+by an activation, where each miner's *realized* EB may differ from its
+signal at zero cost, and the post-activation outcome is evaluated with
+the Section 5.1 EB choosing game.  The tests show (a) defection from a
+signaled consensus is free until activation, and (b) an attacker can
+signal a large EB it never intends to adopt and strand believers on
+the minority side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ChainError
+from repro.games.eb_choosing import EBChoosingGame, EBProfile
+
+
+@dataclass(frozen=True)
+class FutureEBSignal:
+    """One miner's announced intention.
+
+    Attributes
+    ----------
+    miner:
+        Miner name.
+    power:
+        Mining power share.
+    signaled_eb:
+        The EB announced for activation.
+    activation_height:
+        The height at which the new EB is promised to take effect.
+    """
+
+    miner: str
+    power: float
+    signaled_eb: float
+    activation_height: int
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise ChainError("power must be positive")
+        if self.signaled_eb <= 0:
+            raise ChainError("signaled EB must be positive")
+        if self.activation_height < 0:
+            raise ChainError("activation height cannot be negative")
+
+
+class BUIP055Round:
+    """A signaling round over two candidate EB values."""
+
+    def __init__(self, current_eb: float, proposed_eb: float) -> None:
+        if current_eb <= 0 or proposed_eb <= 0:
+            raise ChainError("EB values must be positive")
+        if current_eb == proposed_eb:
+            raise ChainError("proposal must differ from the current EB")
+        self.current_eb = current_eb
+        self.proposed_eb = proposed_eb
+        self._signals: Dict[str, FutureEBSignal] = {}
+
+    def signal(self, signal: FutureEBSignal) -> None:
+        """Record (or replace -- signaling is non-binding) a signal."""
+        if signal.signaled_eb not in (self.current_eb, self.proposed_eb):
+            raise ChainError("signal must pick one of the two EBs")
+        self._signals[signal.miner] = signal
+
+    def signaled_support(self) -> float:
+        """Power share signaling the proposed EB."""
+        return sum(s.power for s in self._signals.values()
+                   if s.signaled_eb == self.proposed_eb)
+
+    def activate(self, realized_ebs: Optional[Dict[str, float]] = None
+                 ) -> "ActivationOutcome":
+        """Evaluate the post-activation EB choosing game.
+
+        ``realized_ebs`` overrides signals per miner -- deviating from
+        one's signal carries no protocol consequence, which is exactly
+        the paper's point.
+        """
+        realized_ebs = realized_ebs or {}
+        miners: List[str] = []
+        powers: List[float] = []
+        choices: List[int] = []
+        for name, signal in self._signals.items():
+            eb = realized_ebs.get(name, signal.signaled_eb)
+            if eb not in (self.current_eb, self.proposed_eb):
+                raise ChainError("realized EB must pick one of the two")
+            miners.append(name)
+            powers.append(signal.power)
+            choices.append(0 if eb == self.current_eb else 1)
+        game = EBChoosingGame(powers,
+                              eb_values=(self.current_eb,
+                                         self.proposed_eb))
+        profile = EBProfile(tuple(choices))
+        utilities = game.utilities(profile)
+        winner = game.winning_side(profile)
+        return ActivationOutcome(
+            miners=miners,
+            utilities={m: u for m, u in zip(miners, utilities)},
+            winning_eb=(None if winner is None else
+                        (self.current_eb, self.proposed_eb)[winner]),
+            defectors=[m for m in miners
+                       if m in realized_ebs
+                       and realized_ebs[m]
+                       != self._signals[m].signaled_eb])
+
+
+@dataclass
+class ActivationOutcome:
+    """Result of an activation.
+
+    Attributes
+    ----------
+    miners:
+        Participating miners.
+    utilities:
+        Miner -> realized utility (power share of the winning side).
+    winning_eb:
+        The EB that ends up with the power majority (None on a tie).
+    defectors:
+        Miners whose realized EB differs from their signal.
+    """
+
+    miners: List[str]
+    utilities: Dict[str, float]
+    winning_eb: Optional[float]
+    defectors: List[str]
+
+    def stranded(self) -> List[str]:
+        """Miners earning zero: they followed the losing EB."""
+        return [m for m in self.miners if self.utilities[m] == 0]

@@ -1,0 +1,87 @@
+"""A node view: one participant's position over the shared block tree.
+
+A :class:`NodeView` ties a validity rule to a block tree and exposes the
+questions the simulator asks of a node: where would you mine, what is
+your blockchain, do you accept this block's chain.  First-received
+tie-breaking uses the tree's arrival order, matching the zero-delay
+broadcast model of the paper's threat model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chain.block import Block
+from repro.chain.fork_choice import ForkChoice
+from repro.chain.tree import BlockTree
+from repro.chain.validity import BUValidity, ValidityRule
+from repro.protocol.params import BUParams
+
+
+class NodeView:
+    """One participant's view of the network.
+
+    Two fork-choice modes exist:
+
+    - *scan mode* (default): every call to :meth:`head` rescans the
+      tree's tips -- convenient for hand-built trees in tests;
+    - *online mode*: after the first :meth:`observe` call, the node
+      updates its head incrementally as blocks arrive, switching only
+      to *strictly longer* valid chains -- both O(1) per block and the
+      faithful first-received behaviour of a live node (at equal
+      length it keeps the chain it is already mining on).  The
+      simulator uses this mode.
+    """
+
+    def __init__(self, name: str, tree: BlockTree, rule: ValidityRule,
+                 params: Optional[BUParams] = None) -> None:
+        self.name = name
+        self.tree = tree
+        self.rule = rule
+        self.params = params
+        self._fork_choice = ForkChoice(tree, rule)
+        self._best: Optional[Block] = None
+
+    def observe(self, block: Block) -> None:
+        """Process one arriving block in online mode: adopt the chain it
+        extends iff that chain's valid prefix is strictly longer than
+        the current head."""
+        if self._best is None:
+            self._best = self.tree.genesis
+        candidate = self.rule.valid_prefix_block(self.tree, block)
+        if candidate.height > self._best.height:
+            self._best = candidate
+
+    def head(self) -> Block:
+        """The block this node mines on (its blockchain head)."""
+        if self._best is not None:
+            return self._best
+        return self._fork_choice.best()
+
+    def blockchain(self) -> List[Block]:
+        """The node's blockchain, genesis to head."""
+        return self.tree.chain(self.head())
+
+    def accepts(self, tip: Block) -> bool:
+        """Whether the chain ending at ``tip`` is fully valid for this
+        node."""
+        return self.rule.is_chain_valid(self.tree, tip)
+
+    def generation_size(self) -> float:
+        """The size of blocks this node mines (its MG), defaulting to
+        1 MB when no parameters are attached."""
+        return self.params.mg if self.params is not None else 1.0
+
+    def gate_open(self) -> bool:
+        """Whether a BU node's sticky gate is open at its current head
+        (always ``False`` for non-BU rules)."""
+        if isinstance(self.rule, BUValidity):
+            return self.rule.gate_open_at(self.tree, self.head())
+        return False
+
+    @staticmethod
+    def bu(name: str, tree: BlockTree, params: BUParams,
+           sticky: bool = True) -> "NodeView":
+        """Construct a BU node from a parameter triple."""
+        rule = BUValidity(eb=params.eb, ad=params.ad, sticky=sticky)
+        return NodeView(name=name, tree=tree, rule=rule, params=params)

@@ -1,0 +1,146 @@
+"""Public-node costs of larger blocks (Section 6.4).
+
+The paper lists three cost channels a bigger block imposes on every
+public node -- bandwidth, signature verification time, and UTXO-set
+memory -- and notes a compounding effect: lower fees shift the
+transaction mix toward small transactions, which cost *more per byte*
+to relay and verify.  Croman et al. (cited as the 4 MB bound) estimated
+the block size at which 90% of then-current nodes could still keep up.
+
+This module turns those observations into a small capacity model:
+
+- a node has a capacity budget per block interval on each channel;
+- a block size and a transaction mix imply a per-channel load;
+- a node stays online iff every channel's load fits its budget;
+- over a distribution of node capacities, :func:`nodes_online` yields
+  the participation curve and :func:`max_size_for_participation` the
+  Croman-style bound.
+
+The numbers are intentionally parametric -- the point is the *shape*
+(participation falls monotonically with the limit; the small-transaction
+effect steepens it), which is what the paper's argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ChainError
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """The average transaction profile in blocks.
+
+    Attributes
+    ----------
+    mean_size_bytes:
+        Average transaction size; lower fee levels push it down
+        (Section 6.4: "higher proportion of small-size transactions").
+    verify_cost_per_tx:
+        Signature-verification work units per transaction.
+    utxo_delta_per_tx:
+        Net unspent-output entries added per transaction.
+    """
+
+    mean_size_bytes: float = 500.0
+    verify_cost_per_tx: float = 1.0
+    utxo_delta_per_tx: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_size_bytes <= 0 or self.verify_cost_per_tx <= 0:
+            raise ChainError("transaction parameters must be positive")
+
+    def transactions_per_mb(self) -> float:
+        """Transactions carried by one megabyte of block."""
+        return 1_000_000.0 / self.mean_size_bytes
+
+    @staticmethod
+    def at_fee_level(fee_level: float) -> "TransactionMix":
+        """A stylized fee elasticity: cheap block space (fee_level -> 0)
+        fills with small transactions, expensive space with large ones.
+        ``fee_level`` is a 0..1 knob; 1 reproduces the default mix."""
+        if not 0 <= fee_level <= 1:
+            raise ChainError("fee_level must lie in [0, 1]")
+        mean = 200.0 + 300.0 * fee_level
+        return TransactionMix(mean_size_bytes=mean)
+
+
+@dataclass(frozen=True)
+class NodeCapacity:
+    """One public node's per-block-interval budgets.
+
+    Attributes
+    ----------
+    bandwidth_mb:
+        Megabytes it can relay per block interval.
+    verify_budget:
+        Verification work units per interval.
+    utxo_budget:
+        UTXO entries it can hold in memory (in millions, cumulative
+        budget expressed per-interval for simplicity).
+    """
+
+    bandwidth_mb: float
+    verify_budget: float
+    utxo_budget: float
+
+    def __post_init__(self) -> None:
+        if min(self.bandwidth_mb, self.verify_budget,
+               self.utxo_budget) <= 0:
+            raise ChainError("capacities must be positive")
+
+    def can_handle(self, block_size_mb: float, mix: TransactionMix) -> bool:
+        """Whether this node keeps up with blocks of the given size."""
+        if block_size_mb < 0:
+            raise ChainError("block size cannot be negative")
+        txs = block_size_mb * mix.transactions_per_mb()
+        if block_size_mb > self.bandwidth_mb:
+            return False
+        if txs * mix.verify_cost_per_tx > self.verify_budget:
+            return False
+        if txs * mix.utxo_delta_per_tx > self.utxo_budget * 1e6:
+            return False
+        return True
+
+
+def nodes_online(capacities: Sequence[NodeCapacity],
+                 block_size_mb: float,
+                 mix: TransactionMix = TransactionMix()) -> float:
+    """Fraction of nodes that keep up with ``block_size_mb`` blocks."""
+    if not capacities:
+        raise ChainError("need at least one node")
+    up = sum(1 for c in capacities if c.can_handle(block_size_mb, mix))
+    return up / len(capacities)
+
+
+def max_size_for_participation(capacities: Sequence[NodeCapacity],
+                               target: float = 0.9,
+                               mix: TransactionMix = TransactionMix(),
+                               upper: float = 32.0,
+                               tol: float = 1e-3) -> float:
+    """The Croman-style bound: the largest block size keeping at least
+    ``target`` of the nodes online."""
+    if not 0 < target <= 1:
+        raise ChainError("target must lie in (0, 1]")
+    if nodes_online(capacities, 0.0, mix) < target:
+        return 0.0
+    lo, hi = 0.0, float(upper)
+    if nodes_online(capacities, hi, mix) >= target:
+        return hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if nodes_online(capacities, mid, mix) >= target:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def participation_curve(capacities: Sequence[NodeCapacity],
+                        sizes: Sequence[float],
+                        mix: TransactionMix = TransactionMix()
+                        ) -> List[float]:
+    """Online fraction at each probed block size."""
+    return [nodes_online(capacities, s, mix) for s in sizes]

@@ -1,0 +1,63 @@
+"""Protocol constants and the Bitcoin Unlimited parameter triple.
+
+Constants follow the paper's Section 2:
+
+- the network-message size cap of 32 MB, which bounds any block;
+- the 144-block sticky-gate window (roughly one day of blocks);
+- the 2016-block difficulty adjustment period (used by the Section 6.3
+  countermeasure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChainError
+
+#: Maximum size of a network message, and therefore of any block (MB).
+MESSAGE_LIMIT_MB = 32.0
+
+#: Consecutive non-excessive blocks after which the sticky gate closes.
+STICKY_GATE_WINDOW = 144
+
+#: Number of blocks in a difficulty adjustment period.
+DIFFICULTY_PERIOD = 2016
+
+
+@dataclass(frozen=True)
+class BUParams:
+    """A node's Bitcoin Unlimited parameter triple.
+
+    Attributes
+    ----------
+    mg:
+        Maximum generation size: the largest block the node will mine.
+    eb:
+        Excessive block size: the largest block the node accepts
+        immediately (a block of size exactly ``eb`` is not excessive).
+    ad:
+        Excessive acceptance depth: chain length that must be built on
+        an excessive block (including itself) before it is accepted.
+    """
+
+    mg: float
+    eb: float
+    ad: int
+
+    def __post_init__(self) -> None:
+        if self.mg <= 0:
+            raise ChainError("MG must be positive")
+        if self.eb <= 0:
+            raise ChainError("EB must be positive")
+        if self.ad < 1:
+            raise ChainError("AD must be at least 1")
+        if self.mg > MESSAGE_LIMIT_MB:
+            raise ChainError(
+                f"MG {self.mg} exceeds the network message limit "
+                f"{MESSAGE_LIMIT_MB}")
+
+    @staticmethod
+    def bitcoin_compatible(ad: int = 6) -> "BUParams":
+        """The parameters all BU miners signaled in April 2017, which
+        meet Bitcoin's BVC (MG = EB = 1 MB)."""
+        return BUParams(mg=1.0, eb=1.0, ad=ad)

@@ -1,0 +1,119 @@
+"""Network-wide parameter signaling.
+
+BU participants broadcast their ``(MG, EB, AD)`` choices; the paper's
+threat model assumes signals are honest (Section 2.4).  The registry
+aggregates the signaled values, and :class:`EBSplit` implements the
+observation from Section 4.1.1: when the network signals EB values
+``EB_1 < EB_2 < ... < EB_k``, an attacker may pick any split index ``d``
+and treat the miners as two groups -- those accepting only up to
+``EB_d`` ("Bob") and those accepting up to ``EB_k`` ("Carol") -- by
+mining blocks of size ``EB_{d+1}`` (accepted by the large-EB group,
+excessive to the small-EB group) and, in phase 2, of size just above
+``EB_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ChainError
+from repro.protocol.params import BUParams
+
+
+class SignalRegistry:
+    """Tracks the parameters signaled by each participant, weighted by
+    mining power (non-mining nodes carry zero power)."""
+
+    def __init__(self) -> None:
+        self._signals: Dict[str, BUParams] = {}
+        self._power: Dict[str, float] = {}
+
+    def signal(self, node: str, params: BUParams, power: float = 0.0) -> None:
+        """Record (or update) a participant's signaled parameters."""
+        if power < 0:
+            raise ChainError("mining power cannot be negative")
+        self._signals[node] = params
+        self._power[node] = power
+
+    def params_of(self, node: str) -> BUParams:
+        """Return the parameters signaled by ``node``."""
+        try:
+            return self._signals[node]
+        except KeyError:
+            raise ChainError(f"no signal recorded for {node!r}") from None
+
+    def total_power(self) -> float:
+        """Total mining power across signaling participants."""
+        return sum(self._power.values())
+
+    def distinct_ebs(self) -> List[float]:
+        """Sorted distinct EB values signaled by the network."""
+        return sorted({p.eb for p in self._signals.values()})
+
+    def power_below_eb(self, eb: float) -> float:
+        """Mining power of participants whose EB is strictly below
+        ``eb`` (i.e. who would reject a block of size ``eb``)."""
+        return sum(self._power[n] for n, p in self._signals.items()
+                   if p.eb < eb)
+
+    def power_at_least_eb(self, eb: float) -> float:
+        """Mining power of participants whose EB is at least ``eb``."""
+        return sum(self._power[n] for n, p in self._signals.items()
+                   if p.eb >= eb)
+
+    def has_consensus(self) -> bool:
+        """Whether every participant signals the same EB (an emergent
+        BVC, as all BU miners did in April 2017)."""
+        return len(self.distinct_ebs()) <= 1
+
+    def splits(self, attacker: Optional[str] = None) -> List["EBSplit"]:
+        """Enumerate every split an attacker can induce (one per split
+        index ``d``, Section 4.1.1), excluding the attacker's own power."""
+        others = {n: p for n, p in self._signals.items() if n != attacker}
+        ebs = sorted({p.eb for p in others.values()})
+        out: List[EBSplit] = []
+        for d in range(len(ebs) - 1):
+            eb_small, eb_large = ebs[d], ebs[d + 1]
+            beta = sum(self._power[n] for n, p in others.items()
+                       if p.eb <= eb_small)
+            gamma = sum(self._power[n] for n, p in others.items()
+                        if p.eb > eb_small)
+            out.append(EBSplit(split_eb=eb_small, fork_block_size=eb_large,
+                               oversize_block_size=max(ebs) + 1e-6,
+                               beta=beta, gamma=gamma))
+        return out
+
+
+@dataclass(frozen=True)
+class EBSplit:
+    """One way an attacker can split the compliant mining power.
+
+    Attributes
+    ----------
+    split_eb:
+        The largest EB of the small-EB group ("Bob").
+    fork_block_size:
+        Block size the attacker mines in phase 1: accepted by the
+        large-EB group ("Carol"), excessive to the small-EB group.
+    oversize_block_size:
+        Block size the attacker mines in phase 2: just above every
+        compliant EB, accepted only through an open sticky gate.
+    beta:
+        Mining power of the small-EB group.
+    gamma:
+        Mining power of the large-EB group.
+    """
+
+    split_eb: float
+    fork_block_size: float
+    oversize_block_size: float
+    beta: float
+    gamma: float
+
+    def as_ratio(self) -> Tuple[float, float]:
+        """Return ``(beta, gamma)`` normalized to sum to one."""
+        total = self.beta + self.gamma
+        if total <= 0:
+            raise ChainError("split has no compliant mining power")
+        return self.beta / total, self.gamma / total

@@ -1,0 +1,62 @@
+"""Monte-Carlo mining simulator over the real chain substrate.
+
+Unlike :mod:`repro.mdp.simulate` (which samples the abstract MDP), this
+package replays the paper's three-miner scenario through actual
+:class:`repro.chain.validity.BUValidity` node views: Bob and Carol run
+longest-valid-chain fork choice with first-received tie-breaking, and
+Alice executes an arbitrary strategy (typically an MDP-optimal policy).
+Agreement between the two layers cross-validates the Table 1 encoding
+against Rizun's protocol description.
+
+- :mod:`repro.sim.strategies` -- attacker strategies (policy-driven,
+  honest, always-split);
+- :mod:`repro.sim.metrics` -- reward/orphan/double-spend accounting;
+- :mod:`repro.sim.scenario` -- the three-miner simulator;
+- :mod:`repro.sim.figures` -- executable versions of the paper's
+  Figures 1-3.
+"""
+
+from repro.sim.metrics import Accounting
+from repro.sim.strategies import (
+    AlwaysSplitStrategy,
+    HonestStrategy,
+    PolicyStrategy,
+    Strategy,
+)
+from repro.sim.scenario import ScenarioResult, ThreeMinerScenario
+from repro.sim.figures import (
+    figure1_sticky_gate,
+    figure2_phase_forks,
+    figure3_orphaning,
+)
+from repro.sim.latency import LatencyMiner, LatencyResult, LatencySimulation
+from repro.sim.trace import TraceRecorder
+from repro.sim.network import (
+    HonestAttacker,
+    NetworkMiner,
+    NetworkResult,
+    NetworkSimulation,
+    SplitAttacker,
+)
+
+__all__ = [
+    "Accounting",
+    "Strategy",
+    "HonestStrategy",
+    "AlwaysSplitStrategy",
+    "PolicyStrategy",
+    "ThreeMinerScenario",
+    "ScenarioResult",
+    "figure1_sticky_gate",
+    "figure2_phase_forks",
+    "figure3_orphaning",
+    "LatencyMiner",
+    "LatencyResult",
+    "LatencySimulation",
+    "NetworkMiner",
+    "NetworkSimulation",
+    "NetworkResult",
+    "SplitAttacker",
+    "HonestAttacker",
+    "TraceRecorder",
+]

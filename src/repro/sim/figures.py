@@ -1,0 +1,172 @@
+"""Executable versions of the paper's Figures 1-3.
+
+The paper's figures are protocol illustrations; here each becomes a
+scripted scenario over the real substrate whose captions turn into
+checkable facts.  The benches print the same stories the figures tell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.chain.block import Block, make_block
+from repro.chain.tree import BlockTree
+from repro.chain.validity import BUValidity
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2
+from repro.core.config import AttackConfig
+from repro.errors import SimulationError
+from repro.sim.scenario import ALICE, BOB, CAROL, ThreeMinerScenario
+from repro.sim.strategies import HonestStrategy
+
+
+@dataclass
+class Figure1Result:
+    """Facts behind Figure 1 (a BU miner's choice of parent block).
+
+    Attributes
+    ----------
+    rejected_before_depth:
+        The excessive block is invalid until AD blocks stack on it.
+    accepted_at_depth:
+        The chain becomes valid once the acceptance depth is reached.
+    limit_before, limit_after:
+        The node's effective block size limit before and after the
+        sticky gate opens (EB vs the 32 MB message cap).
+    gate_closed_after_window:
+        The gate closes after 144 consecutive non-excessive blocks.
+    """
+
+    rejected_before_depth: bool
+    accepted_at_depth: bool
+    limit_before: float
+    limit_after: float
+    gate_closed_after_window: bool
+
+
+def figure1_sticky_gate(eb: float = 1.0, ad: int = 3,
+                        gate_window: int = 144) -> Figure1Result:
+    """Replay Figure 1: reject, accept at depth, open gate to 32 MB,
+    close after the window."""
+    tree = BlockTree()
+    rule = BUValidity(eb=eb, ad=ad, sticky=True, gate_window=gate_window)
+    tip: Block = tree.genesis
+    limit_before = rule.local_limit_at(tree, tip)
+    # An excessive block appears.
+    excessive = tree.add(make_block(tip, size=eb * 2, miner="big"))
+    rejected = not rule.is_chain_valid(tree, excessive)
+    # Build AD - 1 blocks on top: the chain becomes valid (middle panel).
+    tip = excessive
+    for _ in range(ad - 1):
+        tip = tree.add(make_block(tip, size=eb, miner="other"))
+    accepted = rule.is_chain_valid(tree, tip)
+    limit_after = rule.local_limit_at(tree, tip)
+    # 144 consecutive non-excessive blocks close the gate (lower panel).
+    for _ in range(gate_window - (tip.height - excessive.height)):
+        tip = tree.add(make_block(tip, size=eb, miner="other"))
+    closed = not rule.gate_open_at(tree, tip)
+    still_valid = rule.is_chain_valid(tree, tip)
+    if not still_valid:
+        raise SimulationError("closing the gate must not invalidate "
+                              "the accepted chain")
+    return Figure1Result(rejected_before_depth=rejected,
+                         accepted_at_depth=accepted,
+                         limit_before=limit_before,
+                         limit_after=limit_after,
+                         gate_closed_after_window=closed)
+
+
+@dataclass
+class Figure2Result:
+    """Facts behind Figure 2 (phase-1 and phase-2 splits).
+
+    Attributes
+    ----------
+    phase1_split:
+        After Alice's EB_C-sized block, Carol mines on it while Bob
+        stays on its predecessor.
+    phase2_entered:
+        Once Chain 2 reaches AD, Bob adopts it and his gate opens.
+    phase2_split:
+        With Bob's gate open, Alice's block just above EB_C is accepted
+        by Bob and rejected by Carol -- the mirrored fork.
+    """
+
+    phase1_split: bool
+    phase2_entered: bool
+    phase2_split: bool
+
+
+def figure2_phase_forks(ad: int = 3) -> Figure2Result:
+    """Replay Figure 2's two panels through the simulator."""
+    config = AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, ad=ad, setting=2)
+    scenario = ThreeMinerScenario(config, HonestStrategy())
+    # Phase 1: Alice splits; Carol follows her block, Bob does not.
+    scenario.force_step(ALICE, ON_CHAIN_2)
+    fork = scenario.fork
+    phase1_split = (fork is not None and fork.phase == 1
+                    and scenario.carol.head().miner == ALICE
+                    and scenario.bob.head().block_id
+                    == fork.base.block_id)
+    # Carol extends Chain 2 until it reaches AD: Bob adopts, gate opens.
+    for _ in range(ad - 1):
+        scenario.force_step(CAROL, ON_CHAIN_1)
+    phase2_entered = (scenario.fork is None
+                      and scenario.bob.head().block_id
+                      == scenario.carol.head().block_id
+                      and scenario._gate_r(scenario.bob) > 0)
+    # Phase 2: Alice's oversize block splits the other way.
+    scenario.force_step(ALICE, ON_CHAIN_2)
+    fork = scenario.fork
+    phase2_split = (fork is not None and fork.phase == 2
+                    and scenario.bob.head().miner == ALICE
+                    and scenario.carol.head().block_id
+                    == fork.base.block_id)
+    return Figure2Result(phase1_split=phase1_split,
+                         phase2_entered=phase2_entered,
+                         phase2_split=phase2_split)
+
+
+@dataclass
+class Figure3Result:
+    """Facts behind Figure 3 (two compliant blocks orphaned by one
+    Alice block).
+
+    Attributes
+    ----------
+    alice_blocks_spent:
+        Alice's blocks consumed by the race (all orphaned here).
+    others_orphaned:
+        Compliant blocks orphaned when Carol switches back to Chain 1.
+    orphans_per_alice_block:
+        The u_A3 contribution of this single race.
+    """
+
+    alice_blocks_spent: int
+    others_orphaned: int
+    orphans_per_alice_block: float
+
+
+def figure3_orphaning(ad: int = 6) -> Figure3Result:
+    """Replay Figure 3: Alice's one split block drags two Carol blocks
+    onto a chain that Bob's majority then orphans."""
+    config = AttackConfig(alpha=0.1, beta=0.6, gamma=0.3, ad=ad, setting=1)
+    scenario = ThreeMinerScenario(config, HonestStrategy())
+    scenario.force_step(ALICE, ON_CHAIN_2)   # Chain 2 opens (l2 = 1)
+    scenario.force_step(CAROL, ON_CHAIN_1)   # Carol joins Chain 2 (l2 = 2)
+    scenario.force_step(CAROL, ON_CHAIN_1)   # and again (l2 = 3)
+    for _ in range(4):                       # Bob out-mines the fork
+        scenario.force_step(BOB, ON_CHAIN_1)
+    acc = scenario.accounting
+    if scenario.fork is not None:
+        raise SimulationError("the race must have resolved")
+    alice_spent = int(acc.alice + acc.alice_orphans)
+    return Figure3Result(
+        alice_blocks_spent=alice_spent,
+        others_orphaned=int(acc.others_orphans),
+        orphans_per_alice_block=acc.others_orphans / alice_spent)
+
+
+def chain_sizes(tree: BlockTree, tip: Block) -> List[Tuple[int, float]]:
+    """Helper for reports: (height, size) pairs of a chain."""
+    return [(b.height, b.size) for b in tree.chain(tip)]

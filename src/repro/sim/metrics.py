@@ -1,0 +1,79 @@
+"""Reward, orphan and double-spend accounting for simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.double_spend import double_spend_bonus
+from repro.errors import SimulationError
+
+
+@dataclass
+class Accounting:
+    """Accumulated outcome of a simulation run.
+
+    Mirrors the MDP's reward channels so simulated rates are directly
+    comparable with :func:`repro.mdp.stationary.policy_gains`.
+    """
+
+    steps: int = 0
+    alice: float = 0.0
+    others: float = 0.0
+    alice_orphans: float = 0.0
+    others_orphans: float = 0.0
+    ds: float = 0.0
+    races: int = 0
+    race_lengths: Dict[int, int] = field(default_factory=dict)
+
+    def record_locked(self, alice_blocks: int, other_blocks: int) -> None:
+        """Credit blocks that entered the blockchain."""
+        self.alice += alice_blocks
+        self.others += other_blocks
+
+    def record_race(self, orphaned_alice: int, orphaned_others: int,
+                    rds: float, confirmations: int) -> None:
+        """Record a resolved block race and its double-spend payout."""
+        self.alice_orphans += orphaned_alice
+        self.others_orphans += orphaned_others
+        orphaned = orphaned_alice + orphaned_others
+        self.ds += double_spend_bonus(orphaned, rds, confirmations)
+        self.races += 1
+        self.race_lengths[orphaned] = self.race_lengths.get(orphaned, 0) + 1
+
+    # -- utilities mirroring Section 3 ---------------------------------
+
+    @property
+    def relative_revenue(self) -> float:
+        """u_A1 estimate: Alice's share of blockchain blocks."""
+        total = self.alice + self.others
+        if total == 0:
+            raise SimulationError("no blocks locked yet")
+        return self.alice / total
+
+    @property
+    def absolute_reward(self) -> float:
+        """u_A2 estimate: Alice's income per network block."""
+        if self.steps == 0:
+            raise SimulationError("no steps simulated yet")
+        return (self.alice + self.ds) / self.steps
+
+    @property
+    def orphan_rate(self) -> float:
+        """u_A3 estimate: others' orphans per Alice block."""
+        den = self.alice + self.alice_orphans
+        if den == 0:
+            raise SimulationError("Alice mined no blocks yet")
+        return self.others_orphans / den
+
+    def rates(self) -> Dict[str, float]:
+        """Per-step channel rates, comparable with MDP gains."""
+        if self.steps == 0:
+            raise SimulationError("no steps simulated yet")
+        return {
+            "alice": self.alice / self.steps,
+            "others": self.others / self.steps,
+            "alice_orphans": self.alice_orphans / self.steps,
+            "others_orphans": self.others_orphans / self.steps,
+            "ds": self.ds / self.steps,
+        }

@@ -1,0 +1,250 @@
+"""N-node Bitcoin Unlimited network simulation.
+
+The paper's analysis reduces the network to three actors; this module
+simulates the general case -- any number of compliant participants with
+individual ``(MG, EB, AD)`` triples over the shared substrate, plus an
+optional strategic miner -- so scenarios like the April 2017 field
+distribution (AD = 6 miners, an AD = 20 miner, AD = 12 / EB = 16 MB
+public nodes) can be replayed directly.
+
+Compliant miners follow longest-valid-chain fork choice with their own
+validity rules; the attacker gets a view of everyone's signals and the
+tree and decides, per block it mines, which parent to extend and what
+size to produce.  :class:`SplitAttacker` implements the generalized
+Cryptoconomy attack of Section 4.1.1 (split the compliant power at a
+chosen EB boundary and keep the halves racing).
+
+Metrics: per-miner blocks on the final consensus chain, orphan counts,
+and *disagreement time* -- the fraction of steps during which not all
+participants mine on the same head, the fork-frequency concern of the
+paper's critics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chain.block import Block, make_block
+from repro.chain.tree import BlockTree
+from repro.errors import SimulationError
+from repro.protocol.node import NodeView
+from repro.protocol.params import BUParams, MESSAGE_LIMIT_MB
+
+
+@dataclass(frozen=True)
+class NetworkMiner:
+    """A compliant participant (power 0 models a non-mining node)."""
+
+    name: str
+    power: float
+    params: BUParams
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise SimulationError("power cannot be negative")
+
+
+class Attacker:
+    """Strategy interface for the strategic miner."""
+
+    def choose(self, sim: "NetworkSimulation") -> Tuple[Block, float]:
+        """Return (parent block, block size) for the attacker's next
+        block."""
+        raise NotImplementedError
+
+
+class HonestAttacker(Attacker):
+    """Baseline: mines 1 MB blocks on the majority head."""
+
+    def choose(self, sim: "NetworkSimulation") -> Tuple[Block, float]:
+        return sim.majority_head(), 1.0
+
+
+class SplitAttacker(Attacker):
+    """The generalized EB-split attack (Section 4.1.1).
+
+    At consensus, mines a block of ``split_size`` (excessive to the
+    small-EB group, acceptable to the large-EB group) on the consensus
+    head; while the network disagrees, keeps supporting the chain the
+    large-EB group mines on.
+    """
+
+    def __init__(self, split_size: float) -> None:
+        if not 0 < split_size <= MESSAGE_LIMIT_MB:
+            raise SimulationError("split size outside (0, 32] MB")
+        self.split_size = split_size
+
+    def choose(self, sim: "NetworkSimulation") -> Tuple[Block, float]:
+        heads = sim.heads()
+        if len({h.block_id for h in heads.values()}) == 1:
+            return next(iter(heads.values())), self.split_size
+        # Disagreement: extend the head of the largest camp that
+        # accepts the split blocks (EB >= split size).
+        followers = [m for m in sim.miners
+                     if m.params.eb >= self.split_size]
+        if followers:
+            best = max(followers, key=lambda m: m.power)
+            return heads[best.name], 1.0
+        return sim.majority_head(), 1.0
+
+
+@dataclass
+class NetworkResult:
+    """Outcome of a network simulation run.
+
+    Attributes
+    ----------
+    blocks_mined:
+        Total blocks produced (attacker included).
+    consensus_height:
+        Height of the final consensus chain.
+    orphans:
+        Blocks off the final consensus chain.
+    chain_share:
+        Miner name -> share of consensus-chain blocks.
+    disagreement_fraction:
+        Fraction of steps at which participants' heads differed.
+    attacker_orphan_ratio:
+        Compliant blocks orphaned per attacker block mined (a
+        simulation analogue of u_A3; 0 when no attacker is present).
+    giant_blocks_on_chain:
+        Consensus-chain blocks larger than the smallest signaled EB --
+        the "embed giant blocks through open sticky gates" damage of
+        Section 4.1.1's phase 3.
+    """
+
+    blocks_mined: int
+    consensus_height: int
+    orphans: int
+    chain_share: Dict[str, float]
+    disagreement_fraction: float
+    attacker_orphan_ratio: float
+    giant_blocks_on_chain: int
+
+
+ATTACKER = "attacker"
+
+
+class NetworkSimulation:
+    """Step-stochastic simulation of an N-participant BU network."""
+
+    def __init__(self, miners: Sequence[NetworkMiner],
+                 attacker: Optional[Attacker] = None,
+                 attacker_power: float = 0.0,
+                 sticky: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not miners:
+            raise SimulationError("need at least one compliant miner")
+        if attacker is None and attacker_power > 0:
+            raise SimulationError("attacker power without an attacker")
+        if attacker is not None and attacker_power <= 0:
+            raise SimulationError("attacker requires positive power")
+        names = [m.name for m in miners]
+        if len(set(names)) != len(names) or ATTACKER in names:
+            raise SimulationError("miner names must be unique and must "
+                                  f"not include {ATTACKER!r}")
+        self.miners = list(miners)
+        self.attacker = attacker
+        self.attacker_power = attacker_power
+        self.rng = rng if rng is not None else np.random.default_rng()
+        total = sum(m.power for m in miners) + attacker_power
+        if total <= 0:
+            raise SimulationError("total mining power must be positive")
+        self._weights = np.array(
+            [m.power / total for m in miners] + (
+                [attacker_power / total] if attacker else []))
+        self.tree = BlockTree()
+        self.views: Dict[str, NodeView] = {}
+        for m in miners:
+            view = NodeView.bu(m.name, self.tree, m.params, sticky=sticky)
+            view.observe(self.tree.genesis)
+            self.views[m.name] = view
+        self._mined: Dict[str, int] = {m.name: 0 for m in miners}
+        self._mined[ATTACKER] = 0
+        self._disagreement_steps = 0
+        self._steps = 0
+
+    # -- queries used by attacker strategies ---------------------------
+
+    def heads(self) -> Dict[str, Block]:
+        """Current head per compliant participant."""
+        return {name: view.head() for name, view in self.views.items()}
+
+    def majority_head(self) -> Block:
+        """The head backed by the most compliant mining power."""
+        power_by_head: Dict[str, float] = {}
+        block_by_id: Dict[str, Block] = {}
+        for m in self.miners:
+            head = self.views[m.name].head()
+            power_by_head[head.block_id] = (
+                power_by_head.get(head.block_id, 0.0) + m.power)
+            block_by_id[head.block_id] = head
+        best = max(power_by_head, key=power_by_head.__getitem__)
+        return block_by_id[best]
+
+    def in_disagreement(self) -> bool:
+        """Whether participants currently mine on different heads."""
+        ids = {view.head().block_id for view in self.views.values()}
+        return len(ids) > 1
+
+    # -- dynamics -------------------------------------------------------
+
+    def step(self) -> Block:
+        """One block event; returns the mined block."""
+        self._steps += 1
+        if self.in_disagreement():
+            self._disagreement_steps += 1
+        idx = int(self.rng.choice(len(self._weights), p=self._weights))
+        if idx < len(self.miners):
+            miner = self.miners[idx]
+            view = self.views[miner.name]
+            parent, size = view.head(), miner.params.mg
+            name = miner.name
+        else:
+            assert self.attacker is not None
+            parent, size = self.attacker.choose(self)
+            name = ATTACKER
+        block = make_block(parent, size=size, miner=name,
+                           timestamp=self._steps)
+        self.tree.add(block)
+        for view in self.views.values():
+            view.observe(block)
+        self._mined[name] += 1
+        return block
+
+    def run(self, steps: int) -> NetworkResult:
+        """Run ``steps`` block events and summarize."""
+        for _ in range(steps):
+            self.step()
+        return self._summarize()
+
+    def _summarize(self) -> NetworkResult:
+        consensus = self.majority_head()
+        chain = self.tree.chain(consensus)
+        on_chain: Dict[str, int] = {name: 0 for name in self._mined}
+        for block in chain[1:]:
+            on_chain[block.miner] += 1
+        height = consensus.height
+        share = {name: (count / height if height else 0.0)
+                 for name, count in on_chain.items()}
+        mined_total = sum(self._mined.values())
+        orphans = mined_total - height
+        attacker_mined = self._mined[ATTACKER]
+        compliant_orphans = orphans - (attacker_mined
+                                       - on_chain[ATTACKER])
+        ratio = (compliant_orphans / attacker_mined
+                 if attacker_mined else 0.0)
+        min_eb = min(m.params.eb for m in self.miners)
+        giant = sum(1 for block in chain[1:] if block.size > min_eb)
+        return NetworkResult(
+            giant_blocks_on_chain=giant,
+            blocks_mined=mined_total,
+            consensus_height=height,
+            orphans=orphans,
+            chain_share=share,
+            disagreement_fraction=(self._disagreement_steps / self._steps
+                                   if self._steps else 0.0),
+            attacker_orphan_ratio=ratio)

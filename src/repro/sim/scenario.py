@@ -1,0 +1,328 @@
+"""The three-miner scenario simulator (Section 4.1.1, over the real
+substrate).
+
+Alice (strategic), Bob (small EB) and Carol (large EB) mine over one
+shared block tree; Bob and Carol run genuine
+:class:`repro.chain.validity.BUValidity` fork choice, so the
+simulator's dynamics follow Rizun's protocol description rather than
+the MDP's abstraction.  The scenario simultaneously tracks the MDP
+state it believes the system is in and *asserts* at every step that the
+substrate's node views agree (Bob on Chain 1, Carol on Chain 2, and
+vice versa in phase 2) -- a continuous cross-validation of the Table 1
+encoding.
+
+In setting 1 (sticky gates disabled) the substrate dynamics coincide
+exactly with the MDP, so long runs of an optimal policy must reproduce
+the solved utilities within sampling error (tested).  In setting 2 the
+substrate's gate countdown starts at the excessive block itself (per
+Rizun) while the paper's MDP restarts it at 144 upon acceptance; the
+tracked ``r`` follows the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.chain.block import Block, make_block
+from repro.chain.tree import BlockTree
+from repro.chain.validity import BUValidity
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.core.config import AttackConfig
+from repro.core.states import State, base1_state, base2_state
+from repro.errors import SimulationError
+from repro.protocol.node import NodeView
+from repro.protocol.params import BUParams, MESSAGE_LIMIT_MB
+from repro.sim.metrics import Accounting
+from repro.sim.strategies import Strategy
+
+ALICE, BOB, CAROL = "alice", "bob", "carol"
+
+
+@dataclass
+class _Fork:
+    """Bookkeeping of an ongoing fork."""
+
+    base: Block          # last block both compliant groups agree on
+    chain1_tip: Block
+    chain2_tip: Block
+    phase: int           # 1: Bob on Chain 1; 2: roles swapped
+    a1: int = 0
+    a2: int = 1          # Chain 2 opens with Alice's block
+    r_at_start: int = 0
+
+    @property
+    def l1(self) -> int:
+        return self.chain1_tip.height - self.base.height
+
+    @property
+    def l2(self) -> int:
+        return self.chain2_tip.height - self.base.height
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    accounting:
+        Channel totals comparable with MDP gains.
+    blocks_mined:
+        Total blocks mined (equals steps).
+    tree_size:
+        Number of blocks in the tree (including genesis).
+    """
+
+    accounting: Accounting
+    blocks_mined: int
+    tree_size: int
+
+
+class ThreeMinerScenario:
+    """Simulates the Alice/Bob/Carol system over the chain substrate."""
+
+    def __init__(self, config: AttackConfig, strategy: Strategy,
+                 eb_bob: float = 1.0, eb_carol: float = 4.0,
+                 rng: Optional[np.random.Generator] = None,
+                 observer=None) -> None:
+        if eb_carol <= eb_bob:
+            raise SimulationError("the scenario requires EB_B < EB_C")
+        if eb_carol + 0.5 > MESSAGE_LIMIT_MB:
+            raise SimulationError("EB_C too close to the message limit")
+        self.config = config
+        self.strategy = strategy
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.tree = BlockTree()
+        sticky = config.setting == 2
+        self.bob = NodeView.bu(
+            BOB, self.tree, BUParams(mg=1.0, eb=eb_bob, ad=config.ad),
+            sticky=sticky)
+        self.carol = NodeView.bu(
+            CAROL, self.tree,
+            BUParams(mg=1.0, eb=eb_carol, ad=config.effective_ad_carol),
+            sticky=sticky)
+        self.normal_size = 1.0
+        self.split1_size = eb_carol          # Carol accepts, Bob rejects
+        self.split2_size = eb_carol + 0.5    # Bob's open gate accepts only
+        self.accounting = Accounting()
+        self.fork: Optional[_Fork] = None
+        self.last_locked: Block = self.tree.genesis
+        #: Optional callable receiving one dict per settlement event
+        #: (see :mod:`repro.sim.trace`).
+        self.observer = observer
+
+    def _notify(self, kind: str, **fields) -> None:
+        if self.observer is not None:
+            event = {"kind": kind, "step": self.accounting.steps}
+            if self.fork is not None:
+                event.update(l1=self.fork.l1, l2=self.fork.l2,
+                             phase=self.fork.phase)
+            event.update(fields)
+            self.observer(event)
+
+    # -- state tracking -------------------------------------------------
+
+    def _bob_rule(self) -> BUValidity:
+        return self.bob.rule  # type: ignore[return-value]
+
+    def _carol_rule(self) -> BUValidity:
+        return self.carol.rule  # type: ignore[return-value]
+
+    def _gate_r(self, view: NodeView) -> int:
+        """Remaining gate-counter blocks for a node at its head
+        (substrate view; 0 when the gate is closed)."""
+        rule = view.rule
+        assert isinstance(rule, BUValidity)
+        head = view.head()
+        if not rule.gate_open_at(self.tree, head):
+            return 0
+        last_exc = rule.last_excessive_height(self.tree, head)
+        assert last_exc is not None
+        return max(rule.gate_window - (head.height - last_exc), 0)
+
+    def in_phase3(self) -> bool:
+        """Whether both sticky gates are open (the attack pauses)."""
+        return (self.fork is None and self._gate_r(self.bob) > 0
+                and self._gate_r(self.carol) > 0)
+
+    def tracked_state(self) -> State:
+        """The MDP state key corresponding to the current system."""
+        if self.fork is None:
+            r = self._gate_r(self.bob)
+            return base1_state() if r == 0 else base2_state(r)
+        f = self.fork
+        if f.phase == 1:
+            return ("fork1", f.l1, f.l2, f.a1, f.a2)
+        return ("fork2", f.l1, f.l2, f.a1, f.a2, f.r_at_start)
+
+    # -- one step --------------------------------------------------------
+
+    def step(self) -> None:
+        """Mine one block and settle any race it resolves."""
+        cfg = self.config
+        if self.in_phase3():
+            action = ON_CHAIN_1  # the strategy pauses during phase 3
+        else:
+            action = self.strategy.decide(self.tracked_state())
+        if action == WAIT:
+            rest = cfg.beta + cfg.gamma
+            miner = BOB if self.rng.random() < cfg.beta / rest else CAROL
+        else:
+            u = self.rng.random()
+            if u < cfg.alpha:
+                miner = ALICE
+            elif u < cfg.alpha + cfg.beta:
+                miner = BOB
+            else:
+                miner = CAROL
+        self._advance(miner, action)
+
+    def force_step(self, miner: str, action: str = ON_CHAIN_1) -> None:
+        """Scripted step: ``miner`` finds the next block, with Alice
+        acting per ``action``.  Used by the Figure 2/3 scenarios and by
+        deterministic tests."""
+        if miner not in (ALICE, BOB, CAROL):
+            raise SimulationError(f"unknown miner {miner!r}")
+        self._advance(miner, action)
+
+    def _advance(self, miner: str, action: str) -> None:
+        block = self._mine(miner, action)
+        self.accounting.steps += 1
+        self._settle(block, miner)
+        self._check_views()
+
+    def run(self, steps: int) -> ScenarioResult:
+        """Run ``steps`` block events and return the totals."""
+        for _ in range(steps):
+            self.step()
+        return ScenarioResult(accounting=self.accounting,
+                              blocks_mined=self.accounting.steps,
+                              tree_size=len(self.tree))
+
+    # -- mining ----------------------------------------------------------
+
+    def _chain1_tip(self) -> Block:
+        if self.fork is None:
+            return self.bob.head()
+        return self.fork.chain1_tip
+
+    def _chain2_tip(self) -> Block:
+        if self.fork is None:
+            raise SimulationError("no fork in progress")
+        return self.fork.chain2_tip
+
+    def _mine(self, miner: str, action: str) -> Block:
+        step = self.accounting.steps
+        if miner == BOB:
+            parent, size = self.bob.head(), self.normal_size
+        elif miner == CAROL:
+            parent, size = self.carol.head(), self.normal_size
+        else:
+            if action == ON_CHAIN_2 and self.fork is None:
+                parent = self.bob.head()
+                gate_open = self._gate_r(self.bob) > 0
+                size = self.split2_size if gate_open else self.split1_size
+            elif action == ON_CHAIN_2:
+                parent, size = self._chain2_tip(), self.normal_size
+            else:
+                parent, size = self._chain1_tip(), self.normal_size
+        block = make_block(parent, size=size, miner=miner, timestamp=step)
+        self.tree.add(block)
+        self.bob.observe(block)
+        self.carol.observe(block)
+        return block
+
+    # -- settlement -------------------------------------------------------
+
+    def _count_alice(self, ancestor: Block, tip: Block) -> int:
+        return sum(1 for b in self.tree.subchain(ancestor, tip)
+                   if b.miner == ALICE)
+
+    def _lock(self, tip: Block) -> None:
+        """Lock the chain from the last locked block up to ``tip``."""
+        blocks = self.tree.subchain(self.last_locked, tip)
+        alice = sum(1 for b in blocks if b.miner == ALICE)
+        self.accounting.record_locked(alice, len(blocks) - alice)
+        self.last_locked = tip
+
+    def _resolve(self, winner_tip: Block, loser_tip: Block) -> None:
+        f = self.fork
+        assert f is not None
+        orphaned = self.tree.subchain(f.base, loser_tip)
+        alice_orphans = sum(1 for b in orphaned if b.miner == ALICE)
+        winner = "chain1" if winner_tip.block_id == f.chain1_tip.block_id \
+            else "chain2"
+        self._notify("resolve", winner=winner, orphaned=len(orphaned))
+        self._lock(winner_tip)
+        self.accounting.record_race(alice_orphans,
+                                    len(orphaned) - alice_orphans,
+                                    self.config.rds,
+                                    self.config.confirmations)
+        self.fork = None
+
+    def _settle(self, block: Block, miner: str) -> None:
+        cfg = self.config
+        if self.fork is None:
+            if miner == ALICE and block.size > self.normal_size:
+                # Alice opened a fork with a split block.
+                gate_open = block.size > self.split1_size
+                base = self.tree.get(block.parent_id)
+                self.fork = _Fork(base=base, chain1_tip=base,
+                                  chain2_tip=block,
+                                  phase=2 if gate_open else 1,
+                                  r_at_start=self._gate_r(self.bob))
+                self._notify("split", size=block.size)
+                return
+            self._lock(block)
+            self._notify("locked", miner=miner)
+            return
+        f = self.fork
+        parent_id = block.parent_id
+        if parent_id == f.chain1_tip.block_id:
+            f.chain1_tip = block
+            if miner == ALICE:
+                f.a1 += 1
+        elif parent_id == f.chain2_tip.block_id:
+            f.chain2_tip = block
+            if miner == ALICE:
+                f.a2 += 1
+        else:
+            raise SimulationError(
+                f"block extends neither fork tip (miner {miner})")
+        lock_depth = cfg.ad_bob if f.phase == 1 else cfg.effective_ad_carol
+        if f.l1 > f.l2:
+            self._resolve(winner_tip=f.chain1_tip, loser_tip=f.chain2_tip)
+        elif f.l2 >= lock_depth:
+            self._resolve(winner_tip=f.chain2_tip, loser_tip=f.chain1_tip)
+
+    # -- substrate cross-checks --------------------------------------------
+
+    def _check_views(self) -> None:
+        """Assert the node views agree with the tracked fork state."""
+        bob_head = self.bob.head()
+        carol_head = self.carol.head()
+        if self.fork is None:
+            if bob_head.block_id != carol_head.block_id:
+                raise SimulationError(
+                    "tracker says consensus but node views disagree: "
+                    f"bob={bob_head.block_id} carol={carol_head.block_id}")
+            if bob_head.block_id != self.last_locked.block_id:
+                raise SimulationError(
+                    "consensus head does not match locked head")
+            return
+        f = self.fork
+        on_one = f.chain1_tip if f.l1 > 0 else f.base
+        expected = {1: (on_one, f.chain2_tip),
+                    2: (f.chain2_tip, on_one)}[f.phase]
+        exp_bob, exp_carol = expected
+        if bob_head.block_id != exp_bob.block_id:
+            raise SimulationError(
+                f"Bob mines on {bob_head.block_id}, tracker expected "
+                f"{exp_bob.block_id} (phase {f.phase})")
+        if carol_head.block_id != exp_carol.block_id:
+            raise SimulationError(
+                f"Carol mines on {carol_head.block_id}, tracker expected "
+                f"{exp_carol.block_id} (phase {f.phase})")

@@ -1,0 +1,61 @@
+"""Attacker strategies for the three-miner simulator.
+
+A strategy maps the tracked MDP state (see :mod:`repro.core.states`)
+to an action name.  :class:`PolicyStrategy` executes an optimal policy
+from the solvers; the heuristics are baselines and test fixtures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.core.states import State, is_base
+from repro.errors import SimulationError
+from repro.mdp.policy import Policy
+
+
+class Strategy(ABC):
+    """Decides Alice's action in each simulator step."""
+
+    @abstractmethod
+    def decide(self, state: State) -> str:
+        """Return the action name for the tracked state."""
+
+
+class HonestStrategy(Strategy):
+    """Never attacks: always extends the consensus chain."""
+
+    def decide(self, state: State) -> str:
+        return ON_CHAIN_1
+
+
+class AlwaysSplitStrategy(Strategy):
+    """Splits at every opportunity and keeps pumping Chain 2 -- the
+    naive generalization of Cryptoconomy's attack description."""
+
+    def decide(self, state: State) -> str:
+        return ON_CHAIN_2
+
+
+class WaitAndWatchStrategy(Strategy):
+    """Splits from base states, then idles to watch Bob and Carol
+    orphan each other (a cheap non-profit-driven heuristic)."""
+
+    def decide(self, state: State) -> str:
+        return ON_CHAIN_2 if is_base(state) else WAIT
+
+
+class PolicyStrategy(Strategy):
+    """Executes an MDP policy produced by the solvers."""
+
+    def __init__(self, policy: Policy) -> None:
+        self.policy = policy
+
+    def decide(self, state: State) -> str:
+        try:
+            return self.policy.action_for(state)
+        except Exception as exc:
+            raise SimulationError(
+                f"policy has no action for tracked state {state!r}"
+            ) from exc

@@ -1,0 +1,75 @@
+"""Event traces of scenario runs.
+
+Attach a :class:`TraceRecorder` to :class:`repro.sim.scenario.
+ThreeMinerScenario` (via its ``observer`` hook) to capture what happens
+block by block -- splits, race resolutions, locked blocks -- and render
+it as a readable timeline.  Meant for debugging strategies and for
+narrating short runs in reports; long runs should cap the buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class TraceRecorder:
+    """Ring-buffer recorder for scenario settlement events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (older events are dropped); ``None``
+        keeps everything.
+    kinds:
+        Optional filter: only record these event kinds
+        (``"split"``, ``"resolve"``, ``"locked"``).
+    """
+
+    def __init__(self, capacity: Optional[int] = 1000,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("capacity must be positive")
+        self._events: Deque[Dict] = deque(maxlen=capacity)
+        self._kinds = set(kinds) if kinds is not None else None
+        self.dropped = 0
+        self.counts: Dict[str, int] = {}
+
+    def __call__(self, event: Dict) -> None:
+        """The observer hook: record one event."""
+        kind = event.get("kind", "?")
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if (self._events.maxlen is not None
+                and len(self._events) == self._events.maxlen):
+            self.dropped += 1
+        self._events.append(dict(event))
+
+    @property
+    def events(self) -> List[Dict]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def races(self) -> List[Dict]:
+        """Only the race resolutions."""
+        return [e for e in self._events if e["kind"] == "resolve"]
+
+    def render(self, limit: int = 30) -> str:
+        """A compact timeline of the most recent events.
+
+        >>> rec = TraceRecorder()
+        >>> rec({"kind": "split", "step": 3, "size": 4.0})
+        >>> print(rec.render())
+        step    3  split    size=4.0
+        """
+        lines = []
+        for event in list(self._events)[-limit:]:
+            fields = {k: v for k, v in event.items()
+                      if k not in ("kind", "step")}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            lines.append(f"step {event['step']:>4}  "
+                         f"{event['kind']:<8} {detail}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Tests for the markdown report generator."""
+
+import io
+
+from repro.analysis.experiments import generate_report, main
+
+
+def test_fast_report_structure():
+    report = generate_report(fast=True)
+    assert report.startswith("# Regenerated paper comparison")
+    assert "table2-setting1" in report
+    assert "table3-bitcoin" in report
+    assert "Max |measured - paper|" in report
+
+
+def test_report_streams_incrementally():
+    buffer = io.StringIO()
+    generate_report(fast=True, stream=buffer)
+    assert "table4" in buffer.getvalue()
+
+
+def test_main_writes_file(tmp_path):
+    target = tmp_path / "report.md"
+    code = main(["--fast", "--output", str(target)])
+    assert code == 0
+    assert "table2" in target.read_text()

@@ -1,0 +1,33 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.formatting import format_cell, format_table
+from repro.errors import ReproError
+
+
+def test_format_cell_variants():
+    assert format_cell(None) == ""
+    assert format_cell(1.23456, precision=2) == "1.23"
+    assert format_cell("x") == "x"
+    assert format_cell(7) == "7"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.5], ["bbbb", None]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "1.5000" in lines[2]
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_table_validation():
+    with pytest.raises(ReproError):
+        format_table([], [])
+    with pytest.raises(ReproError):
+        format_table(["a"], [[1, 2]])

@@ -1,0 +1,62 @@
+"""Tests for policy maps."""
+
+import pytest
+
+from repro.analysis.policy_maps import action_census, policy_map, summarize
+from repro.core.config import AttackConfig
+from repro.core.solve import solve_orphan_rate, solve_relative_revenue
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def solved():
+    return solve_relative_revenue(
+        AttackConfig.from_ratio(0.25, (2, 3), setting=1))
+
+
+def test_map_dimensions(solved):
+    out = policy_map(solved.policy, phase=1)
+    lines = out.splitlines()
+    # Header + l1 rows 0..AD-1.
+    assert len(lines) == 1 + 6
+    assert lines[0].startswith("l1\\l2")
+
+
+def test_map_symbols_valid(solved):
+    out = policy_map(solved.policy, phase=1)
+    body = "".join(out.splitlines()[1:])
+    symbols = set(body.replace(" ", ""))
+    assert symbols <= set("0123456789.12W*")
+
+
+def test_infeasible_cells_dotted(solved):
+    out = policy_map(solved.policy, phase=1)
+    # l1 = 5, l2 < 5 are infeasible (l1 <= l2); the last row starts
+    # with dots.
+    last = out.splitlines()[-1].split()
+    assert last[1] == "."
+
+
+def test_wait_appears_for_non_profit_policy():
+    analysis = solve_orphan_rate(
+        AttackConfig.from_ratio(0.01, (2, 3), setting=1))
+    census = action_census(analysis.policy)
+    assert census.get("Wait", 0) > 0
+
+
+def test_summarize_contains_base_action(solved):
+    text = summarize(solved.policy)
+    assert "base state plays" in text
+    assert "OnChain2" in text
+
+
+def test_phase2_map_requires_phase2_states(solved):
+    with pytest.raises(ReproError):
+        policy_map(solved.policy, phase=2)
+
+
+def test_phase2_map_on_setting2_policy():
+    analysis = solve_relative_revenue(
+        AttackConfig.from_ratio(0.25, (1, 1), setting=2, gate_window=4))
+    out = policy_map(analysis.policy, phase=2, r=4)
+    assert out.splitlines()

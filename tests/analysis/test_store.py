@@ -1,0 +1,65 @@
+"""Tests for result persistence."""
+
+import pytest
+
+from repro.analysis.store import (
+    load_analysis_summary,
+    load_table,
+    policy_from_summary,
+    save_analysis,
+    save_table,
+)
+from repro.analysis.tables import TableResult
+from repro.core.config import AttackConfig
+from repro.core.solve import solve_relative_revenue, utility_of_policy
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return solve_relative_revenue(
+        AttackConfig.from_ratio(0.25, (2, 3), setting=1))
+
+
+def test_analysis_roundtrip(tmp_path, analysis):
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    summary = load_analysis_summary(path)
+    assert summary["utility"] == pytest.approx(analysis.utility)
+    assert summary["config"] == analysis.config
+    assert summary["model"] is analysis.model
+    assert summary["policy"][("base", 0)] == \
+        analysis.policy.action_for(("base", 0))
+
+
+def test_policy_reconstruction_preserves_utility(tmp_path, analysis):
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    summary = load_analysis_summary(path)
+    policy = policy_from_summary(summary)
+    value = utility_of_policy(policy.mdp, policy.action_indices,
+                              summary["model"])
+    assert value == pytest.approx(analysis.utility, abs=1e-9)
+
+
+def test_table_roundtrip(tmp_path):
+    table = TableResult(name="t", row_labels=["a"], col_labels=["b"],
+                        cells={("a", "b"): 1.5}, paper={("a", "b"): 1.4})
+    path = tmp_path / "table.json"
+    save_table(table, path)
+    loaded = load_table(path)
+    assert loaded.cells == table.cells
+    assert loaded.paper == table.paper
+    assert loaded.render() == table.render()
+
+
+def test_kind_mismatch_rejected(tmp_path, analysis):
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    with pytest.raises(ReproError):
+        load_table(path)
+    table = TableResult(name="t", row_labels=[], col_labels=[])
+    tpath = tmp_path / "table.json"
+    save_table(table, tpath)
+    with pytest.raises(ReproError):
+        load_analysis_summary(tpath)

@@ -1,0 +1,43 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_alpha, sweep_attack
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.errors import ReproError
+
+
+def base():
+    return AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+
+
+def test_sweep_over_ad():
+    result = sweep_attack(base(), "ad", [3, 4, 6],
+                          IncentiveModel.NON_PROFIT)
+    assert result.parameter == "ad"
+    assert len(result.analyses) == 3
+    # A larger AD gives the attacker longer forks: u_A3 grows.
+    utilities = result.utilities()
+    assert utilities == sorted(utilities)
+
+
+def test_sweep_rows():
+    result = sweep_attack(base(), "ad", [3, 6], IncentiveModel.NON_PROFIT)
+    rows = result.as_rows()
+    assert len(rows) == 2
+    assert rows[0][0] == 3
+
+
+def test_sweep_validation():
+    with pytest.raises(ReproError):
+        sweep_attack(base(), "ad", [], IncentiveModel.NON_PROFIT)
+    with pytest.raises(ReproError):
+        sweep_attack(base(), "nonexistent", [1], IncentiveModel.NON_PROFIT)
+
+
+def test_sweep_alpha_helper():
+    out = sweep_alpha((1, 1), [0.05, 0.10],
+                      IncentiveModel.COMPLIANT_PROFIT, setting=1)
+    assert set(out) == {0.05, 0.10}
+    assert all(a.utility >= alpha - 1e-9 for alpha, a in out.items())

@@ -1,0 +1,42 @@
+"""Tests for the Table 1 renderer (executable spec)."""
+
+import pytest
+
+from repro.analysis.table1 import collect_rows, render_table1, \
+    transitions_for
+from repro.core.config import AttackConfig
+
+
+def cfg():
+    return AttackConfig(alpha=0.1, beta=0.45, gamma=0.45, setting=1)
+
+
+def test_render_contains_base_rows():
+    out = render_table1(cfg(), max_rows=10)
+    assert "(0,0,0,0)" in out
+    assert "OnChain1" in out
+    assert "further rows" in out
+
+
+def test_collect_rows_cover_state_space():
+    rows = collect_rows(cfg())
+    # 211 states x 2 actions, each with 2-3 outcome rows.
+    assert len(rows) > 800
+    assert all(len(r) == 5 for r in rows)
+
+
+def test_transitions_lookup_matches_paper_row():
+    """The (0,0,0,0) onChain2 row of Table 1."""
+    trs = transitions_for(cfg(), ("base", 0), "OnChain2")
+    by_next = {tr.next_state: tr for tr in trs}
+    assert by_next[("fork1", 0, 1, 0, 1)].prob == pytest.approx(0.1)
+    assert by_next[("base", 0)].prob == pytest.approx(0.9)
+    assert by_next[("base", 0)].rewards["others"] == 1.0
+
+
+def test_reward_column_format():
+    rows = collect_rows(cfg())
+    base_row = next(r for r in rows
+                    if r[0] == "(0,0,0,0)" and r[1] == "OnChain1"
+                    and "(1," in r[4])
+    assert base_row[4] == "(1,0)"

@@ -1,0 +1,60 @@
+"""Tests for the paper-table regeneration harness."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_TABLE4,
+    TableResult,
+    feasible,
+    table2,
+    table3_bitcoin,
+    table4,
+)
+from repro.errors import ReproError
+
+
+def test_feasibility_matches_paper_blanks():
+    """Cells the paper leaves blank violate alpha <= min(beta, gamma)."""
+    assert not feasible(0.25, (1, 3))   # blank in Table 2
+    assert not feasible(0.20, (4, 1))   # blank in Table 3
+    assert not feasible(0.25, (1, 4))
+    assert feasible(0.25, (2, 1))       # present in Table 3
+    assert feasible(0.10, (1, 4))
+
+
+def test_table2_single_cell():
+    result = table2(setting=1, alphas=(0.25,), ratios=((2, 3),))
+    key = ("2:3", "25%")
+    assert result.cells[key] == pytest.approx(0.2739, abs=5e-4)
+    assert result.paper[key] == 0.2739
+    assert result.max_paper_deviation() < 5e-4
+
+
+def test_table2_skips_infeasible():
+    result = table2(setting=1, alphas=(0.25,), ratios=((1, 3),))
+    assert result.cells == {}
+    with pytest.raises(ReproError):
+        result.max_paper_deviation()
+
+
+def test_table4_row(capsys):
+    messages = []
+    result = table4(ratios=((2, 3),), settings=(1,),
+                    progress=messages.append)
+    key = ("2:3", "setting1")
+    assert result.cells[key] == pytest.approx(
+        PAPER_TABLE4[((2, 3), 1)], abs=1e-2)
+    assert messages  # progress callback invoked
+
+
+def test_table3_bitcoin_small():
+    result = table3_bitcoin(ties=(1.0,), alphas=(0.10,), max_len=16)
+    key = ("tie=100%", "10%")
+    assert result.cells[key] == pytest.approx(0.11, abs=1e-2)
+
+
+def test_render_layout():
+    result = TableResult(name="t", row_labels=["r1"], col_labels=["c1"],
+                         cells={("r1", "c1"): 1.0})
+    out = result.render(precision=2)
+    assert "t" in out and "c1" in out and "1.00" in out

@@ -1,0 +1,77 @@
+"""Tests for profitability thresholds."""
+
+import pytest
+
+from repro.analysis.thresholds import (
+    bu_attack_threshold,
+    relative_revenue_boundary,
+    selfish_mining_threshold,
+)
+from repro.core.incentives import IncentiveModel
+from repro.errors import ReproError
+
+
+@pytest.mark.slow
+def test_sapirshtein_threshold_at_tie_half():
+    """The published 23.21% optimal-selfish-mining threshold (gamma =
+    0.5), below SM1's closed-form 25%."""
+    threshold = selfish_mining_threshold(0.5, tol=5e-4)
+    assert threshold == pytest.approx(0.2321, abs=2e-3)
+    assert threshold < 0.25
+
+
+@pytest.mark.slow
+def test_threshold_at_gamma_zero_below_sm1():
+    """At gamma = 0 the optimal threshold sits just under SM1's 1/3."""
+    threshold = selfish_mining_threshold(0.0, tol=1e-3)
+    assert 0.32 < threshold < 1 / 3
+
+
+@pytest.mark.slow
+def test_threshold_decreases_with_tie_power():
+    t0 = selfish_mining_threshold(0.0, tol=2e-3)
+    t5 = selfish_mining_threshold(0.5, tol=2e-3)
+    t10 = selfish_mining_threshold(1.0, tol=2e-3)
+    assert t0 > t5 > t10
+    assert t10 < 0.05  # essentially no threshold when winning all ties
+
+
+def test_bu_has_no_threshold_for_double_spending():
+    """Table 3's point: the smallest probed miner already profits."""
+    threshold = bu_attack_threshold((1, 1),
+                                    IncentiveModel.NONCOMPLIANT_PROFIT)
+    assert threshold == pytest.approx(0.005)
+
+
+def test_bu_relative_revenue_thresholds_bracket_table2():
+    """Thresholds interleave exactly with Table 2's honest/unfair
+    cells: 2:3 flips between 10% and 15%, 1:1 between 20% and 25%,
+    and 3:2 just beyond the paper's 25% grid."""
+    gamma_heavy = bu_attack_threshold((2, 3),
+                                      IncentiveModel.COMPLIANT_PROFIT)
+    balanced = bu_attack_threshold((1, 1),
+                                   IncentiveModel.COMPLIANT_PROFIT)
+    beta_heavy = bu_attack_threshold((3, 2),
+                                     IncentiveModel.COMPLIANT_PROFIT)
+    assert 0.10 < gamma_heavy < 0.15
+    assert 0.20 < balanced < 0.25
+    assert beta_heavy > 0.25
+    assert gamma_heavy < balanced < beta_heavy
+
+
+def test_relative_revenue_boundary_matches_theory():
+    """Unfair revenue requires alpha + gamma > beta, i.e. beta below
+    (1 + alpha') / 2 of the compliant power."""
+    alpha = 0.25
+    boundary = relative_revenue_boundary(alpha, steps=21)
+    rest = 1 - alpha
+    theory = (alpha + rest) / (2 * rest)  # beta share where beta = alpha+gamma
+    assert boundary <= theory + 0.05
+    assert boundary >= 0.5  # balanced splits are always vulnerable
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        selfish_mining_threshold(1.5)
+    with pytest.raises(ReproError):
+        relative_revenue_boundary(0.7)

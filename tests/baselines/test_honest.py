@@ -1,0 +1,35 @@
+"""Tests for honest-mining analytics."""
+
+import math
+
+import pytest
+
+from repro.baselines.honest import (
+    expected_relative_revenue,
+    fork_rate_with_delay,
+    is_incentive_compatible,
+)
+from repro.errors import ReproError
+
+
+def test_revenue_equals_power_share():
+    assert expected_relative_revenue(0.3) == 0.3
+    with pytest.raises(ReproError):
+        expected_relative_revenue(1.5)
+
+
+def test_incentive_compatibility_check():
+    assert is_incentive_compatible([0.3, 0.7], [0.3, 0.7])
+    assert not is_incentive_compatible([0.3, 0.7], [0.35, 0.65])
+    with pytest.raises(ReproError):
+        is_incentive_compatible([0.5], [0.4, 0.1])
+
+
+def test_fork_rate_with_delay():
+    assert fork_rate_with_delay(600, 0) == 0.0
+    assert fork_rate_with_delay(600, 6) == pytest.approx(
+        1 - math.exp(-0.01))
+    with pytest.raises(ReproError):
+        fork_rate_with_delay(0, 1)
+    with pytest.raises(ReproError):
+        fork_rate_with_delay(600, -1)

@@ -1,0 +1,43 @@
+"""Tests for 51% attack analytics."""
+
+import pytest
+
+from repro.baselines.majority import (
+    catch_up_probability,
+    expected_race_length,
+    majority_orphan_rate,
+)
+from repro.errors import ReproError
+
+
+def test_catch_up_certain_with_majority():
+    assert catch_up_probability(0.6, 10) == 1.0
+    assert catch_up_probability(0.5, 3) == 1.0
+
+
+def test_catch_up_nakamoto_decay():
+    assert catch_up_probability(0.3, 1) == pytest.approx(3 / 7)
+    assert catch_up_probability(0.3, 2) == pytest.approx((3 / 7) ** 2)
+    assert catch_up_probability(0.3, 0) == 1.0
+
+
+def test_catch_up_validation():
+    with pytest.raises(ReproError):
+        catch_up_probability(0.0, 1)
+    with pytest.raises(ReproError):
+        catch_up_probability(0.3, -1)
+
+
+def test_expected_race_length():
+    assert expected_race_length(0.75, 5) == pytest.approx(10.0)
+    with pytest.raises(ReproError):
+        expected_race_length(0.4, 5)
+
+
+def test_majority_orphan_rate_bounded_by_one():
+    """The Bitcoin reference for Table 4: u_A3 <= 1."""
+    for q in (0.5, 0.6, 0.75, 0.9):
+        assert majority_orphan_rate(q) <= 1.0
+    assert majority_orphan_rate(0.5) == pytest.approx(1.0)
+    with pytest.raises(ReproError):
+        majority_orphan_rate(0.4)

@@ -1,0 +1,75 @@
+"""Tests for the optimal selfish-mining MDP."""
+
+import pytest
+
+from repro.baselines.selfish import (
+    SelfishMiningConfig,
+    build_selfish_mdp,
+    eyal_sirer_revenue,
+    solve_selfish_mining,
+)
+from repro.errors import ReproError
+
+
+def test_known_sapirshtein_value():
+    """Sapirshtein et al. report 0.33707 for alpha = 1/3, gamma = 0."""
+    result = solve_selfish_mining(
+        SelfishMiningConfig(alpha=1 / 3, tie_power=0.0, max_len=30))
+    assert result.relative_revenue == pytest.approx(0.33707, abs=2e-4)
+
+
+def test_below_threshold_honest_is_optimal():
+    """With gamma = 0, selfish mining is unprofitable below ~23.2%."""
+    result = solve_selfish_mining(
+        SelfishMiningConfig(alpha=0.20, tie_power=0.0))
+    assert result.relative_revenue == pytest.approx(0.20, abs=1e-6)
+    result = solve_selfish_mining(
+        SelfishMiningConfig(alpha=0.23, tie_power=0.0))
+    assert result.relative_revenue == pytest.approx(0.23, abs=1e-6)
+
+
+def test_above_threshold_profitable():
+    result = solve_selfish_mining(
+        SelfishMiningConfig(alpha=0.24, tie_power=0.0))
+    assert result.relative_revenue > 0.24
+
+
+def test_optimal_dominates_eyal_sirer_sm1():
+    for alpha, tie in ((0.3, 0.0), (0.35, 0.5), (0.4, 1.0)):
+        optimal = solve_selfish_mining(
+            SelfishMiningConfig(alpha=alpha, tie_power=tie))
+        sm1 = eyal_sirer_revenue(alpha, tie)
+        assert optimal.relative_revenue >= sm1 - 1e-6
+        assert optimal.relative_revenue >= alpha - 1e-9
+
+
+def test_tie_power_monotonicity():
+    values = [solve_selfish_mining(
+        SelfishMiningConfig(alpha=0.3, tie_power=t)).relative_revenue
+        for t in (0.0, 0.5, 1.0)]
+    assert values[0] <= values[1] <= values[2]
+
+
+def test_mdp_structure():
+    mdp = build_selfish_mdp(SelfishMiningConfig(alpha=0.3, max_len=6))
+    assert mdp.state_keys[mdp.start] == (0, 0, "irrelevant")
+    # The start state allows only wait.
+    start_avail = mdp.available[:, mdp.start]
+    names = [a for a, ok in zip(mdp.actions, start_avail) if ok]
+    assert names == ["wait"]
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        SelfishMiningConfig(alpha=0.6)
+    with pytest.raises(ReproError):
+        SelfishMiningConfig(alpha=0.3, tie_power=1.5)
+    with pytest.raises(ReproError):
+        SelfishMiningConfig(alpha=0.3, max_len=2)
+    with pytest.raises(ReproError):
+        SelfishMiningConfig(alpha=0.3, rds=-1)
+
+
+def test_eyal_sirer_closed_form_at_gamma_zero():
+    """Spot value: alpha = 1/3, gamma = 0 gives revenue 1/3 for SM1."""
+    assert eyal_sirer_revenue(1 / 3, 0.0) == pytest.approx(1 / 3, abs=1e-9)

@@ -1,0 +1,47 @@
+"""Tests for selfish mining + double-spending (Table 3 bottom)."""
+
+import pytest
+
+from repro.baselines.selfish_ds import solve_selfish_mining_double_spend
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("tie,alpha,expected,tol", [
+    (0.5, 0.10, 0.10, 5e-3),
+    (0.5, 0.15, 0.15, 5e-3),
+    (1.0, 0.10, 0.11, 1e-2),
+    (1.0, 0.15, 0.18, 1e-2),
+    (1.0, 0.20, 0.30, 2e-2),
+    (1.0, 0.25, 0.52, 4e-2),
+])
+def test_paper_comparison_cells(tie, alpha, expected, tol):
+    result = solve_selfish_mining_double_spend(alpha, tie)
+    assert result.absolute_reward == pytest.approx(expected, abs=tol)
+
+
+def test_small_miner_cannot_profit():
+    """The paper's headline comparison: below 10% power,
+    double-spending in Bitcoin is unprofitable even winning all ties --
+    unlike BU where a 1% miner profits."""
+    for alpha in (0.01, 0.05):
+        result = solve_selfish_mining_double_spend(alpha, tie_power=1.0)
+        assert result.absolute_reward == pytest.approx(alpha, abs=1e-3)
+
+
+def test_reward_decomposition():
+    result = solve_selfish_mining_double_spend(0.25, 1.0)
+    assert result.absolute_reward == pytest.approx(
+        result.rates["alice"] + result.rates["ds"], abs=1e-9)
+    assert result.rates["ds"] > 0
+
+
+def test_rds_zero_rejected():
+    with pytest.raises(ReproError):
+        solve_selfish_mining_double_spend(0.2, 0.5, rds=0.0)
+
+
+def test_truncation_monotone():
+    """A deeper truncation can only help the attacker."""
+    shallow = solve_selfish_mining_double_spend(0.25, 1.0, max_len=12)
+    deep = solve_selfish_mining_double_spend(0.25, 1.0, max_len=24)
+    assert deep.absolute_reward >= shallow.absolute_reward - 1e-9

@@ -1,0 +1,74 @@
+"""Tests for stubborn-mining strategies."""
+
+import pytest
+
+from repro.baselines.selfish import (
+    SelfishMiningConfig,
+    eyal_sirer_revenue,
+    solve_selfish_mining,
+)
+from repro.baselines.stubborn import (
+    StubbornProfile,
+    evaluate_stubborn,
+    stubborn_policy,
+    sweep_profiles,
+)
+from repro.errors import ReproError
+
+
+def test_profile_names():
+    assert StubbornProfile().name == "SM1"
+    assert StubbornProfile(lead=True).name == "L"
+    assert StubbornProfile(lead=True, equal_fork=True, trail=2).name \
+        == "L,F,T2"
+
+
+def test_negative_trail_rejected():
+    with pytest.raises(ReproError):
+        StubbornProfile(trail=-1)
+
+
+@pytest.mark.parametrize("alpha,tie", [(0.33, 0.0), (0.3, 0.9),
+                                       (0.25, 0.5)])
+def test_sm1_matches_eyal_sirer_closed_form(alpha, tie):
+    """The fixed SM1 policy, evaluated exactly on the MDP, reproduces
+    the Eyal-Sirer closed-form revenue (up to chain truncation)."""
+    config = SelfishMiningConfig(alpha=alpha, tie_power=tie, max_len=30)
+    result = evaluate_stubborn(config, StubbornProfile())
+    expected = max(eyal_sirer_revenue(alpha, tie), alpha)
+    if eyal_sirer_revenue(alpha, tie) >= alpha:
+        assert result.relative_revenue == pytest.approx(expected, abs=2e-3)
+
+
+def test_optimal_dominates_every_stubborn_variant():
+    config = SelfishMiningConfig(alpha=0.35, tie_power=0.5)
+    optimal = solve_selfish_mining(config).relative_revenue
+    for result in sweep_profiles(config, max_trail=2).values():
+        assert result.relative_revenue <= optimal + 1e-7
+
+
+def test_lead_plus_equal_fork_beats_sm1_at_high_gamma():
+    """Nayak et al.: stubborn variants beat SM1 when ties are winnable."""
+    config = SelfishMiningConfig(alpha=0.35, tie_power=0.8)
+    results = sweep_profiles(config, max_trail=0)
+    assert results["L,F"].relative_revenue > results["SM1"].relative_revenue
+
+
+def test_policy_covers_every_state():
+    config = SelfishMiningConfig(alpha=0.3, max_len=10)
+    from repro.baselines.selfish import build_selfish_mdp
+    mdp = build_selfish_mdp(config)
+    for profile in (StubbornProfile(), StubbornProfile(True, True, 2)):
+        policy = stubborn_policy(mdp, config, profile)
+        assert mdp.valid_policy(policy)
+
+
+def test_trail_stubbornness_changes_behaviour():
+    config = SelfishMiningConfig(alpha=0.3, max_len=12)
+    from repro.baselines.selfish import build_selfish_mdp
+    mdp = build_selfish_mdp(config)
+    p0 = stubborn_policy(mdp, config, StubbornProfile(trail=0))
+    p2 = stubborn_policy(mdp, config, StubbornProfile(trail=2))
+    behind = mdp.state_index((1, 2, "relevant"))
+    assert mdp.actions[p0[behind]] == "adopt"
+    assert mdp.actions[p2[behind]] == "wait"

@@ -1,0 +1,65 @@
+"""Tests for repro.chain.block."""
+
+import pytest
+
+from repro.chain.block import Block, GENESIS_ID, genesis_block, make_block
+from repro.errors import InvalidBlockError
+
+
+def test_genesis_has_height_zero():
+    g = genesis_block()
+    assert g.height == 0
+    assert g.is_genesis
+    assert g.parent_id is None
+
+
+def test_make_block_links_parent():
+    g = genesis_block()
+    b = make_block(g, size=1.0, miner="bob")
+    assert b.parent_id == GENESIS_ID
+    assert b.height == 1
+    assert b.miner == "bob"
+    assert not b.is_genesis
+
+
+def test_make_block_generates_unique_ids():
+    g = genesis_block()
+    ids = {make_block(g, size=1.0, miner="m").block_id for _ in range(50)}
+    assert len(ids) == 50
+
+
+def test_explicit_block_id_respected():
+    g = genesis_block()
+    b = make_block(g, size=1.0, miner="m", block_id="custom")
+    assert b.block_id == "custom"
+
+
+def test_non_positive_size_rejected():
+    g = genesis_block()
+    with pytest.raises(InvalidBlockError):
+        make_block(g, size=0.0, miner="m")
+    with pytest.raises(InvalidBlockError):
+        make_block(g, size=-1.0, miner="m")
+
+
+def test_negative_height_rejected():
+    with pytest.raises(InvalidBlockError):
+        Block(block_id="x", parent_id=GENESIS_ID, height=-1, size=1.0,
+              miner="m")
+
+
+def test_non_genesis_requires_parent():
+    with pytest.raises(InvalidBlockError):
+        Block(block_id="x", parent_id=None, height=1, size=1.0, miner="m")
+
+
+def test_genesis_must_not_have_parent():
+    with pytest.raises(InvalidBlockError):
+        Block(block_id=GENESIS_ID, parent_id="y", height=0, size=0.0,
+              miner="m")
+
+
+def test_blocks_are_immutable():
+    g = genesis_block()
+    with pytest.raises(AttributeError):
+        g.height = 3  # type: ignore[misc]

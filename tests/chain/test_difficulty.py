@@ -1,0 +1,70 @@
+"""Tests for difficulty retargeting under orphaning."""
+
+import pytest
+
+from repro.chain.difficulty import (
+    confirmed_throughput_during_attack,
+    effective_throughput,
+    equilibrium_difficulty,
+    next_difficulty,
+    simulate_retargeting,
+)
+from repro.errors import ChainError
+
+
+def test_on_schedule_period_keeps_difficulty():
+    assert next_difficulty(8.0, 2016 * 600) == pytest.approx(8.0)
+
+
+def test_slow_period_lowers_difficulty():
+    assert next_difficulty(8.0, 2 * 2016 * 600) == pytest.approx(4.0)
+
+
+def test_adjustment_clamped_at_factor_four():
+    assert next_difficulty(8.0, 100 * 2016 * 600) == pytest.approx(2.0)
+    assert next_difficulty(8.0, 2016 * 600 / 100) == pytest.approx(32.0)
+
+
+def test_equilibrium_difficulty_scales_with_orphans():
+    base = equilibrium_difficulty(hashrate=1.0, orphan_rate=0.0)
+    attacked = equilibrium_difficulty(hashrate=1.0, orphan_rate=0.25)
+    assert attacked == pytest.approx(0.75 * base)
+
+
+def test_throughput_during_attack_drops():
+    healthy = effective_throughput(1.0, 0.0)
+    under_attack = confirmed_throughput_during_attack(1.0, 0.3)
+    assert under_attack == pytest.approx(0.7 * healthy)
+
+
+def test_retargeting_converges_after_attack_starts():
+    """A persistent 30% orphan rate: the first period runs slow, then
+    retargeting restores the chain interval."""
+    steps = simulate_retargeting(hashrate=1.0,
+                                 orphan_rates=[0.0, 0.3, 0.3, 0.3, 0.3],
+                                 initial_difficulty=600.0)
+    assert steps[0].chain_interval == pytest.approx(600.0)
+    assert steps[1].chain_interval == pytest.approx(600.0 / 0.7)
+    assert steps[-1].chain_interval == pytest.approx(600.0, rel=1e-6)
+
+
+def test_retargeting_recovers_after_attack_stops():
+    steps = simulate_retargeting(hashrate=1.0,
+                                 orphan_rates=[0.3, 0.3, 0.0, 0.0],
+                                 initial_difficulty=600.0)
+    # After the attack ends, blocks come too fast, then re-settle.
+    assert steps[2].chain_interval < 600.0
+    assert steps[-1].chain_interval == pytest.approx(600.0, rel=1e-6)
+
+
+def test_validation():
+    with pytest.raises(ChainError):
+        next_difficulty(0.0, 600)
+    with pytest.raises(ChainError):
+        next_difficulty(1.0, 0.0)
+    with pytest.raises(ChainError):
+        equilibrium_difficulty(0.0, 0.1)
+    with pytest.raises(ChainError):
+        effective_throughput(1.0, 1.0)
+    with pytest.raises(ChainError):
+        simulate_retargeting(1.0, [1.5])

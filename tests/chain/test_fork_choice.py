@@ -1,0 +1,61 @@
+"""Tests for longest-valid-chain fork choice."""
+
+from repro.chain.fork_choice import ForkChoice
+from repro.chain.validity import BitcoinValidity, BUValidity
+from tests.conftest import extend
+
+
+def test_single_chain(tree):
+    fc = ForkChoice(tree, BitcoinValidity())
+    blocks = extend(tree, tree.genesis, [1.0, 1.0])
+    assert fc.best().block_id == blocks[-1].block_id
+
+
+def test_longest_chain_wins(tree):
+    fc = ForkChoice(tree, BitcoinValidity())
+    short = extend(tree, tree.genesis, [1.0])
+    long = extend(tree, tree.genesis, [1.0, 1.0])
+    assert fc.best().block_id == long[-1].block_id
+    assert short[-1].block_id != long[-1].block_id
+
+
+def test_tie_broken_by_first_received(tree):
+    fc = ForkChoice(tree, BitcoinValidity())
+    first = extend(tree, tree.genesis, [1.0, 1.0])
+    second = extend(tree, tree.genesis, [1.0, 1.0])
+    assert fc.best().block_id == first[-1].block_id
+    assert len(fc.candidates()) == 2
+    assert second[-1].block_id != first[-1].block_id
+
+
+def test_invalid_suffix_contributes_prefix(tree):
+    fc = ForkChoice(tree, BUValidity(eb=1.0, ad=6))
+    valid = extend(tree, tree.genesis, [1.0, 1.0])
+    other = extend(tree, tree.genesis, [1.0, 2.0, 1.0])
+    # The excessive block cuts the second chain's candidate to height 1.
+    assert fc.best().block_id == valid[-1].block_id
+    heights = {c.height for c in fc.candidates()}
+    assert heights == {2, 1}
+    assert other[-1].height == 3
+
+
+def test_excessive_chain_adopted_once_buried(tree):
+    fc = ForkChoice(tree, BUValidity(eb=1.0, ad=3))
+    small = extend(tree, tree.genesis, [1.0, 1.0])
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    assert fc.best().block_id == small[-1].block_id
+    buried = extend(tree, exc, [1.0, 1.0])[-1]
+    assert fc.best().block_id == buried.block_id
+
+
+def test_candidates_merge_shared_prefix(tree):
+    """Two invalid tips sharing the same valid prefix yield one
+    candidate."""
+    rule = BUValidity(eb=1.0, ad=6)
+    fc = ForkChoice(tree, rule)
+    base = extend(tree, tree.genesis, [1.0])[0]
+    extend(tree, base, [2.0])
+    extend(tree, base, [3.0])
+    candidates = fc.candidates()
+    assert len(candidates) == 1
+    assert candidates[0].block.block_id == base.block_id

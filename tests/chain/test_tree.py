@@ -1,0 +1,124 @@
+"""Tests for repro.chain.tree."""
+
+import pytest
+
+from repro.chain.block import make_block
+from repro.errors import (
+    DuplicateBlockError,
+    OrphanParentError,
+    UnknownBlockError,
+)
+from tests.conftest import extend
+
+
+def test_new_tree_contains_only_genesis(tree):
+    assert len(tree) == 1
+    assert tree.genesis.is_genesis
+    assert tree.tips() == [tree.genesis]
+
+
+def test_add_and_get(tree):
+    b = tree.add(make_block(tree.genesis, size=1.0, miner="m"))
+    assert tree.get(b.block_id) is b
+    assert b.block_id in tree
+
+
+def test_add_duplicate_rejected(tree):
+    b = make_block(tree.genesis, size=1.0, miner="m")
+    tree.add(b)
+    with pytest.raises(DuplicateBlockError):
+        tree.add(b)
+
+
+def test_add_orphan_rejected(tree):
+    ghost = make_block(tree.genesis, size=1.0, miner="m")
+    child = make_block(ghost, size=1.0, miner="m")
+    with pytest.raises(OrphanParentError):
+        tree.add(child)
+
+
+def test_height_consistency_enforced(tree):
+    from repro.chain.block import Block
+    bad = Block(block_id="bad", parent_id=tree.genesis.block_id, height=5,
+                size=1.0, miner="m")
+    with pytest.raises(UnknownBlockError):
+        tree.add(bad)
+
+
+def test_chain_returns_genesis_to_tip(tree):
+    blocks = extend(tree, tree.genesis, [1.0] * 4)
+    chain = tree.chain(blocks[-1])
+    assert [b.height for b in chain] == [0, 1, 2, 3, 4]
+    assert chain[0].is_genesis
+
+
+def test_tips_after_fork(tree):
+    a = extend(tree, tree.genesis, [1.0, 1.0])
+    b = extend(tree, tree.genesis, [1.0])
+    tips = tree.tips()
+    assert {t.block_id for t in tips} == {a[-1].block_id, b[-1].block_id}
+    # Ordered by arrival.
+    assert tips[0].block_id == a[-1].block_id
+
+
+def test_ancestor_at_height(tree):
+    blocks = extend(tree, tree.genesis, [1.0] * 5)
+    assert tree.ancestor_at_height(blocks[-1], 2).height == 2
+    assert tree.ancestor_at_height(blocks[-1], 0).is_genesis
+    with pytest.raises(UnknownBlockError):
+        tree.ancestor_at_height(blocks[-1], 9)
+
+
+def test_common_ancestor_of_fork(tree):
+    base = extend(tree, tree.genesis, [1.0])[0]
+    left = extend(tree, base, [1.0, 1.0])
+    right = extend(tree, base, [1.0, 1.0, 1.0])
+    assert tree.common_ancestor(left[-1], right[-1]).block_id == base.block_id
+    assert tree.common_ancestor(left[-1], left[0]).block_id == \
+        left[0].block_id
+
+
+def test_is_ancestor(tree):
+    blocks = extend(tree, tree.genesis, [1.0] * 3)
+    side = extend(tree, blocks[0], [1.0])
+    assert tree.is_ancestor(blocks[0], blocks[2])
+    assert tree.is_ancestor(blocks[2], blocks[2])
+    assert not tree.is_ancestor(side[0], blocks[2])
+    assert not tree.is_ancestor(blocks[2], blocks[0])
+
+
+def test_subchain(tree):
+    blocks = extend(tree, tree.genesis, [1.0] * 4)
+    sub = tree.subchain(blocks[0], blocks[3])
+    assert [b.height for b in sub] == [2, 3, 4]
+    with pytest.raises(UnknownBlockError):
+        side = extend(tree, tree.genesis, [1.0])[0]
+        tree.subchain(side, blocks[3])
+
+
+def test_subchain_of_block_to_itself_is_empty(tree):
+    blocks = extend(tree, tree.genesis, [1.0])
+    assert tree.subchain(blocks[0], blocks[0]) == []
+
+
+def test_descendants(tree):
+    base = extend(tree, tree.genesis, [1.0])[0]
+    left = extend(tree, base, [1.0, 1.0])
+    right = extend(tree, base, [1.0])
+    expected = {b.block_id for b in left} | {right[0].block_id}
+    assert tree.descendants(base) == expected
+
+
+def test_arrival_index_monotone(tree):
+    blocks = extend(tree, tree.genesis, [1.0] * 3)
+    indices = [tree.arrival_index(b.block_id) for b in blocks]
+    assert indices == sorted(indices)
+    with pytest.raises(UnknownBlockError):
+        tree.arrival_index("missing")
+
+
+def test_children_in_insertion_order(tree):
+    first = tree.add(make_block(tree.genesis, size=1.0, miner="a"))
+    second = tree.add(make_block(tree.genesis, size=1.0, miner="b"))
+    kids = tree.children(tree.genesis)
+    assert [k.block_id for k in kids] == [first.block_id, second.block_id]

@@ -1,0 +1,63 @@
+"""Tests for the prescribed Bitcoin BVC."""
+
+import pytest
+
+from repro.chain.validity import BitcoinValidity
+from repro.errors import ChainError
+from tests.conftest import extend
+
+
+def test_all_small_blocks_valid(tree):
+    rule = BitcoinValidity(max_block_size=1.0)
+    blocks = extend(tree, tree.genesis, [1.0, 0.5, 1.0])
+    assert rule.is_chain_valid(tree, blocks[-1])
+    assert rule.valid_prefix_height(tree, blocks[-1]) == 3
+
+
+def test_oversize_block_cuts_prefix(tree):
+    rule = BitcoinValidity(max_block_size=1.0)
+    blocks = extend(tree, tree.genesis, [1.0, 1.5, 1.0])
+    assert not rule.is_chain_valid(tree, blocks[-1])
+    assert rule.valid_prefix_height(tree, blocks[-1]) == 1
+    assert rule.valid_prefix_block(tree, blocks[-1]).block_id == \
+        blocks[0].block_id
+
+
+def test_oversize_never_heals(tree):
+    """Unlike BU, burying an oversize block does not validate it."""
+    rule = BitcoinValidity(max_block_size=1.0)
+    blocks = extend(tree, tree.genesis, [2.0] + [1.0] * 50)
+    assert rule.valid_prefix_height(tree, blocks[-1]) == 0
+
+
+def test_boundary_size_is_valid(tree):
+    rule = BitcoinValidity(max_block_size=1.0)
+    blocks = extend(tree, tree.genesis, [1.0])
+    assert rule.is_chain_valid(tree, blocks[-1])
+
+
+def test_genesis_always_valid(tree):
+    rule = BitcoinValidity()
+    assert rule.is_chain_valid(tree, tree.genesis)
+
+
+def test_positive_limit_required():
+    with pytest.raises(ChainError):
+        BitcoinValidity(max_block_size=0)
+
+
+def test_rule_bound_to_single_tree(tree):
+    from repro.chain.tree import BlockTree
+    rule = BitcoinValidity()
+    rule.is_chain_valid(tree, tree.genesis)
+    other = BlockTree()
+    with pytest.raises(ChainError):
+        rule.is_chain_valid(other, other.genesis)
+
+
+def test_forked_chains_evaluated_independently(tree):
+    rule = BitcoinValidity(max_block_size=1.0)
+    good = extend(tree, tree.genesis, [1.0, 1.0])
+    bad = extend(tree, tree.genesis, [2.0, 1.0])
+    assert rule.is_chain_valid(tree, good[-1])
+    assert rule.valid_prefix_height(tree, bad[-1]) == 0

@@ -1,0 +1,147 @@
+"""Tests for BU validity with Rizun's sticky gate."""
+
+import pytest
+
+from repro.chain.validity import BUValidity
+from repro.errors import ChainError
+from tests.conftest import extend
+
+
+def bu(eb=1.0, ad=3, sticky=True, gate_window=144, message_limit=32.0):
+    return BUValidity(eb=eb, ad=ad, sticky=sticky,
+                      gate_window=gate_window, message_limit=message_limit)
+
+
+def test_non_excessive_chain_valid(tree):
+    rule = bu()
+    blocks = extend(tree, tree.genesis, [1.0, 0.8, 1.0])
+    assert rule.is_chain_valid(tree, blocks[-1])
+
+
+def test_block_of_exact_eb_not_excessive(tree):
+    rule = bu(eb=2.0)
+    blocks = extend(tree, tree.genesis, [2.0])
+    assert not rule.is_excessive(blocks[0])
+    assert rule.is_chain_valid(tree, blocks[-1])
+
+
+def test_excessive_block_invalid_until_acceptance_depth(tree):
+    rule = bu(eb=1.0, ad=3)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    assert not rule.is_chain_valid(tree, exc)
+    assert rule.valid_prefix_height(tree, exc) == 0
+    one_on_top = extend(tree, exc, [1.0])[0]
+    assert not rule.is_chain_valid(tree, one_on_top)
+    two_on_top = extend(tree, one_on_top, [1.0])[0]
+    # Chain of AD = 3 including the excessive block: accepted.
+    assert rule.is_chain_valid(tree, two_on_top)
+    assert rule.valid_prefix_height(tree, two_on_top) == 3
+
+
+def test_gate_opens_after_acceptance(tree):
+    rule = bu(eb=1.0, ad=3)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0, 1.0])[-1]
+    assert rule.gate_open_at(tree, tip)
+    assert rule.local_limit_at(tree, tip) == rule.message_limit
+
+
+def test_gate_allows_giant_blocks(tree):
+    rule = bu(eb=1.0, ad=3)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0, 1.0])[-1]
+    giant = extend(tree, tip, [20.0])[0]
+    assert rule.is_chain_valid(tree, giant)
+
+
+def test_gate_closes_after_window(tree):
+    rule = bu(eb=1.0, ad=2, gate_window=10)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0] * 9)[-1]
+    assert rule.gate_open_at(tree, tip)
+    tip = extend(tree, tip, [1.0])[0]
+    assert not rule.gate_open_at(tree, tip)
+    assert rule.is_chain_valid(tree, tip)
+
+
+def test_excessive_block_resets_gate_window(tree):
+    rule = bu(eb=1.0, ad=2, gate_window=10)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0] * 5)[-1]
+    second = extend(tree, tip, [3.0])[0]  # within the open gate
+    assert rule.is_chain_valid(tree, second)
+    tip = extend(tree, second, [1.0] * 9)[-1]
+    assert rule.gate_open_at(tree, tip)
+    tip = extend(tree, tip, [1.0])[0]
+    assert not rule.gate_open_at(tree, tip)
+
+
+def test_new_leader_after_gate_closes_needs_depth(tree):
+    rule = bu(eb=1.0, ad=3, gate_window=5)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0] * 6)[-1]  # gate now closed
+    assert not rule.gate_open_at(tree, tip)
+    second = extend(tree, tip, [2.0])[0]
+    assert not rule.is_chain_valid(tree, second)
+    tip = extend(tree, second, [1.0, 1.0])[-1]
+    assert rule.is_chain_valid(tree, tip)
+
+
+def test_sticky_disabled_requires_depth_for_every_excessive(tree):
+    rule = bu(eb=1.0, ad=3, sticky=False)
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0, 1.0])[-1]
+    assert rule.is_chain_valid(tree, tip)
+    assert not rule.gate_open_at(tree, tip)
+    # A second excessive block right after is NOT covered by any gate.
+    second = extend(tree, tip, [2.0])[0]
+    assert not rule.is_chain_valid(tree, second)
+    assert rule.valid_prefix_height(tree, second) == second.height - 1
+
+
+def test_message_limit_poisons_chain_forever(tree):
+    rule = bu(eb=1.0, ad=2, message_limit=8.0)
+    huge = extend(tree, tree.genesis, [9.0])[0]
+    tip = extend(tree, huge, [1.0] * 20)[-1]
+    assert rule.valid_prefix_height(tree, tip) == 0
+
+
+def test_unburying_cascade(tree):
+    """Cutting below a failing leader can un-bury an earlier leader."""
+    rule = bu(eb=1.0, ad=6, gate_window=1)
+    first = extend(tree, tree.genesis, [2.0])[0]       # leader at height 1
+    middle = extend(tree, first, [1.0, 1.0])           # heights 2, 3
+    second = extend(tree, middle[-1], [2.0])[0]        # leader at height 4
+    tip = extend(tree, second, [1.0, 1.0])[-1]         # height 6
+    # Leader at 4 is buried 3 < 6, so the chain cuts to height 3; but at
+    # height 3 the leader at height 1 is buried 3 < 6 too -> cut to 0.
+    assert rule.valid_prefix_height(tree, tip) == 0
+
+
+def test_validation_constructor_errors():
+    with pytest.raises(ChainError):
+        BUValidity(eb=0, ad=3)
+    with pytest.raises(ChainError):
+        BUValidity(eb=1.0, ad=0)
+    with pytest.raises(ChainError):
+        BUValidity(eb=1.0, ad=3, gate_window=0)
+    with pytest.raises(ChainError):
+        BUValidity(eb=40.0, ad=3, message_limit=32.0)
+
+
+def test_last_excessive_height(tree):
+    rule = bu(eb=1.0, ad=2)
+    assert rule.last_excessive_height(tree, tree.genesis) is None
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0, 1.0])[-1]
+    assert rule.last_excessive_height(tree, tip) == exc.height
+
+
+def test_different_nodes_disagree_on_validity(tree):
+    """The absence of a prescribed BVC: the same chain is valid for a
+    large-EB node and invalid for a small-EB node."""
+    small = bu(eb=1.0, ad=6)
+    large = bu(eb=4.0, ad=6)
+    blocks = extend(tree, tree.genesis, [1.0, 4.0])
+    assert large.is_chain_valid(tree, blocks[-1])
+    assert not small.is_chain_valid(tree, blocks[-1])

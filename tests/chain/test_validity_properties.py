@@ -1,0 +1,102 @@
+"""Property-based tests of the validity engines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.block import make_block
+from repro.chain.tree import BlockTree
+from repro.chain.validity import BitcoinValidity, BUValidity
+
+# Chains as sequences of block sizes drawn from a small menu that
+# exercises every regime: normal, boundary, excessive, gate-only, and
+# beyond the message limit.
+SIZES = st.sampled_from([0.5, 1.0, 2.0, 8.0, 33.0])
+CHAINS = st.lists(SIZES, min_size=0, max_size=40)
+
+
+def build(sizes):
+    tree = BlockTree()
+    tip = tree.genesis
+    for s in sizes:
+        tip = tree.add(make_block(tip, size=s, miner="m"))
+    return tree, tip
+
+
+def walk_reference(sizes, eb, ad, sticky, gate_window, message_limit=32.0):
+    """O(n^2) oracle: a prefix of length L is valid iff walking it with
+    retroactive gate semantics finds no uncovered, under-buried
+    excessive block and no over-limit block."""
+    def prefix_valid(upto):
+        last_exc = None
+        for idx in range(upto):
+            size = sizes[idx]
+            height = idx + 1
+            if size > message_limit:
+                return False
+            if size > eb:
+                covered = (sticky and last_exc is not None
+                           and height - last_exc <= gate_window)
+                if not covered and upto - height + 1 < ad:
+                    return False
+                last_exc = height
+        return True
+
+    best = 0
+    for upto in range(len(sizes) + 1):
+        if prefix_valid(upto):
+            best = upto
+    return best
+
+
+@given(CHAINS, st.sampled_from([1.0, 2.0]), st.integers(2, 6),
+       st.booleans(), st.integers(2, 8))
+@settings(max_examples=150, deadline=None)
+def test_bu_valid_prefix_matches_walk_oracle(sizes, eb, ad, sticky,
+                                             gate_window):
+    tree, tip = build(sizes)
+    rule = BUValidity(eb=eb, ad=ad, sticky=sticky, gate_window=gate_window)
+    got = rule.valid_prefix_height(tree, tip)
+    expected = walk_reference(sizes, eb, ad, sticky, gate_window)
+    assert got == expected
+
+
+@given(CHAINS)
+@settings(max_examples=100, deadline=None)
+def test_bitcoin_prefix_is_first_violation(sizes):
+    tree, tip = build(sizes)
+    rule = BitcoinValidity(max_block_size=1.0)
+    got = rule.valid_prefix_height(tree, tip)
+    expected = len(sizes)
+    for i, s in enumerate(sizes):
+        if s > 1.0:
+            expected = i
+            break
+    assert got == expected
+
+
+@given(CHAINS, st.integers(2, 6))
+@settings(max_examples=100, deadline=None)
+def test_valid_prefix_never_exceeds_height(sizes, ad):
+    tree, tip = build(sizes)
+    rule = BUValidity(eb=1.0, ad=ad)
+    assert 0 <= rule.valid_prefix_height(tree, tip) <= tip.height
+
+
+@given(CHAINS, st.integers(2, 6))
+@settings(max_examples=100, deadline=None)
+def test_prefix_of_valid_prefix_is_stable(sizes, ad):
+    """Evaluating the chain cut at its own valid prefix is a no-op."""
+    tree, tip = build(sizes)
+    rule = BUValidity(eb=1.0, ad=ad)
+    head = rule.valid_prefix_block(tree, tip)
+    assert rule.valid_prefix_height(tree, head) == head.height
+
+
+@given(CHAINS)
+@settings(max_examples=60, deadline=None)
+def test_bigger_eb_accepts_no_less(sizes):
+    """Monotonicity: raising EB can only extend the valid prefix."""
+    tree, tip = build(sizes)
+    small = BUValidity(eb=1.0, ad=4)
+    large = BUValidity(eb=8.0, ad=4)
+    assert (large.valid_prefix_height(tree, tip)
+            >= small.valid_prefix_height(tree, tip))

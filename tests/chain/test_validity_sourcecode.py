@@ -1,0 +1,78 @@
+"""Tests for the BU source-code validity variant (Section 2.2)."""
+
+from repro.chain.validity import BUSourceCodeValidity, BUValidity
+from tests.conftest import extend
+
+AD = 6
+
+
+def rule(eb=1.0, ad=AD):
+    return BUSourceCodeValidity(eb=eb, ad=ad)
+
+
+def test_plain_chain_valid(tree):
+    r = rule()
+    tip = extend(tree, tree.genesis, [1.0] * 5)[-1]
+    assert r.is_chain_valid(tree, tip)
+
+
+def test_recent_excessive_invalidates(tree):
+    r = rule()
+    tip = extend(tree, tree.genesis, [1.0, 2.0])[-1]
+    assert not r.is_chain_valid(tree, tip)
+
+
+def test_excessive_buried_ad_deep_validates(tree):
+    r = rule()
+    exc = extend(tree, tree.genesis, [2.0])[0]
+    tip = extend(tree, exc, [1.0] * AD)[-1]
+    # Latest AD blocks are non-excessive -> rule 1 passes.
+    assert r.is_chain_valid(tree, tip)
+
+
+def test_paper_edge_case_valid_then_invalidated_by_extension(tree):
+    """The paper's counter-intuitive example: a chain with excessive
+    blocks at heights h and h - AD - 143 is valid, but adding one more
+    block invalidates it."""
+    r = rule()
+    first = extend(tree, tree.genesis, [2.0])[0]          # height 1
+    # Build up to height h - 1 with non-excessive blocks, where the
+    # second excessive block sits at h = 1 + AD + 143.
+    h = first.height + AD + 143
+    tip = extend(tree, first, [1.0] * (h - first.height - 1))[-1]
+    second = extend(tree, tip, [2.0])[0]                  # height h
+    assert second.height == h
+    assert r.is_chain_valid(tree, second)                 # rule 2 passes
+    extended = extend(tree, second, [1.0])[0]             # height h + 1
+    assert not r.is_chain_valid(tree, extended)
+
+
+def test_rizun_rule_disagrees_on_edge_case(tree):
+    """Rizun's description accepts the extension the source-code rule
+    rejects, demonstrating the inconsistency the paper reports."""
+    sc = rule()
+    rizun = BUValidity(eb=1.0, ad=AD, sticky=True)
+    first = extend(tree, tree.genesis, [2.0])[0]
+    h = first.height + AD + 143
+    tip = extend(tree, first, [1.0] * (h - first.height - 1))[-1]
+    second = extend(tree, tip, [2.0])[0]
+    extended = extend(tree, second, [1.0])[0]
+    # Under Rizun's rule the second excessive block is a new leader that
+    # simply needs burial; the extension works toward that.
+    assert not sc.is_chain_valid(tree, extended)
+    buried = extend(tree, extended, [1.0] * (AD - 2))[-1]
+    assert rizun.is_chain_valid(tree, buried)
+
+
+def test_valid_prefix_walks_down(tree):
+    r = rule()
+    good = extend(tree, tree.genesis, [1.0, 1.0])
+    exc = extend(tree, good[-1], [2.0])[0]
+    assert r.valid_prefix_height(tree, exc) == good[-1].height
+
+
+def test_message_limit_poison(tree):
+    r = rule()
+    huge = extend(tree, tree.genesis, [33.0])[0]
+    tip = extend(tree, huge, [1.0] * 10)[-1]
+    assert r.valid_prefix_height(tree, tip) == 0

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.block import Block, make_block
+from repro.chain.tree import BlockTree
+
+
+@pytest.fixture
+def tree() -> BlockTree:
+    """A fresh block tree."""
+    return BlockTree()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG."""
+    return np.random.default_rng(1234)
+
+
+def extend(tree: BlockTree, parent: Block, sizes, miner: str = "m"):
+    """Append a chain of blocks of the given sizes; return the blocks."""
+    out = []
+    tip = parent
+    for size in sizes:
+        tip = tree.add(make_block(tip, size=size, miner=miner))
+        out.append(tip)
+    return out

@@ -1,0 +1,76 @@
+"""Tests for attack MDP assembly and its structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.attack_mdp import build_attack_mdp
+from repro.core.config import AttackConfig
+from repro.core.states import base1_state, count_states, validate_state
+
+
+def cfg(**kwargs):
+    defaults = dict(alpha=0.1, beta=0.45, gamma=0.45, ad=6, setting=1)
+    defaults.update(kwargs)
+    return AttackConfig(**defaults)
+
+
+def test_setting1_state_count():
+    mdp = build_attack_mdp(cfg())
+    assert mdp.n_states == count_states(cfg()) == 211
+
+
+def test_setting2_state_count_small_gate():
+    config = cfg(setting=2, gate_window=8)
+    mdp = build_attack_mdp(config)
+    assert mdp.n_states == count_states(config)
+
+
+def test_start_is_phase1_base():
+    mdp = build_attack_mdp(cfg())
+    assert mdp.state_keys[mdp.start] == base1_state()
+
+
+def test_all_states_satisfy_invariants():
+    config = cfg(setting=2, gate_window=5, ad=4)
+    mdp = build_attack_mdp(config)
+    for state in mdp.state_keys:
+        validate_state(state, config)
+
+
+def test_actions_without_wait():
+    mdp = build_attack_mdp(cfg())
+    assert mdp.actions == ["OnChain1", "OnChain2"]
+    assert mdp.available.all()
+
+
+def test_actions_with_wait():
+    mdp = build_attack_mdp(cfg(include_wait=True))
+    assert mdp.actions == ["OnChain1", "OnChain2", "Wait"]
+    assert mdp.available.all()
+
+
+def test_channels_present():
+    mdp = build_attack_mdp(cfg())
+    assert set(mdp.channels) == {"alice", "others", "alice_orphans",
+                                 "others_orphans", "ds"}
+
+
+def test_rows_are_stochastic():
+    mdp = build_attack_mdp(cfg(setting=2, gate_window=4))
+    for a in range(mdp.n_actions):
+        sums = np.asarray(mdp.transition[a].sum(axis=1)).ravel()
+        assert np.allclose(sums[mdp.available[a]], 1.0)
+
+
+def test_honest_policy_rates():
+    """Always mining OnChain1 from the base state yields Alice exactly
+    alpha of the rewards and no forks at all."""
+    from repro.mdp.stationary import policy_gains
+    config = cfg()
+    mdp = build_attack_mdp(config)
+    honest = np.full(mdp.n_states, mdp.action_index("OnChain1"))
+    gains = policy_gains(mdp, honest)
+    assert gains["alice"] == pytest.approx(config.alpha)
+    assert gains["others"] == pytest.approx(config.beta + config.gamma)
+    assert gains["others_orphans"] == pytest.approx(0.0, abs=1e-12)
+    assert gains["ds"] == pytest.approx(0.0, abs=1e-12)

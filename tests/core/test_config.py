@@ -1,0 +1,64 @@
+"""Tests for the attack configuration."""
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.errors import ReproError
+
+
+def test_from_ratio_splits_exactly():
+    cfg = AttackConfig.from_ratio(0.10, (2, 3))
+    assert cfg.alpha == pytest.approx(0.10)
+    assert cfg.beta == pytest.approx(0.9 * 2 / 5)
+    assert cfg.gamma == pytest.approx(0.9 * 3 / 5)
+    assert cfg.alpha + cfg.beta + cfg.gamma == pytest.approx(1.0, abs=1e-15)
+
+
+def test_defaults_match_paper():
+    cfg = AttackConfig.from_ratio(0.10, (1, 1))
+    assert cfg.ad == 6
+    assert cfg.setting == 1
+    assert cfg.rds == 10.0
+    assert cfg.confirmations == 4
+    assert cfg.gate_window == 144
+
+
+@pytest.mark.parametrize("alpha,beta,gamma", [
+    (0.0, 0.5, 0.5),
+    (0.5, 0.25, 0.25),
+    (0.3, 0.3, 0.3),
+    (-0.1, 0.6, 0.5),
+])
+def test_invalid_powers_rejected(alpha, beta, gamma):
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=alpha, beta=beta, gamma=gamma)
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, ad=1)
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, setting=3)
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, phase3_return="x")
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, gate_countdown="x")
+    with pytest.raises(ReproError):
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, rds=-1)
+
+
+def test_with_wait_toggles():
+    cfg = AttackConfig.from_ratio(0.10, (1, 1))
+    assert not cfg.include_wait
+    assert cfg.with_wait().include_wait
+    assert not cfg.with_wait(False).include_wait
+
+
+def test_ratio_parts_must_be_positive():
+    with pytest.raises(ReproError):
+        AttackConfig.from_ratio(0.1, (0, 1))
+
+
+def test_compliant_power():
+    cfg = AttackConfig.from_ratio(0.25, (1, 1))
+    assert cfg.compliant_power == pytest.approx(0.75)

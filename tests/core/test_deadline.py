@@ -1,0 +1,42 @@
+"""Tests for time-limited attack analysis."""
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.deadline import deadline_value
+from repro.errors import ReproError
+
+
+def cfg():
+    return AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+
+
+def test_per_block_value_below_perpetual_rate():
+    analysis = deadline_value(cfg(), horizon=30)
+    assert analysis.per_block <= analysis.perpetual_rate + 1e-9
+    assert analysis.total_value >= analysis.honest_total - 1e-9
+
+
+def test_long_horizon_approaches_perpetual_rate():
+    analysis = deadline_value(cfg(), horizon=600)
+    assert analysis.per_block == pytest.approx(analysis.perpetual_rate,
+                                               abs=0.02)
+    assert analysis.deadline_efficiency > 0.8
+
+
+def test_short_deadline_hurts():
+    short = deadline_value(cfg(), horizon=5)
+    long = deadline_value(cfg(), horizon=200)
+    assert short.per_block < long.per_block
+    assert short.deadline_efficiency < long.deadline_efficiency
+
+
+def test_one_block_attack_is_honest():
+    """With a single block left there is nothing to fork for."""
+    analysis = deadline_value(cfg(), horizon=1)
+    assert analysis.total_value == pytest.approx(analysis.config.alpha)
+
+
+def test_invalid_horizon():
+    with pytest.raises(ReproError):
+        deadline_value(cfg(), horizon=0)

@@ -1,0 +1,40 @@
+"""Tests for double-spend bonus logic."""
+
+import pytest
+
+from repro.core.double_spend import (
+    DEFAULT_CONFIRMATIONS,
+    DEFAULT_RDS,
+    double_spend_bonus,
+)
+from repro.errors import ReproError
+
+
+def test_defaults_match_paper():
+    assert DEFAULT_RDS == 10.0
+    assert DEFAULT_CONFIRMATIONS == 4
+
+
+@pytest.mark.parametrize("orphaned,expected", [
+    (0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0),
+    (4, 10.0), (5, 20.0), (6, 30.0),
+])
+def test_paper_schedule(orphaned, expected):
+    assert double_spend_bonus(orphaned) == expected
+
+
+def test_custom_rds_scales_linearly():
+    assert double_spend_bonus(5, rds=3.0) == 6.0
+
+
+def test_custom_confirmations_shift_threshold():
+    assert double_spend_bonus(3, confirmations=3) == 10.0
+    assert double_spend_bonus(5, confirmations=6) == 0.0
+    assert double_spend_bonus(6, confirmations=6) == 10.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ReproError):
+        double_spend_bonus(-1)
+    with pytest.raises(ReproError):
+        double_spend_bonus(1, confirmations=0)

@@ -1,0 +1,37 @@
+"""Tests for the incentive models."""
+
+from repro.core.incentives import IncentiveModel
+
+
+def test_three_models_exist():
+    assert len(IncentiveModel) == 3
+
+
+def test_wait_only_for_non_profit():
+    assert not IncentiveModel.COMPLIANT_PROFIT.uses_wait
+    assert not IncentiveModel.NONCOMPLIANT_PROFIT.uses_wait
+    assert IncentiveModel.NON_PROFIT.uses_wait
+
+
+def test_double_spend_only_for_noncompliant():
+    assert not IncentiveModel.COMPLIANT_PROFIT.uses_double_spend
+    assert IncentiveModel.NONCOMPLIANT_PROFIT.uses_double_spend
+    assert not IncentiveModel.NON_PROFIT.uses_double_spend
+
+
+def test_relative_revenue_channels():
+    num, den = IncentiveModel.COMPLIANT_PROFIT.utility_channels()
+    assert num == {"alice": 1.0}
+    assert den == {"alice": 1.0, "others": 1.0}
+
+
+def test_absolute_reward_is_plain_average():
+    num, den = IncentiveModel.NONCOMPLIANT_PROFIT.utility_channels()
+    assert num == {"alice": 1.0, "ds": 1.0}
+    assert den == {}
+
+
+def test_orphan_rate_channels():
+    num, den = IncentiveModel.NON_PROFIT.utility_channels()
+    assert num == {"others_orphans": 1.0}
+    assert den == {"alice": 1.0, "alice_orphans": 1.0}

@@ -1,0 +1,78 @@
+"""Tests for the multi-EB split analysis (Section 4.1.1)."""
+
+import pytest
+
+from repro.core.incentives import IncentiveModel
+from repro.core.multi_eb import (
+    EBGroup,
+    analyze_splits,
+    best_split,
+    enumerate_splits,
+    merge_adjacent,
+)
+from repro.errors import ReproError
+
+
+def groups_three():
+    return [EBGroup(eb=1.0, power=0.30), EBGroup(eb=4.0, power=0.30),
+            EBGroup(eb=16.0, power=0.30)]
+
+
+def test_enumerate_splits_count_and_partition():
+    splits = enumerate_splits(groups_three(), alpha=0.10)
+    assert len(splits) == 2
+    assert splits[0].split_eb == 1.0
+    assert splits[0].fork_block_size == 4.0
+    assert splits[0].beta == pytest.approx(0.30)
+    assert splits[0].gamma == pytest.approx(0.60)
+    assert splits[1].beta == pytest.approx(0.60)
+    assert splits[1].gamma == pytest.approx(0.30)
+
+
+def test_same_eb_groups_merge():
+    groups = [EBGroup(1.0, 0.2), EBGroup(1.0, 0.3), EBGroup(4.0, 0.4)]
+    splits = enumerate_splits(groups, alpha=0.10)
+    assert len(splits) == 1
+    assert splits[0].beta == pytest.approx(0.5)
+
+
+def test_single_eb_network_has_no_attack():
+    groups = [EBGroup(1.0, 0.9)]
+    assert best_split(groups, 0.10, IncentiveModel.NON_PROFIT) is None
+
+
+def test_power_sum_checked():
+    with pytest.raises(ReproError):
+        enumerate_splits(groups_three(), alpha=0.5)
+    with pytest.raises(ReproError):
+        enumerate_splits([], alpha=0.1)
+
+
+def test_best_split_maximizes_over_candidates():
+    analyses = analyze_splits(groups_three(), 0.10,
+                              IncentiveModel.NON_PROFIT)
+    best = best_split(groups_three(), 0.10, IncentiveModel.NON_PROFIT)
+    assert best is not None
+    assert best.utility == pytest.approx(
+        max(a.utility for a in analyses))
+
+
+def test_more_ebs_only_help_the_attacker():
+    """Section 4.1.1: splitting a 3-EB network is at least as good as
+    attacking either 2-EB merge of it."""
+    alpha = 0.10
+    three = best_split(groups_three(), alpha, IncentiveModel.NON_PROFIT)
+    assert three is not None
+    for boundary in (1.0, 4.0):
+        below, above = merge_adjacent(groups_three(), boundary)
+        two = best_split([EBGroup(1.0, below), EBGroup(16.0, above)],
+                         alpha, IncentiveModel.NON_PROFIT)
+        assert two is not None
+        assert three.utility >= two.utility - 1e-9
+
+
+def test_group_validation():
+    with pytest.raises(ReproError):
+        EBGroup(eb=0.0, power=0.5)
+    with pytest.raises(ReproError):
+        EBGroup(eb=1.0, power=0.0)

@@ -1,0 +1,52 @@
+"""Tests for the phase-2-attack-disabled ablation."""
+
+import pytest
+
+from repro.core.attack_mdp import build_attack_mdp
+from repro.core.config import AttackConfig
+from repro.core.solve import solve_absolute_reward
+from repro.core.states import count_states
+
+
+def cfg(phase2_attack, **kwargs):
+    defaults = dict(alpha=0.1, beta=0.45, gamma=0.45, setting=2,
+                    gate_window=20, phase2_attack=phase2_attack)
+    defaults.update(kwargs)
+    return AttackConfig(**defaults)
+
+
+def test_restricted_state_space_has_no_fork2():
+    config = cfg(False)
+    mdp = build_attack_mdp(config)
+    assert mdp.n_states == count_states(config)
+    assert not any(k[0] == "fork2" for k in mdp.state_keys)
+    # Phase-2 base states still exist (the gate still opens).
+    assert any(k == ("base", config.gate_window) for k in mdp.state_keys)
+
+
+def test_onchain2_unavailable_while_gate_open():
+    config = cfg(False)
+    mdp = build_attack_mdp(config)
+    on2 = mdp.action_index("OnChain2")
+    base2 = mdp.state_index(("base", 5))
+    base1 = mdp.state_index(("base", 0))
+    assert not mdp.available[on2, base2]
+    assert mdp.available[on2, base1]
+
+
+def test_restricted_dominated_by_full_setting2():
+    """Strategy inclusion: allowing phase-2 attacks can only help --
+    the argument that rules this variant out as the paper's setting 1
+    (whose Table 3 values EXCEED its setting-2 values)."""
+    restricted = solve_absolute_reward(cfg(False))
+    full = solve_absolute_reward(cfg(True))
+    assert restricted.utility <= full.utility + 1e-9
+
+
+def test_restricted_still_beats_honest():
+    result = solve_absolute_reward(cfg(False))
+    assert result.utility > 0.1
+
+
+def test_default_is_unrestricted():
+    assert AttackConfig(alpha=0.1, beta=0.45, gamma=0.45).phase2_attack

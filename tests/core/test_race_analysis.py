@@ -1,0 +1,87 @@
+"""Tests for per-race statistics."""
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.race_analysis import (
+    pump_chain2,
+    race_statistics,
+    support_leader,
+    watch_only,
+)
+from repro.errors import ReproError
+
+
+def cfg(alpha=0.10, ratio=(1, 1), **kwargs):
+    return AttackConfig.from_ratio(alpha, ratio, **kwargs)
+
+
+def test_chain2_win_boundary():
+    """Chain 2 carries alpha + gamma power: its win probability crosses
+    1/2 with the Table 2 boundary alpha + gamma vs beta."""
+    strong = race_statistics(cfg(0.10, (1, 1)))
+    weak = race_statistics(cfg(0.10, (2, 1)))
+    assert strong.chain2_win_probability > 0.5
+    assert weak.chain2_win_probability < 0.5
+
+
+def test_probabilities_and_lengths_positive():
+    st = race_statistics(cfg())
+    assert 0 < st.chain2_win_probability < 1
+    assert st.expected_length > 1
+    assert st.expected_orphans > 0
+    assert st.expected_others_orphans <= st.expected_orphans
+
+
+def test_race_length_peaks_near_balance():
+    balanced = race_statistics(cfg(0.10, (1, 1)))
+    lopsided = race_statistics(cfg(0.10, (4, 1)))
+    assert balanced.expected_length > lopsided.expected_length
+
+
+def test_watch_only_reproduces_table4_value():
+    """For a tiny attacker, split-then-wait is the optimal non-profit
+    strategy: others' orphans per race equals Table 4's 1.77."""
+    config = cfg(0.01, (2, 3), include_wait=True)
+    st = race_statistics(config, watch_only)
+    alice_spent = st.expected_alice_locked + (
+        st.expected_orphans - st.expected_others_orphans)
+    assert st.expected_others_orphans / alice_spent == pytest.approx(
+        1.7746, abs=1e-3)
+
+
+def test_wait_strategy_requires_flag():
+    with pytest.raises(ReproError):
+        race_statistics(cfg(0.10, (1, 1)), watch_only)
+
+
+def test_support_leader_differs_from_pumping():
+    a = race_statistics(cfg(0.10, (1, 1)), pump_chain2)
+    b = race_statistics(cfg(0.10, (1, 1)), support_leader)
+    assert a.chain2_win_probability >= b.chain2_win_probability - 1e-12
+
+
+def test_ds_income_consistency_with_mdp():
+    """Per-race DS income times race frequency approximates the
+    long-run DS rate of the same fixed strategy."""
+    from repro.mdp.stationary import policy_gains
+    from repro.core.attack_mdp import build_attack_mdp
+    import numpy as np
+    config = cfg(0.10, (1, 1))
+    st = race_statistics(config, pump_chain2)
+    mdp = build_attack_mdp(config)
+    on2 = mdp.action_index("OnChain2")
+    policy = np.full(mdp.n_states, on2)
+    gains = policy_gains(mdp, policy)
+    races_per_step = gains["ds"] / st.expected_double_spend
+    # Each race burns expected_length blocks; with the always-split
+    # strategy the system forks whenever Alice mines at base.
+    assert 0 < races_per_step < 1
+    length_rate = races_per_step * st.expected_length
+    orphan_rate = gains["alice_orphans"] + gains["others_orphans"]
+    locked_in_race = races_per_step * (st.expected_length
+                                       - st.expected_orphans)
+    assert orphan_rate == pytest.approx(
+        races_per_step * st.expected_orphans, rel=1e-6)
+    assert length_rate <= 1.0 + 1e-9
+    assert locked_in_race > 0

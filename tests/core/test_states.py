@@ -1,0 +1,87 @@
+"""Tests for the attack-MDP state encoding."""
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.states import (
+    base1_state,
+    base2_state,
+    count_states,
+    enumerate_fork_shapes,
+    enumerate_states,
+    fork1_state,
+    fork2_state,
+    is_base,
+    state_phase,
+    validate_state,
+)
+from repro.errors import ReproError
+
+
+def cfg(setting=1, ad=6, gate_window=144):
+    return AttackConfig(alpha=0.1, beta=0.45, gamma=0.45, ad=ad,
+                        setting=setting, gate_window=gate_window)
+
+
+def test_base_states():
+    assert base1_state() == ("base", 0)
+    assert base2_state(5) == ("base", 5)
+    with pytest.raises(ReproError):
+        base2_state(0)
+
+
+def test_phase_classification():
+    assert state_phase(base1_state()) == 1
+    assert state_phase(base2_state(3)) == 2
+    assert state_phase(fork1_state(0, 1, 0, 1)) == 1
+    assert state_phase(fork2_state(0, 1, 0, 1, 10)) == 2
+    assert is_base(base1_state())
+    assert not is_base(fork1_state(0, 1, 0, 1))
+
+
+def test_fork_shape_count_ad6():
+    """Closed-form check: AD = 6 yields 210 fork shapes."""
+    shapes = list(enumerate_fork_shapes(6))
+    assert len(shapes) == 210
+    assert len(set(shapes)) == 210
+
+
+def test_state_counts():
+    assert count_states(cfg(setting=1)) == 211
+    assert count_states(cfg(setting=2)) == 1 + 210 + 144 * 211
+    small = cfg(setting=2, ad=3, gate_window=5)
+    shapes = len(list(enumerate_fork_shapes(3)))
+    assert count_states(small) == 1 + shapes + 5 * (1 + shapes)
+
+
+def test_enumeration_matches_count():
+    for config in (cfg(setting=1), cfg(setting=2, ad=3, gate_window=4)):
+        states = list(enumerate_states(config))
+        assert len(states) == count_states(config)
+        assert len(set(states)) == len(states)
+
+
+def test_validate_state_accepts_all_enumerated():
+    config = cfg(setting=2, ad=4, gate_window=6)
+    for state in enumerate_states(config):
+        validate_state(state, config)
+
+
+@pytest.mark.parametrize("state", [
+    ("fork1", 2, 1, 0, 1),     # l1 > l2
+    ("fork1", 0, 6, 0, 1),     # l2 beyond AD - 1
+    ("fork1", 1, 2, 2, 1),     # a1 > l1
+    ("fork1", 0, 1, 0, 0),     # a2 = 0
+    ("fork2", 0, 1, 0, 1, 0),  # r = 0 in a fork2 state
+    ("weird", 1),
+])
+def test_validate_state_rejects_invalid(state):
+    with pytest.raises(ReproError):
+        validate_state(state, cfg(setting=2))
+
+
+def test_phase2_states_rejected_in_setting1():
+    with pytest.raises(ReproError):
+        validate_state(base2_state(3), cfg(setting=1))
+    with pytest.raises(ReproError):
+        validate_state(fork2_state(0, 1, 0, 1, 3), cfg(setting=1))

@@ -1,0 +1,256 @@
+"""Tests of the transition function against Table 1 and its phase-2
+extension."""
+
+import collections
+
+import pytest
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2, WAIT
+from repro.core.config import AttackConfig
+from repro.core.states import base1_state, base2_state, count_states
+from repro.core.transitions import generate_transitions
+
+
+def collect(config):
+    """Group transitions as (state, action) -> list."""
+    grouped = collections.defaultdict(list)
+    for tr in generate_transitions(config):
+        grouped[(tr.state, tr.action)].append(tr)
+    return grouped
+
+
+def cfg(**kwargs):
+    defaults = dict(alpha=0.1, beta=0.45, gamma=0.45, ad=6, setting=1)
+    defaults.update(kwargs)
+    return AttackConfig(**defaults)
+
+
+ALPHA, BETA, GAMMA = 0.1, 0.45, 0.45
+
+
+class TestTable1Rows:
+    """Each test checks one row of the paper's Table 1."""
+
+    def setup_method(self):
+        self.grouped = collect(cfg())
+
+    def outcomes(self, state, action):
+        return {(t.next_state,): (t.prob, t.rewards)
+                for t in self.grouped[(state, action)]}
+
+    def test_base_onchain1(self):
+        trs = self.grouped[(base1_state(), ON_CHAIN_1)]
+        assert all(t.next_state == base1_state() for t in trs)
+        total_alice = sum(t.prob * t.rewards.get("alice", 0) for t in trs)
+        total_others = sum(t.prob * t.rewards.get("others", 0) for t in trs)
+        assert total_alice == pytest.approx(ALPHA)
+        assert total_others == pytest.approx(BETA + GAMMA)
+
+    def test_base_onchain2(self):
+        trs = self.grouped[(base1_state(), ON_CHAIN_2)]
+        by_next = {t.next_state: t for t in trs}
+        fork = ("fork1", 0, 1, 0, 1)
+        assert by_next[fork].prob == pytest.approx(ALPHA)
+        assert by_next[fork].rewards == {}
+        assert by_next[base1_state()].prob == pytest.approx(BETA + GAMMA)
+        assert by_next[base1_state()].rewards.get("others") == 1.0
+
+    def test_mid_fork_onchain1(self):
+        """Row (l1, l2, a1, a2), onC1 with l1 < l2 != AD - 1."""
+        state = ("fork1", 1, 3, 0, 1)
+        probs = {t.next_state: t.prob
+                 for t in self.grouped[(state, ON_CHAIN_1)]}
+        assert probs[("fork1", 2, 3, 1, 1)] == pytest.approx(ALPHA)
+        assert probs[("fork1", 2, 3, 0, 1)] == pytest.approx(BETA)
+        assert probs[("fork1", 1, 4, 0, 1)] == pytest.approx(GAMMA)
+
+    def test_mid_fork_onchain2(self):
+        state = ("fork1", 1, 3, 0, 1)
+        probs = {t.next_state: t.prob
+                 for t in self.grouped[(state, ON_CHAIN_2)]}
+        assert probs[("fork1", 1, 4, 0, 2)] == pytest.approx(ALPHA)
+        assert probs[("fork1", 2, 3, 0, 1)] == pytest.approx(BETA)
+        assert probs[("fork1", 1, 4, 0, 1)] == pytest.approx(GAMMA)
+
+    def test_tie_onchain1_resolves(self):
+        """Row l1 = l2 != AD - 1: a Chain-1 block wins the race."""
+        state = ("fork1", 2, 2, 1, 1)
+        trs = self.grouped[(state, ON_CHAIN_1)]
+        resolved = [t for t in trs if t.next_state == base1_state()]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + BETA)
+        # Weighted reward: alpha' (a1 + 1) + beta' a1 to Alice.
+        a_reward = sum(t.prob * t.rewards["alice"] for t in resolved) \
+            / (ALPHA + BETA)
+        expected = (ALPHA / (ALPHA + BETA)) * 2 + (BETA / (ALPHA + BETA)) * 1
+        assert a_reward == pytest.approx(expected)
+        growing = [t for t in trs if t.next_state == ("fork1", 2, 3, 1, 1)]
+        assert sum(t.prob for t in growing) == pytest.approx(GAMMA)
+
+    def test_tie_onchain2_bob_resolves(self):
+        state = ("fork1", 2, 2, 1, 1)
+        trs = self.grouped[(state, ON_CHAIN_2)]
+        resolved = [t for t in trs if t.next_state == base1_state()]
+        assert sum(t.prob for t in resolved) == pytest.approx(BETA)
+        assert resolved[0].rewards["alice"] == 1.0   # a1
+        assert resolved[0].rewards["others"] == 2.0  # l1 + 1 - a1
+
+    def test_l2_at_ad_minus_1_locks_chain2(self):
+        """Row l1 < l2 = AD - 1, onC2: Alice or Carol locks Chain 2."""
+        state = ("fork1", 1, 5, 1, 2)
+        trs = self.grouped[(state, ON_CHAIN_2)]
+        resolved = [t for t in trs if t.next_state == base1_state()]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + GAMMA)
+        reward = sum(t.prob * t.rewards["alice"] for t in resolved) \
+            / (ALPHA + GAMMA)
+        expected = (ALPHA / (ALPHA + GAMMA)) * 3 + (GAMMA / (ALPHA + GAMMA)) * 2
+        assert reward == pytest.approx(expected)
+
+    def test_corner_l1_l2_both_ad_minus_1(self):
+        """Row l1 = l2 = AD - 1: every block resolves the race."""
+        state = ("fork1", 5, 5, 2, 3)
+        for action in (ON_CHAIN_1, ON_CHAIN_2):
+            trs = self.grouped[(state, action)]
+            assert all(t.next_state == base1_state() for t in trs)
+            assert sum(t.prob for t in trs) == pytest.approx(1.0)
+
+
+class TestRewardConservation:
+    """Every locked/orphaned block pays exactly one unit across the
+    alice/others (or orphan) channels."""
+
+    @pytest.mark.parametrize("setting", [1, 2])
+    def test_conservation(self, setting):
+        config = cfg(setting=setting, gate_window=6)
+        for tr in generate_transitions(config):
+            if not tr.rewards:
+                continue
+            locked = tr.rewards.get("alice", 0) + tr.rewards.get("others", 0)
+            orphaned = (tr.rewards.get("alice_orphans", 0)
+                        + tr.rewards.get("others_orphans", 0))
+            if tr.state[0] == "base" or tr.next_state[0] == "base":
+                if tr.state[0] == "base" and orphaned == 0:
+                    assert locked == 1.0
+                else:
+                    # Race resolution: winner chain len l + 1, loser len.
+                    assert locked >= 1
+                    assert locked + orphaned >= 2
+
+    @pytest.mark.parametrize("setting", [1, 2])
+    def test_resolution_identity(self, setting):
+        """At a resolution, locked = winner length and orphaned = loser
+        length; winner = loser + 1 (Chain-1 win) or winner = AD
+        (Chain-2 lock)."""
+        config = cfg(setting=setting, gate_window=6)
+        for tr in generate_transitions(config):
+            if tr.state[0] == "base" or not tr.rewards:
+                continue
+            locked = tr.rewards.get("alice", 0) + tr.rewards.get("others", 0)
+            orphaned = (tr.rewards.get("alice_orphans", 0)
+                        + tr.rewards.get("others_orphans", 0))
+            state = tr.state
+            l1, l2 = state[1], state[2]
+            assert locked in (l1 + 1, l2 + 1)
+            if locked == l2 + 1 and l2 + 1 == config.ad:
+                assert orphaned == l1
+            else:
+                assert locked == l1 + 1
+                assert orphaned == l2
+
+
+class TestPhase2:
+    def setup_method(self):
+        self.config = cfg(setting=2, gate_window=6)
+        self.grouped = collect(self.config)
+
+    def test_chain2_lock_opens_gate(self):
+        state = ("fork1", 0, 5, 0, 3)
+        trs = self.grouped[(state, ON_CHAIN_2)]
+        resolved = [t for t in trs if t.next_state == base2_state(6)]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + GAMMA)
+
+    def test_base2_counts_down(self):
+        trs = self.grouped[(base2_state(3), ON_CHAIN_1)]
+        assert all(t.next_state == base2_state(2) for t in trs)
+        trs = self.grouped[(base2_state(1), ON_CHAIN_1)]
+        assert all(t.next_state == base1_state() for t in trs)
+
+    def test_base2_split_starts_fork2(self):
+        trs = self.grouped[(base2_state(4), ON_CHAIN_2)]
+        by_next = {t.next_state: t for t in trs}
+        assert by_next[("fork2", 0, 1, 0, 1, 4)].prob == pytest.approx(ALPHA)
+        assert by_next[base2_state(3)].prob == pytest.approx(BETA + GAMMA)
+
+    def test_fork2_roles_swapped(self):
+        """In phase 2 Bob extends Chain 2 and Carol extends Chain 1."""
+        state = ("fork2", 1, 3, 0, 1, 4)
+        probs = {t.next_state: t.prob
+                 for t in self.grouped[(state, ON_CHAIN_1)]}
+        assert probs[("fork2", 2, 3, 0, 1, 4)] == pytest.approx(GAMMA)
+        assert probs[("fork2", 1, 4, 0, 1, 4)] == pytest.approx(BETA)
+
+    def test_fork2_chain1_win_decrements_gate(self):
+        state = ("fork2", 2, 2, 0, 1, 5)
+        trs = self.grouped[(state, ON_CHAIN_1)]
+        resolved = [t for t in trs if t.next_state == base2_state(2)]
+        # Chain-1 win locks l1 + 1 = 3 blocks: r 5 -> 2.
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + GAMMA)
+
+    def test_fork2_chain1_win_can_close_gate(self):
+        state = ("fork2", 2, 2, 0, 1, 2)
+        trs = self.grouped[(state, ON_CHAIN_1)]
+        resolved = [t for t in trs if t.next_state == base1_state()]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + GAMMA)
+
+    def test_fork2_chain2_lock_returns_to_phase1(self):
+        """Default phase3_return: Chain-2 lock in phase 2 -> phase 1."""
+        state = ("fork2", 1, 5, 0, 2, 4)
+        trs = self.grouped[(state, ON_CHAIN_2)]
+        resolved = [t for t in trs if t.next_state == base1_state()]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + BETA)
+
+    def test_phase3_reset_variant(self):
+        config = cfg(setting=2, gate_window=6, phase3_return="phase2_reset")
+        grouped = collect(config)
+        state = ("fork2", 1, 5, 0, 2, 4)
+        trs = grouped[(state, ON_CHAIN_2)]
+        resolved = [t for t in trs if t.next_state == base2_state(6)]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + BETA)
+
+    def test_gate_countdown_literal_variant(self):
+        config = cfg(setting=2, gate_window=6, gate_countdown="l1")
+        grouped = collect(config)
+        state = ("fork2", 2, 2, 0, 1, 3)
+        trs = grouped[(state, ON_CHAIN_1)]
+        # Literal "reduce by l1": 3 - 2 = 1 remains.
+        resolved = [t for t in trs if t.next_state == base2_state(1)]
+        assert sum(t.prob for t in resolved) == pytest.approx(ALPHA + GAMMA)
+
+
+class TestWait:
+    def test_wait_excludes_alice(self):
+        config = cfg(include_wait=True)
+        grouped = collect(config)
+        state = ("fork1", 1, 2, 0, 1)
+        trs = grouped[(state, WAIT)]
+        assert sum(t.prob for t in trs) == pytest.approx(1.0)
+        nexts = {t.next_state for t in trs}
+        # Alice's blocks never appear: a1 and a2 unchanged.
+        assert nexts == {("fork1", 2, 2, 0, 1), ("fork1", 1, 3, 0, 1)}
+
+    def test_wait_probabilities_renormalized(self):
+        config = cfg(include_wait=True)
+        grouped = collect(config)
+        trs = grouped[(("fork1", 1, 2, 0, 1), WAIT)]
+        probs = {t.next_state: t.prob for t in trs}
+        assert probs[("fork1", 2, 2, 0, 1)] == pytest.approx(
+            BETA / (BETA + GAMMA))
+
+
+def test_bfs_reaches_closed_form_state_count():
+    for config in (cfg(setting=1), cfg(setting=2, gate_window=5),
+                   cfg(setting=1, ad=3), cfg(setting=2, ad=4, gate_window=3)):
+        states = set()
+        for tr in generate_transitions(config):
+            states.add(tr.state)
+            states.add(tr.next_state)
+        assert len(states) == count_states(config)

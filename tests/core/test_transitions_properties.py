@@ -1,0 +1,92 @@
+"""Property-based tests of the transition function over random
+parameter draws."""
+
+import collections
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import AttackConfig
+from repro.core.states import validate_state
+from repro.core.transitions import generate_transitions
+
+@st.composite
+def configs(draw):
+    alpha = draw(st.floats(0.01, 0.3))
+    split = draw(st.floats(0.15, 0.85))
+    beta = (1 - alpha) * split
+    gamma = 1 - alpha - beta
+    return AttackConfig(
+        alpha=alpha, beta=beta, gamma=gamma,
+        ad=draw(st.integers(2, 7)),
+        setting=draw(st.sampled_from([1, 2])),
+        include_wait=draw(st.booleans()),
+        gate_window=draw(st.integers(1, 6)),
+        phase3_return=draw(st.sampled_from(["phase1", "phase2_reset"])),
+        gate_countdown=draw(st.sampled_from(["locked_blocks", "l1"])),
+    )
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_probabilities_sum_to_one_per_state_action(config):
+    totals = collections.defaultdict(float)
+    for tr in generate_transitions(config):
+        totals[(tr.state, tr.action)] += tr.prob
+    for key, total in totals.items():
+        assert abs(total - 1.0) < 1e-9, key
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_all_states_valid(config):
+    for tr in generate_transitions(config):
+        validate_state(tr.state, config)
+        validate_state(tr.next_state, config)
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_reward_conservation_at_resolutions(config):
+    """Winner chains pay one reward per block; loser chains orphan one
+    block per block (the Table 1 typo fix, see DESIGN.md)."""
+    for tr in generate_transitions(config):
+        if tr.state[0] == "base":
+            continue
+        if not tr.rewards:
+            continue
+        l1, l2 = tr.state[1], tr.state[2]
+        locked = tr.rewards.get("alice", 0) + tr.rewards.get("others", 0)
+        orphaned = (tr.rewards.get("alice_orphans", 0)
+                    + tr.rewards.get("others_orphans", 0))
+        assert (locked, orphaned) in ((l1 + 1, l2), (l2 + 1, l1))
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_ds_only_on_long_orphanings(config):
+    for tr in generate_transitions(config):
+        ds = tr.rewards.get("ds", 0)
+        orphaned = (tr.rewards.get("alice_orphans", 0)
+                    + tr.rewards.get("others_orphans", 0))
+        if ds:
+            assert orphaned >= config.confirmations
+            expected = (orphaned - config.confirmations + 1) * config.rds
+            assert abs(ds - expected) < 1e-9
+        elif orphaned:
+            assert orphaned < config.confirmations
+
+
+@given(configs())
+@settings(max_examples=25, deadline=None)
+def test_alice_blocks_only_from_alice_actions(config):
+    """a1/a2 only grow on the matching OnChain action."""
+    for tr in generate_transitions(config):
+        if tr.state[0] == "base" or tr.next_state[0] == "base":
+            continue
+        s, t = tr.state, tr.next_state
+        da1, da2 = t[3] - s[3], t[4] - s[4]
+        assert (da1, da2) in ((0, 0), (1, 0), (0, 1))
+        if da1 == 1:
+            assert tr.action == "OnChain1"
+        if da2 == 1:
+            assert tr.action == "OnChain2"

@@ -1,0 +1,88 @@
+"""Tests for the BIP 100 dynamic-limit variant."""
+
+import numpy as np
+import pytest
+
+from repro.countermeasure.bip100 import (
+    BIP100Params,
+    bip100_schedule,
+    simulate_bip100,
+)
+from repro.errors import ReproError
+
+
+def params(**kwargs):
+    defaults = dict(period=10, percentile=20.0, max_change=1.5,
+                    initial_limit=1.0)
+    defaults.update(kwargs)
+    return BIP100Params(**defaults)
+
+
+def test_unanimous_votes_move_limit_within_cap():
+    p = params()
+    limits = bip100_schedule([4.0] * 20, p)
+    assert limits[9] == 1.0
+    assert limits[10] == 1.5       # capped at x1.5 per period
+    assert limits[20] == 2.25      # and again
+
+
+def test_percentile_protects_minority():
+    """With 30% voting small, the 20th percentile stays at the small
+    vote: the limit does not rise."""
+    p = params()
+    votes = ([1.0] * 3 + [8.0] * 7) * 2
+    limits = bip100_schedule(votes, p)
+    assert limits[-1] == 1.0
+
+
+def test_eighty_percent_supermajority_raises():
+    p = params()
+    votes = ([1.0] * 2 + [8.0] * 8) * 2
+    limits = bip100_schedule(votes, p)
+    assert limits[-1] > 1.0
+
+
+def test_limit_can_decrease():
+    p = params(initial_limit=8.0)
+    limits = bip100_schedule([1.0] * 20, p)
+    assert limits[10] == pytest.approx(8.0 / 1.5)
+    assert limits[20] == pytest.approx(8.0 / 1.5 / 1.5)
+
+
+def test_prefix_purity():
+    """The BVC property: the limit at h depends only on earlier votes."""
+    p = params()
+    votes = [1.0, 8.0, 4.0, 2.0] * 10
+    full = bip100_schedule(votes, p)
+    prefix = bip100_schedule(votes[:20], p)
+    assert full[:21] == prefix[:21]
+
+
+def test_simulation_deterministic_mode():
+    p = params()
+    held = simulate_bip100(preferences=[1.0, 8.0], powers=[0.3, 0.7],
+                           n_periods=4, params=p)
+    # A 30% small-vote coalition controls the 20th percentile: held.
+    assert held[-1] == 1.0
+    raised = simulate_bip100(preferences=[1.0, 8.0], powers=[0.1, 0.9],
+                             n_periods=4, params=p)
+    # Only 10% dissent: the percentile vote passes and the limit climbs.
+    assert raised[-1] > 1.0
+
+
+def test_simulation_stochastic_mode(rng):
+    p = params()
+    limits = simulate_bip100(preferences=[8.0, 8.0], powers=[0.5, 0.5],
+                             n_periods=6, params=p, rng=rng)
+    assert limits[-1] > 2.0
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        BIP100Params(percentile=0.0)
+    with pytest.raises(ReproError):
+        BIP100Params(max_change=1.0)
+    with pytest.raises(ReproError):
+        bip100_schedule([0.0], params())
+    with pytest.raises(ReproError):
+        simulate_bip100([], [], 1, params())

@@ -1,0 +1,67 @@
+"""Property-based tests of both dynamic-limit schemes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.countermeasure.bip100 import BIP100Params, bip100_schedule
+from repro.countermeasure.voting import Vote, VoteParams, limit_schedule
+
+VOTES = st.lists(st.sampled_from(list(Vote)), min_size=0, max_size=120)
+SIZE_VOTES = st.lists(st.floats(0.1, 32.0), min_size=0, max_size=120)
+
+
+@st.composite
+def vote_params(draw):
+    period = draw(st.integers(2, 20))
+    return VoteParams(period=period,
+                      activation_delay=draw(st.integers(0, period)),
+                      step=draw(st.floats(0.05, 1.0)),
+                      up_threshold=draw(st.floats(0.4, 1.0)),
+                      veto_threshold=draw(st.floats(0.0, 0.4)),
+                      initial_limit=1.0)
+
+
+@given(VOTES, vote_params(), st.integers(0, 120))
+@settings(max_examples=60, deadline=None)
+def test_voting_limit_is_prefix_pure(votes, params, cut):
+    """The prescribed-BVC property: the limit at height h only depends
+    on votes before h."""
+    cut = min(cut, len(votes))
+    full = limit_schedule(votes, params)
+    prefix = limit_schedule(votes[:cut], params)
+    assert full[:cut + 1] == prefix[:cut + 1]
+
+
+@given(VOTES, vote_params())
+@settings(max_examples=60, deadline=None)
+def test_voting_limit_respects_bounds_and_step(votes, params):
+    limits = limit_schedule(votes, params)
+    for a, b in zip(limits, limits[1:]):
+        assert abs(b - a) <= params.step + 1e-9
+        assert params.min_limit - 1e-9 <= b <= params.max_limit + 1e-9
+
+
+@st.composite
+def bip_params(draw):
+    return BIP100Params(period=draw(st.integers(2, 20)),
+                        percentile=draw(st.floats(5.0, 95.0)),
+                        max_change=draw(st.floats(1.01, 2.0)),
+                        initial_limit=1.0)
+
+
+@given(SIZE_VOTES, bip_params(), st.integers(0, 120))
+@settings(max_examples=60, deadline=None)
+def test_bip100_limit_is_prefix_pure(votes, params, cut):
+    cut = min(cut, len(votes))
+    full = bip100_schedule(votes, params)
+    prefix = bip100_schedule(votes[:cut], params)
+    assert full[:cut + 1] == prefix[:cut + 1]
+
+
+@given(SIZE_VOTES, bip_params())
+@settings(max_examples=60, deadline=None)
+def test_bip100_change_capped_per_period(votes, params):
+    limits = bip100_schedule(votes, params)
+    for a, b in zip(limits, limits[1:]):
+        if b != a:
+            assert a / params.max_change - 1e-9 <= b \
+                <= a * params.max_change + 1e-9

@@ -1,0 +1,146 @@
+"""Tests for the Section 6.3 voting countermeasure."""
+
+import numpy as np
+import pytest
+
+from repro.countermeasure.voting import (
+    PreferenceVoter,
+    Vote,
+    VoteParams,
+    VotingSimulation,
+    equilibrium_limit,
+    limit_schedule,
+)
+from repro.errors import ReproError
+
+
+def small_params(**kwargs):
+    defaults = dict(period=10, activation_delay=3, step=0.5,
+                    up_threshold=0.75, veto_threshold=0.25,
+                    initial_limit=1.0)
+    defaults.update(kwargs)
+    return VoteParams(**defaults)
+
+
+class TestLimitSchedule:
+    def test_no_votes_no_change(self):
+        params = small_params()
+        limits = limit_schedule([Vote.ABSTAIN] * 25, params)
+        assert set(limits) == {1.0}
+
+    def test_unanimous_up_votes_raise_after_delay(self):
+        params = small_params()
+        limits = limit_schedule([Vote.UP] * 25, params)
+        # Period 0 ends at height 10; activation at in-period >= 3,
+        # i.e. height 13.
+        assert limits[12] == 1.0
+        assert limits[13] == 1.5
+        # Second period (votes 10..19) raises again at height 23.
+        assert limits[22] == 1.5
+        assert limits[23] == 2.0
+
+    def test_veto_blocks_increase(self):
+        params = small_params()
+        votes = ([Vote.UP] * 7 + [Vote.DOWN] * 3) * 2
+        limits = limit_schedule(votes, params)
+        assert set(limits) == {1.0}  # 70% < 75% threshold anyway
+
+    def test_mixed_vote_meeting_thresholds(self):
+        params = small_params()
+        votes = [Vote.UP] * 8 + [Vote.DOWN] * 2 + [Vote.ABSTAIN] * 10
+        limits = limit_schedule(votes, params)
+        assert limits[13] == 1.5
+
+    def test_down_votes_lower_limit(self):
+        params = small_params(initial_limit=2.0)
+        limits = limit_schedule([Vote.DOWN] * 15, params)
+        assert limits[13] == 1.5
+
+    def test_limits_clamped(self):
+        params = small_params(initial_limit=0.5, min_limit=0.5, step=1.0)
+        limits = limit_schedule([Vote.DOWN] * 15, params)
+        assert min(limits) == 0.5
+
+    def test_prescribed_bvc_pure_function(self):
+        """Two nodes evaluating the same chain derive the same limits:
+        the executable statement of the prescribed-BVC property."""
+        votes = [Vote.UP, Vote.DOWN, Vote.ABSTAIN] * 20
+        params = small_params()
+        assert limit_schedule(votes, params) == limit_schedule(votes, params)
+        # And the limit at height h only depends on the first h votes.
+        full = limit_schedule(votes, params)
+        prefix = limit_schedule(votes[:30], params)
+        assert full[:31] == prefix[:31]
+
+
+class TestVotingSimulation:
+    def miners(self, sizes=(0.5, 2.0, 8.0), powers=(0.2, 0.3, 0.5)):
+        return [PreferenceVoter(name=f"m{i}", power=p, preferred_size=s)
+                for i, (s, p) in enumerate(zip(sizes, powers))]
+
+    def test_expected_mode_converges_to_equilibrium(self):
+        params = small_params()
+        miners = self.miners()
+        sim = VotingSimulation(miners, params)
+        trace = sim.run(n_periods=30)
+        assert trace.final_limit == equilibrium_limit(miners, params)
+        assert trace.bvc_holds()
+
+    def test_majority_preference_drags_limit_up(self):
+        """A 0.8 coalition clears the up-threshold and the 0.2
+        dissenter stays below the veto, so the limit climbs to the
+        coalition's preference."""
+        params = small_params(up_threshold=0.6)
+        miners = self.miners(sizes=(1.0, 8.0, 8.0), powers=(0.2, 0.3, 0.5))
+        trace = VotingSimulation(miners, params).run(n_periods=40)
+        assert trace.final_limit == pytest.approx(8.0)
+
+    def test_veto_coalition_freezes_limit_midway(self):
+        """Once the limit passes a 0.3 miner's preference, its down
+        votes exceed the veto threshold and increases stop -- the
+        mechanism the paper proposes to protect weaker participants."""
+        params = small_params(up_threshold=0.6)
+        miners = self.miners(sizes=(1.0, 8.0, 8.0), powers=(0.3, 0.3, 0.4))
+        trace = VotingSimulation(miners, params).run(n_periods=40)
+        assert 1.0 < trace.final_limit < 8.0
+
+    def test_minority_cannot_raise(self):
+        params = small_params()
+        miners = self.miners(sizes=(1.0, 1.0, 8.0), powers=(0.3, 0.3, 0.4))
+        trace = VotingSimulation(miners, params).run(n_periods=20)
+        assert trace.final_limit == 1.0
+
+    def test_stochastic_mode_tracks_expected(self, rng):
+        params = small_params(up_threshold=0.6)
+        miners = self.miners(sizes=(8.0, 8.0, 8.0), powers=(0.2, 0.3, 0.5))
+        trace = VotingSimulation(miners, params).run(n_periods=40, rng=rng)
+        assert trace.final_limit == pytest.approx(8.0)
+        assert trace.bvc_holds()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            VotingSimulation([], small_params())
+        with pytest.raises(ReproError):
+            VoteParams(period=0)
+        with pytest.raises(ReproError):
+            VoteParams(activation_delay=3000)
+        with pytest.raises(ReproError):
+            VoteParams(up_threshold=0.0)
+
+
+class TestEquilibrium:
+    def test_equilibrium_is_fixed_point(self):
+        params = small_params()
+        miners = [PreferenceVoter("a", 0.5, 4.0),
+                  PreferenceVoter("b", 0.5, 1.0)]
+        limit = equilibrium_limit(miners, params)
+        up = sum(m.power for m in miners if m.vote(limit) is Vote.UP)
+        down = sum(m.power for m in miners if m.vote(limit) is Vote.DOWN)
+        assert not (up >= params.up_threshold
+                    and down <= params.veto_threshold)
+
+    def test_voter_slack(self):
+        voter = PreferenceVoter("a", 1.0, 2.0, slack=0.5)
+        assert voter.vote(1.0) is Vote.UP
+        assert voter.vote(1.6) is Vote.ABSTAIN
+        assert voter.vote(2.6) is Vote.DOWN

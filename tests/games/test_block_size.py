@@ -1,0 +1,106 @@
+"""Tests for the block size increasing game (Section 5.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GameError, InvalidPowerVectorError
+from repro.games.block_size import BlockSizeIncreasingGame, MinerGroup
+
+
+def figure4_game():
+    return BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.1, name="g1"),
+        MinerGroup(mpb=2.0, power=0.2, name="g2"),
+        MinerGroup(mpb=4.0, power=0.3, name="g3"),
+        MinerGroup(mpb=8.0, power=0.4, name="g4"),
+    ])
+
+
+class TestFigure4:
+    """The paper's worked example."""
+
+    def test_round1_passes(self):
+        played = figure4_game().play()
+        first = played.rounds[0]
+        assert first.passed
+        assert first.yes_votes == (1, 2, 3)
+        assert first.no_votes == (0,)
+        assert first.evicted == 0
+
+    def test_round2_fails(self):
+        played = figure4_game().play()
+        second = played.rounds[1]
+        assert not second.passed
+        # Groups 2 and 3 (indices 1, 2) vote against larger blocks,
+        # because if group 2 left, group 4 could evict group 3 next.
+        assert second.no_votes == (1, 2)
+        assert second.yes_votes == (3,)
+
+    def test_termination(self):
+        played = figure4_game().play()
+        assert played.survivors == (1, 2, 3)
+        assert played.final_mg == 2.0
+        assert len(played.rounds) == 2
+
+    def test_utilities_split_among_survivors(self):
+        played = figure4_game().play()
+        assert played.utilities[0] == 0
+        assert played.utilities[1] == Fraction(2, 9)
+        assert played.utilities[2] == Fraction(3, 9)
+        assert played.utilities[3] == Fraction(4, 9)
+
+
+def test_play_matches_analytic_terminal_set():
+    game = figure4_game()
+    assert game.play().survivors == game.terminal_set()
+    assert game.predicted_final_mg() == 2.0
+
+
+def test_stable_start_terminates_immediately():
+    game = BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.3),
+        MinerGroup(mpb=2.0, power=0.3),
+        MinerGroup(mpb=4.0, power=0.4),
+    ])
+    played = game.play()
+    assert played.survivors == (0, 1, 2)
+    assert played.final_mg == 1.0
+    assert len(played.rounds) == 1
+    assert not played.rounds[0].passed
+
+
+def test_dominant_large_group_evicts_everyone():
+    game = BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.1),
+        MinerGroup(mpb=2.0, power=0.2),
+        MinerGroup(mpb=16.0, power=0.7),
+    ])
+    played = game.play()
+    assert played.survivors == (2,)
+    assert played.final_mg == 16.0
+    assert played.utilities[2] == 1
+
+
+def test_single_group_game():
+    game = BlockSizeIncreasingGame([MinerGroup(mpb=1.0, power=1.0)])
+    played = game.play()
+    assert played.survivors == (0,)
+    assert played.rounds == []
+
+
+def test_validation():
+    with pytest.raises(GameError):
+        BlockSizeIncreasingGame([])
+    with pytest.raises(GameError):
+        BlockSizeIncreasingGame([MinerGroup(mpb=2.0, power=0.5),
+                                 MinerGroup(mpb=1.0, power=0.5)])
+    with pytest.raises(GameError):
+        BlockSizeIncreasingGame([MinerGroup(mpb=1.0, power=0.5),
+                                 MinerGroup(mpb=1.0, power=0.5)])
+    with pytest.raises(InvalidPowerVectorError):
+        BlockSizeIncreasingGame([MinerGroup(mpb=1.0, power=0.5)])
+    with pytest.raises(GameError):
+        MinerGroup(mpb=0.0, power=0.5)
+    with pytest.raises(GameError):
+        MinerGroup(mpb=1.0, power=0.0)

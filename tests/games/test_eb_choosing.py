@@ -1,0 +1,90 @@
+"""Tests for the EB choosing game (Section 5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GameError, InvalidPowerVectorError
+from repro.games.eb_choosing import EBChoosingGame, EBProfile
+
+
+def game(powers=(0.3, 0.3, 0.4)):
+    return EBChoosingGame(powers)
+
+
+def test_consensus_profiles_are_nash(
+):
+    """Analytical Result 4: all-same EB profiles are equilibria."""
+    g = game()
+    for profile in g.consensus_profiles():
+        assert g.is_nash_equilibrium(profile)
+
+
+def test_deviator_earns_zero():
+    g = game()
+    consensus = EBProfile((0, 0, 0))
+    deviation = EBProfile((1, 0, 0))
+    assert g.utilities(deviation)[0] == 0
+    assert g.utilities(consensus)[0] > 0
+
+
+def test_utilities_proportional_on_winning_side():
+    g = game((0.25, 0.35, 0.3, 0.1))
+    profile = EBProfile((0, 0, 1, 1))
+    u = g.utilities(profile)
+    assert u[0] == Fraction(25, 60)
+    assert u[1] == Fraction(35, 60)
+    assert u[2] == u[3] == 0
+
+
+def test_exact_tie_pays_nobody():
+    g = game((0.25, 0.25, 0.25, 0.25))
+    profile = EBProfile((0, 0, 1, 1))
+    assert g.winning_side(profile) is None
+    assert all(u == 0 for u in g.utilities(profile))
+
+
+def test_only_consensus_equilibria_for_generic_powers():
+    g = game((0.3, 0.3, 0.4))
+    equilibria = g.nash_equilibria()
+    assert {p.choices for p in equilibria} == {(0, 0, 0), (1, 1, 1)}
+
+
+def test_split_with_strict_majority_can_be_stable():
+    """A 60/40 split where every minority member is pinned (switching
+    alone cannot beat the majority) is also an equilibrium -- the paper
+    only claims consensus profiles ARE equilibria, not uniqueness."""
+    g = game((0.2, 0.2, 0.2, 0.2, 0.2))
+    profile = EBProfile((0, 0, 0, 1, 1))
+    # A minority member switching joins a 0.8 majority: do utilities
+    # strictly improve? Yes -> not an equilibrium.
+    assert not g.is_nash_equilibrium(profile)
+
+
+def test_best_response_dynamics_reach_consensus():
+    g = game((0.3, 0.3, 0.4))
+    trajectory = g.best_response_dynamics(EBProfile((0, 1, 1)))
+    final = trajectory[-1]
+    assert g.is_nash_equilibrium(final)
+    assert len(set(final.choices)) == 1
+
+
+def test_validation():
+    with pytest.raises(InvalidPowerVectorError):
+        EBChoosingGame([0.5, 0.5])  # 50% miners not allowed
+    with pytest.raises(InvalidPowerVectorError):
+        EBChoosingGame([0.3, 0.3])  # does not sum to one
+    with pytest.raises(InvalidPowerVectorError):
+        EBChoosingGame([1.2, -0.2])
+    with pytest.raises(GameError):
+        EBChoosingGame([0.6, 0.4][:1])
+    with pytest.raises(GameError):
+        EBChoosingGame([0.4, 0.3, 0.3], eb_values=(1.0, 1.0))
+
+
+def test_profile_size_checked():
+    g = game()
+    with pytest.raises(GameError):
+        g.utilities(EBProfile((0, 1)))
+    with pytest.raises(GameError):
+        EBProfile((0, 2, 0))

@@ -1,0 +1,112 @@
+"""Tests for the fee-market model behind Assumption 2."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.block_size import BlockSizeIncreasingGame
+from repro.games.fee_market import (
+    FeeMarketMiner,
+    FeeMarketParams,
+    expected_block_value,
+    fees,
+    max_profitable_block_size,
+    miner_groups_from_market,
+    optimal_block_size,
+    orphan_probability,
+    profit_rate,
+)
+
+
+def miner(power=0.2, bandwidth=1.0, cost=0.0):
+    return FeeMarketMiner(name="m", power=power, bandwidth=bandwidth,
+                          operating_cost=cost)
+
+
+def test_fees_saturate():
+    p = FeeMarketParams(fee_density=0.1, fee_decay=4.0)
+    assert fees(0.0, p) == 0.0
+    assert fees(4.0, p) < fees(8.0, p) < 0.1 * 4.0
+    assert fees(1000.0, p) == pytest.approx(0.4, abs=1e-6)
+
+
+def test_orphan_probability_grows_with_size():
+    p = FeeMarketParams()
+    m = miner(bandwidth=0.1)
+    assert orphan_probability(0.0, m, p) < orphan_probability(8.0, m, p)
+    assert 0 <= orphan_probability(32.0, m, p) < 1
+
+
+def test_block_value_tradeoff():
+    """V rises with early fees then falls as orphan risk dominates."""
+    p = FeeMarketParams(fee_density=0.2, fee_decay=2.0, base_delay=1.0)
+    m = miner(bandwidth=0.05)
+    small = expected_block_value(0.0, m, p)
+    mid = expected_block_value(optimal_block_size(m, p), m, p)
+    huge = expected_block_value(32.0, m, p)
+    assert mid >= small
+    assert mid >= huge
+
+
+def test_optimal_size_increases_with_bandwidth():
+    """Rizun's corollary: miners with better connectivity prefer larger
+    blocks -- the heterogeneity Assumption 2 needs."""
+    p = FeeMarketParams(fee_density=0.05, fee_decay=8.0)
+    slow = optimal_block_size(miner(bandwidth=0.01), p)
+    fast = optimal_block_size(miner(bandwidth=1.0), p)
+    assert fast > slow
+
+
+def test_mpb_decreasing_in_cost():
+    p = FeeMarketParams()
+    cheap = max_profitable_block_size(miner(cost=0.05), p)
+    pricey = max_profitable_block_size(miner(cost=0.15), p)
+    assert pricey <= cheap
+
+
+def test_mpb_boundaries():
+    p = FeeMarketParams()
+    hopeless = miner(power=0.1, cost=1.0)
+    assert max_profitable_block_size(hopeless, p) == 0.0
+    comfortable = miner(power=0.3, bandwidth=100.0, cost=0.0)
+    assert max_profitable_block_size(comfortable, p) == 32.0
+
+
+def test_profit_rate_at_mpb_is_zero_ish():
+    p = FeeMarketParams()
+    m = miner(power=0.2, bandwidth=0.002, cost=0.17)
+    mpb = max_profitable_block_size(m, p)
+    if 0 < mpb < 32:
+        assert profit_rate(mpb, m, p) == pytest.approx(0.0, abs=1e-3)
+
+
+def test_pipeline_into_block_size_game():
+    """fee market -> MPBs -> the Section 5.2 game."""
+    p = FeeMarketParams(fee_density=0.08, fee_decay=8.0)
+    miners = [
+        FeeMarketMiner("dsl", power=0.2, bandwidth=0.001,
+                       operating_cost=0.17),
+        FeeMarketMiner("fiber", power=0.35, bandwidth=0.01,
+                       operating_cost=0.2),
+        FeeMarketMiner("datacenter", power=0.45, bandwidth=10.0,
+                       operating_cost=0.2),
+    ]
+    groups = miner_groups_from_market(miners, p)
+    assert len(groups) >= 2
+    mpbs = [g.mpb for g in groups]
+    assert mpbs == sorted(mpbs)
+    game = BlockSizeIncreasingGame(groups)
+    played = game.play()
+    assert played.survivors  # the game runs end-to-end
+
+
+def test_validation():
+    with pytest.raises(GameError):
+        FeeMarketMiner("x", power=0.0, bandwidth=1.0)
+    with pytest.raises(GameError):
+        FeeMarketMiner("x", power=0.5, bandwidth=0.0)
+    with pytest.raises(GameError):
+        FeeMarketParams(fee_density=0.0)
+    with pytest.raises(GameError):
+        fees(-1.0, FeeMarketParams())
+    with pytest.raises(GameError):
+        miner_groups_from_market([], FeeMarketParams())

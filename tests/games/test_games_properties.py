@@ -1,0 +1,79 @@
+"""Property-based tests of the games."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.games.block_size import BlockSizeIncreasingGame, MinerGroup
+from repro.games.eb_choosing import EBChoosingGame, EBProfile
+from repro.games.stability import is_stable_suffix, terminal_suffix_start
+
+
+@st.composite
+def power_vectors(draw, min_size=2, max_size=8, cap_half=True):
+    if cap_half:
+        # n = 2 cannot have both miners strictly below one half.
+        min_size = max(min_size, 3)
+    n = draw(st.integers(min_size, max_size))
+    raws = draw(st.lists(st.integers(1, 100), min_size=n, max_size=n))
+    total = sum(raws)
+    powers = [Fraction(r, total) for r in raws]
+    if cap_half and any(p >= Fraction(1, 2) for p in powers):
+        # Redistribute: cap at half minus epsilon by mixing to uniform.
+        powers = [(p + Fraction(1, n)) / 2 for p in powers]
+        if any(p >= Fraction(1, 2) for p in powers):
+            powers = [Fraction(1, n)] * n
+    return powers
+
+
+@given(power_vectors())
+@settings(max_examples=60, deadline=None)
+def test_consensus_always_nash(powers):
+    """Analytical Result 4 over random power distributions."""
+    game = EBChoosingGame(powers)
+    for profile in game.consensus_profiles():
+        assert game.is_nash_equilibrium(profile)
+
+
+@given(power_vectors(min_size=2, max_size=6), st.integers(0, 63))
+@settings(max_examples=80, deadline=None)
+def test_eb_utilities_sum_to_one_or_zero(powers, mask):
+    game = EBChoosingGame(powers)
+    profile = EBProfile(tuple((mask >> i) & 1
+                              for i in range(len(powers))))
+    total = sum(game.utilities(profile))
+    assert total in (0, 1)
+
+
+@given(power_vectors(cap_half=False))
+@settings(max_examples=60, deadline=None)
+def test_play_out_equals_stable_set_theory(powers):
+    """The paper's termination theorem: strategic voting ends the game
+    exactly at the analytic terminal (stable) set."""
+    groups = [MinerGroup(mpb=float(i + 1), power=float(p))
+              for i, p in enumerate(powers)]
+    game = BlockSizeIncreasingGame(groups)
+    played = game.play()
+    assert played.survivors == game.terminal_set()
+    assert is_stable_suffix(powers, played.survivors[0])
+
+
+@given(power_vectors(cap_half=False))
+@settings(max_examples=60, deadline=None)
+def test_terminal_set_is_minimal_stable_reachable(powers):
+    """No suffix strictly between the start and the terminal suffix is
+    stable (the game cannot stop earlier)."""
+    start = terminal_suffix_start(powers)
+    for j in range(start):
+        assert not is_stable_suffix(powers, j)
+
+
+@given(power_vectors(cap_half=False))
+@settings(max_examples=40, deadline=None)
+def test_survivor_utilities_sum_to_one(powers):
+    groups = [MinerGroup(mpb=float(i + 1), power=float(p))
+              for i, p in enumerate(powers)]
+    played = BlockSizeIncreasingGame(groups).play()
+    assert sum(played.utilities) == 1
+    assert all(u > 0 for i, u in enumerate(played.utilities)
+               if i in played.survivors)

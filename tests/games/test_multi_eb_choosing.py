@@ -1,0 +1,84 @@
+"""Tests for the k-value EB choosing game."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GameError, InvalidPowerVectorError
+from repro.games.multi_eb_choosing import MultiEBChoosingGame
+
+
+def game(powers=(0.3, 0.3, 0.4), values=(1.0, 4.0, 16.0)):
+    return MultiEBChoosingGame(powers, values)
+
+
+def test_consensus_profiles_are_nash():
+    g = game()
+    for profile in g.consensus_profiles():
+        assert g.is_nash_equilibrium(profile)
+
+
+def test_plurality_wins():
+    g = game((0.3, 0.3, 0.4))
+    assert g.winning_value((0, 0, 1)) == 0   # 0.6 vs 0.4
+    assert g.winning_value((0, 1, 2)) == 2   # 0.4 plurality
+
+
+def test_tie_pays_nobody():
+    g = game((0.25, 0.25, 0.25, 0.25), values=(1.0, 2.0))
+    assert g.winning_value((0, 0, 1, 1)) is None
+    assert all(u == 0 for u in g.utilities((0, 0, 1, 1)))
+
+
+def test_utilities_proportional():
+    g = game((0.3, 0.3, 0.4))
+    u = g.utilities((0, 0, 2))
+    assert u[0] == Fraction(1, 2)
+    assert u[1] == Fraction(1, 2)
+    assert u[2] == 0
+
+
+def test_deviation_from_consensus_unprofitable():
+    g = game()
+    consensus = (1, 1, 1)
+    for i in range(3):
+        for alt in (0, 2):
+            flipped = tuple(alt if j == i else 1 for j in range(3))
+            assert g.utilities(flipped)[i] == 0
+
+
+def test_all_equilibria_in_small_game_are_consensus():
+    g = game((0.3, 0.3, 0.4), values=(1.0, 2.0, 4.0))
+    equilibria = g.nash_equilibria()
+    assert all(len(set(p)) == 1 for p in equilibria)
+    assert len(equilibria) == 3
+
+
+@given(st.integers(3, 6), st.integers(2, 4), st.integers(0, 5000))
+@settings(max_examples=40, deadline=None)
+def test_consensus_nash_property(n, k, seed):
+    """Analytical Result 4's k-value extension over random powers."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(1, 50, size=n)
+    powers = [Fraction(int(x), int(raw.sum())) for x in raw]
+    if any(p >= Fraction(1, 2) for p in powers):
+        powers = [Fraction(1, n)] * n
+    g = MultiEBChoosingGame(powers, [float(v) for v in range(1, k + 1)])
+    for profile in g.consensus_profiles():
+        assert g.is_nash_equilibrium(profile)
+
+
+def test_validation():
+    with pytest.raises(InvalidPowerVectorError):
+        MultiEBChoosingGame([0.5, 0.5], (1.0, 2.0))
+    with pytest.raises(GameError):
+        MultiEBChoosingGame([0.4, 0.3, 0.3], (1.0,))
+    with pytest.raises(GameError):
+        MultiEBChoosingGame([0.4, 0.3, 0.3], (1.0, 1.0))
+    g = game()
+    with pytest.raises(GameError):
+        g.utilities((0, 1))
+    with pytest.raises(GameError):
+        g.utilities((0, 1, 9))

@@ -1,0 +1,67 @@
+"""Tests for the stable-set recursion (Section 5.2.3)."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.stability import is_stable_suffix, terminal_suffix_start
+
+
+def test_single_group_always_stable():
+    assert is_stable_suffix([1.0], 0)
+    assert is_stable_suffix([0.5, 0.5], 1)
+
+
+def test_figure4_stability():
+    """m = (0.1, 0.2, 0.3, 0.4): {2,3,4} is stable, the full set and
+    {3,4} are not."""
+    m = [0.1, 0.2, 0.3, 0.4]
+    assert not is_stable_suffix(m, 0)
+    assert is_stable_suffix(m, 1)
+    assert not is_stable_suffix(m, 2)
+    assert is_stable_suffix(m, 3)
+
+
+def test_figure4_terminal():
+    assert terminal_suffix_start([0.1, 0.2, 0.3, 0.4]) == 1
+
+
+def test_paper_5_2_2_example():
+    """m1 = m2 = 0.3, m3 = 0.4: if group 2 voted yes in round 1, group
+    3 would evict it next -- so the full set is NOT evicted beyond
+    group... the terminal set keeps groups 1-3 together iff stable."""
+    m = [0.3, 0.3, 0.4]
+    # {3} stable; {2,3}: front 0.3 > 0.4? no -> unstable; {1,2,3}:
+    # largest stable proper suffix {3}; front {1,2} = 0.6 > 0.4 and
+    # {2} = 0.3 <= 0.4 -> stable.
+    assert is_stable_suffix(m, 0)
+    assert terminal_suffix_start(m) == 0
+
+
+def test_majority_group_dominates():
+    """A last group holding a strict majority evicts everyone."""
+    m = [0.1, 0.2, 0.7]
+    assert terminal_suffix_start(m) == 2
+
+
+def test_terminal_from_intermediate_suffix():
+    m = [0.1, 0.2, 0.3, 0.4]
+    assert terminal_suffix_start(m, 1) == 1
+    assert terminal_suffix_start(m, 2) == 3
+    assert terminal_suffix_start(m, 3) == 3
+
+
+def test_two_equal_groups():
+    """Equal halves: front 0.5 > 0.5 is false -> unstable, the larger
+    MPB group wins by the >= half voting rule."""
+    m = [0.5, 0.5]
+    assert not is_stable_suffix(m, 0)
+    assert terminal_suffix_start(m) == 1
+
+
+def test_validation():
+    with pytest.raises(GameError):
+        is_stable_suffix([0.5, 0.5], 5)
+    with pytest.raises(GameError):
+        is_stable_suffix([0.5, -0.5], 0)
+    with pytest.raises(GameError):
+        terminal_suffix_start([1.0], 3)

@@ -1,0 +1,88 @@
+"""End-to-end integration tests exercising several subsystems together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttackConfig,
+    IncentiveModel,
+    analyze,
+    solve_orphan_rate,
+)
+from repro.core.multi_eb import EBGroup, best_split
+from repro.games import BlockSizeIncreasingGame, MinerGroup
+from repro.mdp.linear_programming import lp_average_reward
+from repro.mdp.simulate import rollout
+from repro.protocol.buip055 import BUIP055Round, FutureEBSignal
+from repro.sim import PolicyStrategy, ThreeMinerScenario
+
+
+def test_full_pipeline_signals_to_attack():
+    """From signaled network state to the best attack: the Section 4
+    narrative as one pipeline."""
+    groups = [EBGroup(eb=1.0, power=0.40),   # EB = 1 MB camp
+              EBGroup(eb=16.0, power=0.50)]  # EB = 16 MB camp
+    best = best_split(groups, alpha=0.10, model=IncentiveModel.NON_PROFIT)
+    assert best is not None
+    assert best.split.fork_block_size == 16.0
+    assert best.utility > 1.0  # worse than any Bitcoin attacker
+
+
+def test_mdp_chain_rollout_matches_exact_rates(rng):
+    """Markov-chain sampling of the optimal policy agrees with the
+    stationary-distribution rates."""
+    config = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    analysis = analyze(config, IncentiveModel.NONCOMPLIANT_PROFIT)
+    mdp = analysis.policy.mdp
+    result = rollout(mdp, analysis.policy.action_indices, steps=80_000,
+                     rng=rng)
+    assert result.rate("alice") == pytest.approx(
+        analysis.rates["alice"], abs=5e-3)
+    assert result.rate("ds") == pytest.approx(
+        analysis.rates["ds"], abs=2e-2)
+
+
+def test_lp_confirms_orphan_rate_policy():
+    """The LP solver certifies the transformed-problem optimum the
+    bisection/Dinkelbach ratio solver found for u_A3."""
+    config = AttackConfig.from_ratio(0.01, (2, 3), setting=1)
+    analysis = solve_orphan_rate(config)
+    mdp = analysis.policy.mdp
+    rho = analysis.utility
+    reward = mdp.combined_reward({
+        "others_orphans": 1.0, "alice": -rho, "alice_orphans": -rho})
+    gain, _ = lp_average_reward(mdp, reward)
+    # At the optimal ratio the transformed optimum is zero.
+    assert gain == pytest.approx(0.0, abs=1e-5)
+
+
+def test_substrate_sim_runs_policy_from_games_scenario(rng):
+    """A block-size-game outcome feeds an attack scenario: after the
+    game leaves two EB camps, Alice splits them in the simulator."""
+    game = BlockSizeIncreasingGame([
+        MinerGroup(mpb=1.0, power=0.45),
+        MinerGroup(mpb=8.0, power=0.55),
+    ])
+    played = game.play()
+    assert played.survivors == (1,)  # the 55% camp evicts the smaller one
+    # During the transition both camps still mine: model them as Bob
+    # (EB 1) and Carol (EB 8) and attack.
+    config = AttackConfig(alpha=0.10, beta=0.405, gamma=0.495, setting=1)
+    analysis = analyze(config, IncentiveModel.NONCOMPLIANT_PROFIT)
+    scenario = ThreeMinerScenario(config, PolicyStrategy(analysis.policy),
+                                  eb_bob=1.0, eb_carol=8.0, rng=rng)
+    out = scenario.run(20_000)
+    assert out.accounting.absolute_reward == pytest.approx(
+        analysis.utility, abs=0.03)
+
+
+def test_buip055_signaling_feeds_eb_game():
+    """Section 6.2's round: an attacker-flipped signal strands the
+    believers -- evaluated through the Section 5.1 game."""
+    rnd = BUIP055Round(current_eb=1.0, proposed_eb=8.0)
+    rnd.signal(FutureEBSignal("whale", 0.40, 8.0, 2016))
+    rnd.signal(FutureEBSignal("believer", 0.27, 8.0, 2016))
+    rnd.signal(FutureEBSignal("holdout", 0.33, 1.0, 2016))
+    outcome = rnd.activate(realized_ebs={"whale": 1.0})
+    assert outcome.winning_eb == 1.0
+    assert outcome.stranded() == ["believer"]

@@ -1,0 +1,80 @@
+"""Integration tests: every example script runs end-to-end.
+
+Examples are imported as modules (via their path) and their ``main``
+executed, so failures surface as ordinary test failures with
+tracebacks.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, monkeypatch):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart(capsys, monkeypatch):
+    run_example("quickstart", monkeypatch)
+    out = capsys.readouterr().out
+    assert "0.2739" in out
+    assert "OnChain2" in out
+
+
+@pytest.mark.slow
+def test_double_spend_analysis(capsys, monkeypatch):
+    run_example("double_spend_analysis", monkeypatch)
+    out = capsys.readouterr().out
+    assert "BU attack" in out
+    assert "3.4" in out  # the 1% miner's profit multiple
+
+
+def test_emergent_consensus(capsys, monkeypatch):
+    run_example("emergent_consensus", monkeypatch)
+    out = capsys.readouterr().out
+    assert "Nash equilibria" in out
+    assert "final MG = 2.0 MB" in out
+    assert "BVC holds at every height: True" in out
+
+
+@pytest.mark.slow
+def test_substrate_simulation(capsys, monkeypatch):
+    run_example("substrate_simulation", monkeypatch)
+    out = capsys.readouterr().out
+    assert "u_A2: exact" in out
+    assert "Figure 3" in out
+
+
+def test_network_attack(capsys, monkeypatch):
+    run_example("network_attack", monkeypatch)
+    out = capsys.readouterr().out
+    assert "sticky gate" in out
+    assert "BUIP038" in out
+
+
+def test_strategy_anatomy(capsys, monkeypatch):
+    run_example("strategy_anatomy", monkeypatch)
+    out = capsys.readouterr().out
+    assert "P(chain2 wins)" in out
+    assert "1.7746" in out
+    assert "MPB MB" in out
+
+
+@pytest.mark.slow
+def test_parameter_exploration(capsys, monkeypatch):
+    run_example("parameter_exploration", monkeypatch)
+    out = capsys.readouterr().out
+    assert "Acceptance depth sweep" in out
+    assert "Sticky gate on/off" in out

@@ -1,0 +1,50 @@
+"""Small hand-checkable MDPs and random-model generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mdp.builder import MDPBuilder
+from repro.mdp.model import MDP
+
+
+def two_state_chain(p_advance: float = 0.3, reward_on_advance: float = 1.0
+                    ) -> MDP:
+    """A two-state cycle with one action: 0 -> 1 w.p. p (reward r),
+    1 -> 0 w.p. 1.  Average reward = 2 * p * r / (1 + p) ... computed
+    exactly in the tests from the stationary distribution."""
+    b = MDPBuilder(actions=["go"], channels=["r"])
+    b.add(0, "go", 1, p_advance, r=reward_on_advance)
+    b.add(0, "go", 0, 1 - p_advance)
+    b.add(1, "go", 0, 1.0)
+    return b.build(start=0)
+
+
+def work_or_rest() -> MDP:
+    """Two actions with different average rewards: ``work`` pays 1 but
+    moves to a state that pays nothing and returns; ``rest`` pays 0.4
+    and stays.  Optimal gain = 0.5 (alternate) vs 0.4 (rest)."""
+    b = MDPBuilder(actions=["work", "rest"], channels=["r"])
+    b.add(0, "work", 1, 1.0, r=1.0)
+    b.add(0, "rest", 0, 1.0, r=0.4)
+    b.add(1, "work", 0, 1.0)
+    b.add(1, "rest", 0, 1.0)
+    return b.build(start=0)
+
+
+def random_unichain_mdp(rng: np.random.Generator, n_states: int = 6,
+                        n_actions: int = 2) -> MDP:
+    """A random MDP guaranteed unichain by mixing every row with a
+    return-to-start probability."""
+    b = MDPBuilder(actions=[f"a{i}" for i in range(n_actions)],
+                   channels=["r", "s"])
+    for s in range(n_states):
+        for a in range(n_actions):
+            raw = rng.random(n_states) * (rng.random(n_states) < 0.5)
+            raw[0] += 0.2  # ensure a path back to the start state
+            raw = raw / raw.sum()
+            for t in range(n_states):
+                if raw[t] > 0:
+                    b.add(s, f"a{a}", t, float(raw[t]),
+                          r=float(rng.random()), s=float(rng.random()))
+    return b.build(start=0)

@@ -1,0 +1,65 @@
+"""Tests for absorbing-chain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.mdp.absorbing import absorbing_analysis
+from repro.mdp.builder import MDPBuilder
+
+
+def gamblers_ruin(p=0.6, target=3):
+    """A biased random walk on 0..target with absorbing ends."""
+    b = MDPBuilder(actions=["a"], channels=["steps", "ups"])
+    for s in range(1, target):
+        b.add(s, "a", s + 1, p, steps=1.0, ups=1.0)
+        b.add(s, "a", s - 1, 1 - p, steps=1.0)
+    b.add(0, "a", 0, 1.0)
+    b.add(target, "a", target, 1.0)
+    return b.build(start=1)
+
+
+def test_gamblers_ruin_probability():
+    """P(hit N before 0 | start 1) = (1 - r) / (1 - r^N), r = q/p."""
+    p, n = 0.6, 3
+    mdp = gamblers_ruin(p, n)
+    result = absorbing_analysis(mdp, np.zeros(mdp.n_states, dtype=int),
+                                absorbing=[0, n], start=1)
+    r = (1 - p) / p
+    expected = (1 - r) / (1 - r ** n)
+    assert result.absorption_probability[n] == pytest.approx(expected)
+    assert result.absorption_probability[0] == pytest.approx(1 - expected)
+    assert sum(result.absorption_probability.values()) == pytest.approx(1)
+
+
+def test_expected_steps_symmetric_walk():
+    """Fair walk on 0..2 from 1: absorbed in exactly one step."""
+    mdp = gamblers_ruin(0.5, 2)
+    result = absorbing_analysis(mdp, np.zeros(mdp.n_states, dtype=int),
+                                absorbing=[0, 2], start=1)
+    assert result.expected_steps == pytest.approx(1.0)
+    assert result.expected_rewards["steps"] == pytest.approx(1.0)
+
+
+def test_channel_rewards_accumulate():
+    mdp = gamblers_ruin(0.75, 2)
+    result = absorbing_analysis(mdp, np.zeros(mdp.n_states, dtype=int),
+                                absorbing=[0, 2], start=1)
+    # One step, up with probability 0.75.
+    assert result.expected_rewards["ups"] == pytest.approx(0.75)
+
+
+def test_start_must_be_transient():
+    mdp = gamblers_ruin()
+    with pytest.raises(SolverError):
+        absorbing_analysis(mdp, np.zeros(mdp.n_states, dtype=int),
+                           absorbing=[0, 3], start=0)
+
+
+def test_deep_walk_expected_steps():
+    """Fair walk 0..N from k: expected absorption time k (N - k)."""
+    n, k = 6, 2
+    mdp = gamblers_ruin(0.5, n)
+    result = absorbing_analysis(mdp, np.zeros(mdp.n_states, dtype=int),
+                                absorbing=[0, n], start=k)
+    assert result.expected_steps == pytest.approx(k * (n - k))

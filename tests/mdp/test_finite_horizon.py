@@ -1,0 +1,69 @@
+"""Tests for finite-horizon backward induction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.mdp.finite_horizon import backward_induction
+from tests.mdp.helpers import two_state_chain, work_or_rest
+
+
+def test_single_step_picks_best_immediate_reward():
+    mdp = work_or_rest()
+    sol = backward_induction(mdp, mdp.channel_reward("r"), horizon=1)
+    assert sol.start_value == pytest.approx(1.0)  # work pays 1 now
+    assert mdp.actions[sol.policies[0][0]] == "work"
+
+
+def test_two_steps_alternate():
+    mdp = work_or_rest()
+    sol = backward_induction(mdp, mdp.channel_reward("r"), horizon=2)
+    # work (1.0) then stuck in state 1 paying 0: total 1.0; rest+work
+    # would pay 0.4 + 1.0 = 1.4.
+    assert sol.start_value == pytest.approx(1.4)
+    assert mdp.actions[sol.policies[1][0]] == "rest"
+
+
+def test_long_horizon_approaches_gain_rate():
+    """Total/h converges to the average-reward gain."""
+    from repro.mdp.policy_iteration import policy_iteration
+    mdp = two_state_chain(0.3, 1.0)
+    gain = policy_iteration(mdp, mdp.channel_reward("r")).gain
+    sol = backward_induction(mdp, mdp.channel_reward("r"), horizon=800)
+    assert sol.start_value / 800 == pytest.approx(gain, abs=1e-3)
+
+
+def test_deadline_changes_attack_behaviour():
+    """Near the deadline the optimal BU attacker stops opening races it
+    cannot finish: the last-step action at the base state is the safe
+    OnChain1, even though the long-run policy splits."""
+    from repro.core.attack_mdp import build_attack_mdp
+    from repro.core.config import AttackConfig
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+    mdp = build_attack_mdp(config)
+    reward = mdp.combined_reward({"alice": 1.0, "ds": 1.0})
+    sol = backward_induction(mdp, reward, horizon=40)
+    base = mdp.state_index(("base", 0))
+    last_step_action = mdp.actions[sol.policies[0][base]]
+    early_action = mdp.actions[sol.policies[-1][base]]
+    assert last_step_action == "OnChain1"
+    assert early_action == "OnChain2"
+
+
+def test_values_monotone_in_horizon():
+    mdp = two_state_chain(0.5, 1.0)
+    sol = backward_induction(mdp, mdp.channel_reward("r"), horizon=10)
+    totals = sol.values[:, mdp.start]
+    assert all(a <= b + 1e-12 for a, b in zip(totals, totals[1:]))
+
+
+def test_invalid_horizon():
+    mdp = work_or_rest()
+    with pytest.raises(SolverError):
+        backward_induction(mdp, mdp.channel_reward("r"), horizon=0)
+
+
+def test_value_from_other_state():
+    mdp = work_or_rest()
+    sol = backward_induction(mdp, mdp.channel_reward("r"), horizon=3)
+    assert sol.value_from(mdp, 1) <= sol.start_value

@@ -1,0 +1,72 @@
+"""Property-based tests of the MDP toolkit on random unichain models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mdp.average_reward import relative_value_iteration
+from repro.mdp.policy_iteration import evaluate_policy, policy_iteration
+from repro.mdp.stationary import policy_gains, stationary_distribution
+from tests.mdp.helpers import random_unichain_mdp
+
+
+@given(st.integers(0, 10_000), st.integers(3, 8), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_policy_iteration_matches_relative_value_iteration(seed, n, a):
+    mdp = random_unichain_mdp(np.random.default_rng(seed), n, a)
+    r = mdp.channel_reward("r")
+    pi = policy_iteration(mdp, r)
+    rvi = relative_value_iteration(mdp, r, epsilon=1e-10)
+    assert abs(pi.gain - rvi.gain) < 1e-7
+
+
+@given(st.integers(0, 10_000), st.integers(3, 8), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_optimal_gain_dominates_every_deterministic_policy(seed, n, a):
+    rng = np.random.default_rng(seed)
+    mdp = random_unichain_mdp(rng, n, a)
+    r = mdp.channel_reward("r")
+    best = policy_iteration(mdp, r).gain
+    for _ in range(5):
+        policy = np.array([rng.integers(0, mdp.n_actions)
+                           for _ in range(mdp.n_states)])
+        if not mdp.valid_policy(policy):
+            continue
+        gain, _bias = evaluate_policy(mdp, policy, r)
+        assert gain <= best + 1e-9
+
+
+@given(st.integers(0, 10_000), st.integers(3, 8))
+@settings(max_examples=30, deadline=None)
+def test_stationary_distribution_is_stationary(seed, n):
+    rng = np.random.default_rng(seed)
+    mdp = random_unichain_mdp(rng, n, 1)
+    p = mdp.policy_matrix(np.zeros(n, dtype=int))
+    pi = stationary_distribution(p)
+    assert abs(pi.sum() - 1.0) < 1e-9
+    assert np.allclose(pi @ p.toarray(), pi, atol=1e-9)
+
+
+@given(st.integers(0, 10_000), st.integers(3, 7))
+@settings(max_examples=20, deadline=None)
+def test_gain_equals_stationary_average(seed, n):
+    """evaluate_policy's gain must equal pi . r_pi."""
+    rng = np.random.default_rng(seed)
+    mdp = random_unichain_mdp(rng, n, 2)
+    policy = np.zeros(n, dtype=int)
+    gain, _ = evaluate_policy(mdp, policy, mdp.channel_reward("r"))
+    assert abs(gain - policy_gains(mdp, policy)["r"]) < 1e-9
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_bias_satisfies_evaluation_equations(seed):
+    rng = np.random.default_rng(seed)
+    mdp = random_unichain_mdp(rng, 6, 2)
+    policy = np.zeros(6, dtype=int)
+    r = mdp.channel_reward("r")
+    gain, bias = evaluate_policy(mdp, policy, r)
+    p = mdp.policy_matrix(policy)
+    r_pi = mdp.policy_reward(policy, r)
+    lhs = bias
+    rhs = r_pi - gain + p.dot(bias)
+    assert np.allclose(lhs, rhs, atol=1e-8)

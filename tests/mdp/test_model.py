@@ -1,0 +1,69 @@
+"""Tests for the MDP container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MDPError
+from repro.mdp.builder import MDPBuilder
+from tests.mdp.helpers import two_state_chain, work_or_rest
+
+
+def test_state_and_action_lookup():
+    mdp = work_or_rest()
+    assert mdp.state_index(0) == 0
+    assert mdp.action_index("rest") == 1
+    with pytest.raises(MDPError):
+        mdp.state_index("missing")
+    with pytest.raises(MDPError):
+        mdp.action_index("missing")
+
+
+def test_combined_reward_weights_channels():
+    b = MDPBuilder(actions=["a"], channels=["x", "y"])
+    b.add(0, "a", 0, 1.0, x=2.0, y=3.0)
+    mdp = b.build(start=0)
+    combo = mdp.combined_reward({"x": 1.0, "y": -0.5})
+    assert combo[0, 0] == pytest.approx(2.0 - 1.5)
+    with pytest.raises(MDPError):
+        mdp.combined_reward({"z": 1.0})
+
+
+def test_policy_matrix_selects_rows():
+    mdp = work_or_rest()
+    work = np.array([mdp.action_index("work")] * 2)
+    p = mdp.policy_matrix(work)
+    # work in state 0 -> state 1; anything in state 1 -> state 0.
+    assert p[0, 1] == pytest.approx(1.0)
+    assert p[1, 0] == pytest.approx(1.0)
+
+
+def test_policy_reward_selects_entries():
+    mdp = work_or_rest()
+    rest = np.array([mdp.action_index("rest")] * 2)
+    r = mdp.policy_reward(rest, mdp.channel_reward("r"))
+    assert r[0] == pytest.approx(0.4)
+    assert r[1] == pytest.approx(0.0)
+
+
+def test_valid_policy_respects_availability():
+    b = MDPBuilder(actions=["a", "b"], channels=["r"])
+    b.add(0, "a", 0, 1.0)
+    mdp = b.build(start=0)
+    assert mdp.valid_policy(np.array([0]))
+    assert not mdp.valid_policy(np.array([1]))
+
+
+def test_channels_listed():
+    mdp = two_state_chain()
+    assert mdp.channels == ["r"]
+
+
+def test_row_stochastic_validation():
+    from scipy import sparse
+    from repro.errors import InvalidTransitionError
+    with pytest.raises(InvalidTransitionError):
+        from repro.mdp.model import MDP
+        MDP(state_keys=[0], actions=["a"],
+            transition=[sparse.csr_matrix(np.array([[0.5]]))],
+            rewards={"r": np.zeros((1, 1))},
+            available=np.array([[True]]), start=0)

@@ -1,0 +1,53 @@
+"""Tests for the Policy wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MDPError
+from repro.mdp.policy import Policy
+from tests.mdp.helpers import work_or_rest
+
+
+def test_action_lookup():
+    mdp = work_or_rest()
+    policy = Policy(mdp, np.array([0, 1]))
+    assert policy.action_for(0) == "work"
+    assert policy.action_for(1) == "rest"
+
+
+def test_as_dict():
+    mdp = work_or_rest()
+    policy = Policy(mdp, np.array([0, 0]))
+    assert policy.as_dict() == {0: "work", 1: "work"}
+
+
+def test_differences():
+    mdp = work_or_rest()
+    a = Policy(mdp, np.array([0, 0]))
+    b = Policy(mdp, np.array([0, 1]))
+    assert a.differences(b) == [1]
+    assert a.differences(a) == []
+
+
+def test_differences_require_same_mdp():
+    a = Policy(work_or_rest(), np.array([0, 0]))
+    b = Policy(work_or_rest(), np.array([0, 0]))
+    with pytest.raises(MDPError):
+        a.differences(b)
+
+
+def test_describe_limits_output():
+    mdp = work_or_rest()
+    policy = Policy(mdp, np.array([0, 1]))
+    text = policy.describe(limit=1)
+    assert len(text.splitlines()) == 1
+    full = policy.describe(keys=[1, 0])
+    assert full.splitlines()[0].endswith("rest")
+
+
+def test_invalid_policy_rejected():
+    mdp = work_or_rest()
+    with pytest.raises(MDPError):
+        Policy(mdp, np.array([0]))
+    with pytest.raises(MDPError):
+        Policy(mdp, np.array([5, 0]))

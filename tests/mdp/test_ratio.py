@@ -1,0 +1,89 @@
+"""Tests for the ratio-objective solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.mdp.builder import MDPBuilder
+from repro.mdp.ratio import maximize_ratio
+
+
+def renewal_mdp():
+    """Two renewal cycles from one state: action ``short`` earns num=1,
+    den=1 per step; action ``long`` earns num=3, den=2 per step.
+    Optimal num/den ratio = 3/2 via ``long``."""
+    b = MDPBuilder(actions=["short", "long"], channels=["num", "den"])
+    b.add(0, "short", 0, 1.0, num=1.0, den=1.0)
+    b.add(0, "long", 0, 1.0, num=3.0, den=2.0)
+    return b.build(start=0)
+
+
+def ratio_vs_rate_mdp():
+    """A model where maximizing the per-step numerator differs from
+    maximizing the ratio: ``fast`` earns num=2, den=4; ``slow`` earns
+    num=1, den=1.  Rate of num favours fast (2 > 1), ratio favours
+    slow (1 > 0.5)."""
+    b = MDPBuilder(actions=["fast", "slow"], channels=["num", "den"])
+    b.add(0, "fast", 0, 1.0, num=2.0, den=4.0)
+    b.add(0, "slow", 0, 1.0, num=1.0, den=1.0)
+    return b.build(start=0)
+
+
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+def test_simple_ratio(method):
+    mdp = renewal_mdp()
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                         tol=1e-9, method=method)
+    assert sol.value == pytest.approx(1.5, abs=1e-7)
+    assert mdp.actions[sol.policy[0]] == "long"
+
+
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+def test_ratio_differs_from_rate(method):
+    mdp = ratio_vs_rate_mdp()
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                         tol=1e-9, method=method)
+    assert sol.value == pytest.approx(1.0, abs=1e-7)
+    assert mdp.actions[sol.policy[0]] == "slow"
+
+
+def test_degenerate_zero_denominator_policy_handled():
+    """An action with num = den = 0 must not fool the solver (the
+    analogue of the non-profit model's Wait-forever policy)."""
+    b = MDPBuilder(actions=["attack", "idle"], channels=["num", "den"])
+    b.add(0, "attack", 0, 1.0, num=1.0, den=2.0)
+    b.add(0, "idle", 0, 1.0)
+    mdp = b.build(start=0)
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=10.0,
+                         tol=1e-7)
+    assert sol.value == pytest.approx(0.5, abs=1e-5)
+    assert mdp.actions[sol.policy[0]] == "attack"
+
+
+def test_weighted_channel_combinations():
+    mdp = renewal_mdp()
+    # num' = num + den, den' = den: short -> 2/1, long -> 5/2.
+    sol = maximize_ratio(mdp, {"num": 1.0, "den": 1.0}, {"den": 1.0},
+                         lo=0.0, hi=10.0, tol=1e-9)
+    assert sol.value == pytest.approx(2.5, abs=1e-7)
+
+
+def test_bad_bracket_rejected():
+    mdp = renewal_mdp()
+    with pytest.raises(SolverError):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=1.0, hi=1.0)
+
+
+def test_unknown_method_rejected():
+    mdp = renewal_mdp()
+    with pytest.raises(SolverError):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=1.0,
+                       method="newton")
+
+
+def test_warm_start_accepted():
+    mdp = renewal_mdp()
+    warm = np.array([mdp.action_index("short")])
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                         initial_policy=warm)
+    assert sol.value == pytest.approx(1.5, abs=1e-6)

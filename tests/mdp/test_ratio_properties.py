@@ -1,0 +1,59 @@
+"""Property-based tests of the ratio solver on random models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mdp.builder import MDPBuilder
+from repro.mdp.ratio import maximize_ratio
+from repro.mdp.stationary import policy_gains
+
+
+def random_ratio_mdp(rng, n_states=5, n_actions=3):
+    """Random unichain MDP with positive-denominator channels."""
+    b = MDPBuilder(actions=[f"a{i}" for i in range(n_actions)],
+                   channels=["num", "den"])
+    for s in range(n_states):
+        for a in range(n_actions):
+            raw = rng.random(n_states) * (rng.random(n_states) < 0.6)
+            raw[0] += 0.25
+            raw = raw / raw.sum()
+            for t in range(n_states):
+                if raw[t] > 0:
+                    b.add(s, f"a{a}", t, float(raw[t]),
+                          num=float(rng.random()),
+                          den=float(0.2 + rng.random()))
+    return b.build(start=0)
+
+
+@given(st.integers(0, 5000), st.integers(3, 6), st.integers(2, 3))
+@settings(max_examples=25, deadline=None)
+def test_dinkelbach_and_bisection_agree(seed, n, a):
+    mdp = random_ratio_mdp(np.random.default_rng(seed), n, a)
+    kwargs = dict(num={"num": 1.0}, den={"den": 1.0}, lo=0.0, hi=10.0,
+                  tol=1e-8)
+    d = maximize_ratio(mdp, method="dinkelbach", **kwargs)
+    b = maximize_ratio(mdp, method="bisection", **kwargs)
+    assert d.value == pytest.approx(b.value, abs=1e-5)
+
+
+@given(st.integers(0, 5000), st.integers(3, 6))
+@settings(max_examples=25, deadline=None)
+def test_ratio_optimum_dominates_random_policies(seed, n):
+    rng = np.random.default_rng(seed)
+    mdp = random_ratio_mdp(rng, n, 3)
+    best = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0,
+                          hi=10.0, tol=1e-8)
+    for _ in range(5):
+        policy = rng.integers(0, mdp.n_actions, size=mdp.n_states)
+        gains = policy_gains(mdp, policy)
+        assert gains["num"] / gains["den"] <= best.value + 1e-6
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=20, deadline=None)
+def test_reported_gains_match_reported_value(seed):
+    mdp = random_ratio_mdp(np.random.default_rng(seed))
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=10.0)
+    assert sol.gain_num / sol.gain_den == pytest.approx(sol.value,
+                                                        abs=1e-6)

@@ -1,0 +1,50 @@
+"""Tests for Monte-Carlo rollouts on MDPs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mdp.simulate import rollout
+from repro.mdp.stationary import policy_gains
+from tests.mdp.helpers import two_state_chain, work_or_rest
+
+
+def test_rollout_rate_matches_exact_gain(rng):
+    mdp = two_state_chain(0.3, 1.0)
+    policy = np.zeros(2, dtype=int)
+    exact = policy_gains(mdp, policy)["r"]
+    result = rollout(mdp, policy, steps=60_000, rng=rng)
+    assert result.rate("r") == pytest.approx(exact, abs=0.01)
+
+
+def test_rollout_deterministic_cycle(rng):
+    mdp = work_or_rest()
+    work = np.array([0, 0])
+    result = rollout(mdp, work, steps=1000, rng=rng)
+    assert result.rate("r") == pytest.approx(0.5, abs=1e-9)
+    assert result.steps == 1000
+
+
+def test_rollout_ratio_helper(rng):
+    mdp = two_state_chain(0.5, 1.0)
+    result = rollout(mdp, np.zeros(2, dtype=int), steps=10_000, rng=rng)
+    assert result.ratio("r", "r") == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        result.ratio("r", "missing")
+
+
+def test_rollout_rejects_invalid_policy(rng):
+    mdp = work_or_rest()
+    from repro.mdp.builder import MDPBuilder
+    b = MDPBuilder(actions=["a", "b"], channels=["r"])
+    b.add(0, "a", 0, 1.0)
+    partial = b.build(start=0)
+    with pytest.raises(SimulationError):
+        rollout(partial, np.array([1]), steps=10, rng=rng)
+
+
+def test_rollout_visits_recorded(rng):
+    mdp = two_state_chain(0.5, 1.0)
+    result = rollout(mdp, np.zeros(2, dtype=int), steps=5000, rng=rng)
+    assert result.visits.sum() == 5000
+    assert (result.visits > 0).all()

@@ -1,0 +1,84 @@
+"""Tests for the discounted, average-reward and policy-iteration
+solvers on hand-checkable models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.mdp.average_reward import relative_value_iteration
+from repro.mdp.policy_iteration import evaluate_policy, policy_iteration
+from repro.mdp.value_iteration import value_iteration
+from tests.mdp.helpers import two_state_chain, work_or_rest
+
+
+def test_two_state_chain_gain():
+    """Stationary distribution of the 0->1 (p), 1->0 (1) cycle is
+    pi(0) = 1/(1+p), pi(1) = p/(1+p); gain = pi(0) * p * r."""
+    p, r = 0.3, 2.0
+    mdp = two_state_chain(p, r)
+    solution = policy_iteration(mdp, mdp.channel_reward("r"))
+    expected = (1 / (1 + p)) * p * r
+    assert solution.gain == pytest.approx(expected, abs=1e-12)
+
+
+def test_work_or_rest_optimal_gain():
+    mdp = work_or_rest()
+    solution = policy_iteration(mdp, mdp.channel_reward("r"))
+    assert solution.gain == pytest.approx(0.5, abs=1e-12)
+    assert mdp.actions[solution.policy[0]] == "work"
+
+
+def test_relative_value_iteration_agrees_with_policy_iteration():
+    mdp = work_or_rest()
+    rvi = relative_value_iteration(mdp, mdp.channel_reward("r"),
+                                   epsilon=1e-12)
+    pi = policy_iteration(mdp, mdp.channel_reward("r"))
+    assert rvi.gain == pytest.approx(pi.gain, abs=1e-9)
+    assert (rvi.policy == pi.policy).all()
+
+
+def test_evaluate_policy_gain_of_suboptimal_policy():
+    mdp = work_or_rest()
+    rest = np.array([mdp.action_index("rest")] * 2)
+    gain, bias = evaluate_policy(mdp, rest, mdp.channel_reward("r"))
+    assert gain == pytest.approx(0.4, abs=1e-12)
+    assert bias[mdp.start] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_policy_iteration_rejects_invalid_initial_policy():
+    from repro.mdp.builder import MDPBuilder
+    b = MDPBuilder(actions=["a", "b"], channels=["r"])
+    b.add(0, "a", 0, 1.0, r=1.0)
+    mdp = b.build(start=0)
+    with pytest.raises(SolverError):
+        policy_iteration(mdp, mdp.channel_reward("r"),
+                         initial_policy=np.array([1]))
+
+
+def test_discounted_value_iteration_geometric_sum():
+    """Single absorbing state with reward 1: V = 1 / (1 - gamma)."""
+    from repro.mdp.builder import MDPBuilder
+    b = MDPBuilder(actions=["a"], channels=["r"])
+    b.add(0, "a", 0, 1.0, r=1.0)
+    mdp = b.build(start=0)
+    solution = value_iteration(mdp, mdp.channel_reward("r"), discount=0.9,
+                               epsilon=1e-10)
+    assert solution.values[0] == pytest.approx(10.0, abs=1e-6)
+
+
+def test_discounted_value_iteration_picks_better_action():
+    mdp = work_or_rest()
+    solution = value_iteration(mdp, mdp.channel_reward("r"), discount=0.95)
+    assert mdp.actions[solution.policy[0]] == "work"
+
+
+def test_value_iteration_requires_valid_discount():
+    mdp = work_or_rest()
+    with pytest.raises(SolverError):
+        value_iteration(mdp, mdp.channel_reward("r"), discount=1.0)
+
+
+def test_rvi_tau_validation():
+    mdp = work_or_rest()
+    with pytest.raises(SolverError):
+        relative_value_iteration(mdp, mdp.channel_reward("r"), tau=0.0)

@@ -1,0 +1,46 @@
+"""Tests for stationary distributions and exact channel gains."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.mdp.stationary import policy_gains, stationary_distribution
+from tests.mdp.helpers import two_state_chain
+
+
+def test_two_state_stationary():
+    p = sparse.csr_matrix(np.array([[0.7, 0.3], [1.0, 0.0]]))
+    pi = stationary_distribution(p)
+    assert pi[0] == pytest.approx(1 / 1.3)
+    assert pi[1] == pytest.approx(0.3 / 1.3)
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def test_absorbing_state_gets_all_mass():
+    p = sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 1.0]]))
+    pi = stationary_distribution(p)
+    assert pi[1] == pytest.approx(1.0)
+    assert pi[0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_uniform_cycle():
+    n = 5
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    p = sparse.csr_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+    pi = stationary_distribution(p)
+    assert np.allclose(pi, 1 / n)
+
+
+def test_policy_gains_match_manual_computation():
+    p_adv, r = 0.25, 2.0
+    mdp = two_state_chain(p_adv, r)
+    gains = policy_gains(mdp, np.zeros(2, dtype=int))
+    expected = (1 / (1 + p_adv)) * p_adv * r
+    assert gains["r"] == pytest.approx(expected)
+
+
+def test_policy_gains_subset_of_channels():
+    mdp = two_state_chain()
+    gains = policy_gains(mdp, np.zeros(2, dtype=int), channels=["r"])
+    assert set(gains) == {"r"}

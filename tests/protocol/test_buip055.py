@@ -1,0 +1,63 @@
+"""Tests for the BUIP055 signaling model (Section 6.2)."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.protocol.buip055 import BUIP055Round, FutureEBSignal
+
+
+def round_with(*entries, current=1.0, proposed=8.0):
+    rnd = BUIP055Round(current_eb=current, proposed_eb=proposed)
+    for name, power, eb in entries:
+        rnd.signal(FutureEBSignal(miner=name, power=power,
+                                  signaled_eb=eb, activation_height=1000))
+    return rnd
+
+
+def test_signaled_support():
+    rnd = round_with(("a", 0.4, 8.0), ("b", 0.35, 1.0), ("c", 0.25, 8.0))
+    assert rnd.signaled_support() == pytest.approx(0.65)
+
+
+def test_honest_activation_moves_to_proposed_eb():
+    rnd = round_with(("a", 0.4, 8.0), ("b", 0.35, 8.0), ("c", 0.25, 1.0))
+    outcome = rnd.activate()
+    assert outcome.winning_eb == 8.0
+    assert outcome.stranded() == ["c"]
+    assert outcome.defectors == []
+
+
+def test_defection_is_free_and_unbonded():
+    """A miner can signal 8 MB and realize 1 MB: nothing in the
+    protocol punishes it, and it flips the outcome."""
+    rnd = round_with(("a", 0.4, 8.0), ("b", 0.27, 8.0), ("c", 0.33, 1.0))
+    honest = rnd.activate()
+    assert honest.winning_eb == 8.0
+    betrayed = rnd.activate(realized_ebs={"a": 1.0})
+    assert betrayed.winning_eb == 1.0
+    assert betrayed.defectors == ["a"]
+    # The defector lands on the winning side: defection *pays*.
+    assert betrayed.utilities["a"] > 0
+    # Followers who believed the signal are stranded.
+    assert "b" in betrayed.stranded()
+
+
+def test_signals_can_be_replaced():
+    rnd = round_with(("a", 0.4, 8.0), ("b", 0.6 - 1e-9, 1.0))
+    rnd.signal(FutureEBSignal("a", 0.4, 1.0, 1000))
+    assert rnd.signaled_support() == 0.0
+
+
+def test_validation():
+    with pytest.raises(ChainError):
+        BUIP055Round(current_eb=1.0, proposed_eb=1.0)
+    with pytest.raises(ChainError):
+        FutureEBSignal("a", 0.0, 8.0, 10)
+    rnd = BUIP055Round(current_eb=1.0, proposed_eb=8.0)
+    with pytest.raises(ChainError):
+        rnd.signal(FutureEBSignal("a", 0.4, 2.0, 10))
+    rnd.signal(FutureEBSignal("a", 0.4, 8.0, 10))
+    rnd.signal(FutureEBSignal("b", 0.3, 1.0, 10))
+    rnd.signal(FutureEBSignal("c", 0.3, 1.0, 10))
+    with pytest.raises(ChainError):
+        rnd.activate(realized_ebs={"a": 4.0})

@@ -1,0 +1,75 @@
+"""Tests for the Section 6.4 node-cost model."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.protocol.node_costs import (
+    NodeCapacity,
+    TransactionMix,
+    max_size_for_participation,
+    nodes_online,
+    participation_curve,
+)
+
+
+def fleet():
+    """A spread of node capabilities: weak home nodes to datacenters."""
+    return ([NodeCapacity(2.0, 3000.0, 2.0)] * 5
+            + [NodeCapacity(8.0, 20000.0, 8.0)] * 3
+            + [NodeCapacity(32.0, 200000.0, 64.0)] * 2)
+
+
+def test_everyone_handles_tiny_blocks():
+    assert nodes_online(fleet(), 0.5) == 1.0
+
+
+def test_participation_falls_with_size():
+    curve = participation_curve(fleet(), [0.5, 2.5, 10.0, 32.0])
+    assert curve == sorted(curve, reverse=True)
+    assert curve[-1] < curve[0]
+
+
+def test_croman_style_bound():
+    bound = max_size_for_participation(fleet(), target=0.9)
+    # The five weak nodes cap 90% participation near their 2 MB
+    # bandwidth/verification limits.
+    assert 1.0 < bound <= 2.0
+    generous = max_size_for_participation(fleet(), target=0.5)
+    assert generous > bound
+
+
+def test_small_transactions_steepen_costs():
+    """Section 6.4's compounding effect: cheap fees -> smaller
+    transactions -> more per-byte verification work -> fewer nodes
+    keep up at the same block size."""
+    cheap_fees = TransactionMix.at_fee_level(0.0)
+    pricey_fees = TransactionMix.at_fee_level(1.0)
+    assert (nodes_online(fleet(), 4.0, cheap_fees)
+            <= nodes_online(fleet(), 4.0, pricey_fees))
+    assert (max_size_for_participation(fleet(), 0.9, cheap_fees)
+            <= max_size_for_participation(fleet(), 0.9, pricey_fees))
+
+
+def test_capacity_channels_independent():
+    """A node can be bandwidth-rich but verification-poor."""
+    node = NodeCapacity(bandwidth_mb=32.0, verify_budget=100.0,
+                        utxo_budget=64.0)
+    mix = TransactionMix(mean_size_bytes=500.0, verify_cost_per_tx=1.0)
+    # 1 MB carries 2000 transactions > 100 verify budget.
+    assert not node.can_handle(1.0, mix)
+    lighter = TransactionMix(mean_size_bytes=500.0,
+                             verify_cost_per_tx=0.01)
+    assert node.can_handle(1.0, lighter)
+
+
+def test_validation():
+    with pytest.raises(ChainError):
+        NodeCapacity(0.0, 1.0, 1.0)
+    with pytest.raises(ChainError):
+        TransactionMix(mean_size_bytes=0.0)
+    with pytest.raises(ChainError):
+        TransactionMix.at_fee_level(2.0)
+    with pytest.raises(ChainError):
+        nodes_online([], 1.0)
+    with pytest.raises(ChainError):
+        max_size_for_participation(fleet(), target=0.0)

@@ -1,0 +1,59 @@
+"""Tests for node views (scan and online fork-choice modes)."""
+
+from repro.chain.block import make_block
+from repro.chain.validity import BitcoinValidity, BUValidity
+from repro.protocol.node import NodeView
+from repro.protocol.params import BUParams
+from tests.conftest import extend
+
+
+def test_scan_mode_head(tree):
+    node = NodeView("n", tree, BitcoinValidity())
+    blocks = extend(tree, tree.genesis, [1.0, 1.0])
+    assert node.head().block_id == blocks[-1].block_id
+    assert [b.height for b in node.blockchain()] == [0, 1, 2]
+
+
+def test_bu_factory_attaches_params(tree):
+    node = NodeView.bu("n", tree, BUParams(mg=1.0, eb=4.0, ad=6))
+    assert node.generation_size() == 1.0
+    assert isinstance(node.rule, BUValidity)
+    assert not node.gate_open()
+
+
+def test_accepts_uses_rule(tree):
+    node = NodeView.bu("n", tree, BUParams(mg=1.0, eb=1.0, ad=6))
+    good = extend(tree, tree.genesis, [1.0])
+    bad = extend(tree, tree.genesis, [2.0])
+    assert node.accepts(good[-1])
+    assert not node.accepts(bad[-1])
+
+
+def test_online_mode_tracks_longest_valid(tree):
+    node = NodeView("n", tree, BitcoinValidity())
+    node.observe(tree.genesis)
+    a = tree.add(make_block(tree.genesis, size=1.0, miner="m"))
+    node.observe(a)
+    assert node.head().block_id == a.block_id
+    b = tree.add(make_block(tree.genesis, size=1.0, miner="m"))
+    node.observe(b)
+    # Equal height: the node keeps the chain it is already on.
+    assert node.head().block_id == a.block_id
+    c = tree.add(make_block(b, size=1.0, miner="m"))
+    node.observe(c)
+    assert node.head().block_id == c.block_id
+
+
+def test_online_mode_ignores_invalid_suffix_until_buried(tree):
+    node = NodeView.bu("n", tree, BUParams(mg=1.0, eb=1.0, ad=3))
+    node.observe(tree.genesis)
+    exc = tree.add(make_block(tree.genesis, size=2.0, miner="m"))
+    node.observe(exc)
+    assert node.head().is_genesis
+    b1 = tree.add(make_block(exc, size=1.0, miner="m"))
+    node.observe(b1)
+    assert node.head().is_genesis
+    b2 = tree.add(make_block(b1, size=1.0, miner="m"))
+    node.observe(b2)
+    assert node.head().block_id == b2.block_id
+    assert node.gate_open()

@@ -1,0 +1,47 @@
+"""Tests for protocol parameters."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.protocol.params import (
+    BUParams,
+    DIFFICULTY_PERIOD,
+    MESSAGE_LIMIT_MB,
+    STICKY_GATE_WINDOW,
+)
+
+
+def test_constants_match_paper():
+    assert MESSAGE_LIMIT_MB == 32.0
+    assert STICKY_GATE_WINDOW == 144
+    assert DIFFICULTY_PERIOD == 2016
+
+
+def test_bu_params_valid():
+    p = BUParams(mg=1.0, eb=16.0, ad=12)
+    assert p.mg == 1.0
+    assert p.eb == 16.0
+    assert p.ad == 12
+
+
+def test_bitcoin_compatible_defaults():
+    p = BUParams.bitcoin_compatible()
+    assert p.mg == p.eb == 1.0
+    assert p.ad == 6
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"mg": 0, "eb": 1.0, "ad": 6},
+    {"mg": 1.0, "eb": 0, "ad": 6},
+    {"mg": 1.0, "eb": 1.0, "ad": 0},
+    {"mg": 33.0, "eb": 33.0, "ad": 6},
+])
+def test_invalid_params_rejected(kwargs):
+    with pytest.raises(ChainError):
+        BUParams(**kwargs)
+
+
+def test_params_frozen():
+    p = BUParams.bitcoin_compatible()
+    with pytest.raises(AttributeError):
+        p.eb = 2.0  # type: ignore[misc]

@@ -1,0 +1,80 @@
+"""Tests for the signaling registry and EB splits."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.protocol.params import BUParams
+from repro.protocol.signals import SignalRegistry
+
+
+def registry_with(*entries):
+    reg = SignalRegistry()
+    for name, eb, power in entries:
+        reg.signal(name, BUParams(mg=1.0, eb=eb, ad=6), power=power)
+    return reg
+
+
+def test_signal_and_lookup():
+    reg = registry_with(("bob", 1.0, 0.5))
+    assert reg.params_of("bob").eb == 1.0
+    with pytest.raises(ChainError):
+        reg.params_of("nobody")
+
+
+def test_signal_update_overwrites():
+    reg = registry_with(("bob", 1.0, 0.5))
+    reg.signal("bob", BUParams(mg=1.0, eb=2.0, ad=6), power=0.4)
+    assert reg.params_of("bob").eb == 2.0
+    assert reg.total_power() == pytest.approx(0.4)
+
+
+def test_distinct_ebs_sorted():
+    reg = registry_with(("a", 4.0, 0.2), ("b", 1.0, 0.3), ("c", 4.0, 0.5))
+    assert reg.distinct_ebs() == [1.0, 4.0]
+
+
+def test_consensus_detection():
+    reg = registry_with(("a", 1.0, 0.5), ("b", 1.0, 0.5))
+    assert reg.has_consensus()
+    reg.signal("c", BUParams(mg=1.0, eb=16.0, ad=12), power=0.0)
+    assert not reg.has_consensus()
+
+
+def test_power_partitions():
+    reg = registry_with(("a", 1.0, 0.3), ("b", 4.0, 0.3), ("c", 16.0, 0.4))
+    assert reg.power_below_eb(4.0) == pytest.approx(0.3)
+    assert reg.power_at_least_eb(4.0) == pytest.approx(0.7)
+
+
+def test_splits_enumerate_every_boundary():
+    reg = registry_with(("alice", 1.0, 0.1), ("a", 1.0, 0.3),
+                        ("b", 4.0, 0.3), ("c", 16.0, 0.3))
+    splits = reg.splits(attacker="alice")
+    assert len(splits) == 2
+    first, second = splits
+    assert first.split_eb == 1.0
+    assert first.fork_block_size == 4.0
+    assert first.beta == pytest.approx(0.3)
+    assert first.gamma == pytest.approx(0.6)
+    assert second.split_eb == 4.0
+    assert second.beta == pytest.approx(0.6)
+    assert second.gamma == pytest.approx(0.3)
+
+
+def test_split_ratio_normalizes():
+    reg = registry_with(("a", 1.0, 0.3), ("b", 4.0, 0.6))
+    split = reg.splits()[0]
+    beta, gamma = split.as_ratio()
+    assert beta + gamma == pytest.approx(1.0)
+    assert beta == pytest.approx(1 / 3)
+
+
+def test_negative_power_rejected():
+    reg = SignalRegistry()
+    with pytest.raises(ChainError):
+        reg.signal("x", BUParams.bitcoin_compatible(), power=-0.1)
+
+
+def test_single_eb_network_has_no_splits():
+    reg = registry_with(("a", 1.0, 0.5), ("b", 1.0, 0.5))
+    assert reg.splits() == []

@@ -1,0 +1,47 @@
+"""Tests for the executable Figures 1-3."""
+
+import pytest
+
+from repro.sim.figures import (
+    figure1_sticky_gate,
+    figure2_phase_forks,
+    figure3_orphaning,
+)
+
+
+class TestFigure1:
+    def test_default_story(self):
+        result = figure1_sticky_gate()
+        assert result.rejected_before_depth
+        assert result.accepted_at_depth
+        assert result.limit_before == 1.0
+        assert result.limit_after == 32.0
+        assert result.gate_closed_after_window
+
+    def test_custom_parameters(self):
+        result = figure1_sticky_gate(eb=2.0, ad=6, gate_window=20)
+        assert result.rejected_before_depth
+        assert result.accepted_at_depth
+        assert result.limit_before == 2.0
+        assert result.gate_closed_after_window
+
+
+class TestFigure2:
+    def test_both_phases(self):
+        result = figure2_phase_forks()
+        assert result.phase1_split
+        assert result.phase2_entered
+        assert result.phase2_split
+
+    def test_other_acceptance_depths(self):
+        for ad in (2, 4, 6):
+            result = figure2_phase_forks(ad=ad)
+            assert result.phase1_split and result.phase2_split
+
+
+class TestFigure3:
+    def test_two_for_one(self):
+        result = figure3_orphaning()
+        assert result.alice_blocks_spent == 1
+        assert result.others_orphaned == 2
+        assert result.orphans_per_alice_block == pytest.approx(2.0)

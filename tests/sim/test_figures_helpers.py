@@ -1,0 +1,10 @@
+"""Tests for figure helper utilities."""
+
+from repro.sim.figures import chain_sizes
+from tests.conftest import extend
+
+
+def test_chain_sizes_lists_height_size_pairs(tree):
+    blocks = extend(tree, tree.genesis, [1.0, 2.0, 0.5])
+    pairs = chain_sizes(tree, blocks[-1])
+    assert pairs == [(0, 0.0), (1, 1.0), (2, 2.0), (3, 0.5)]

@@ -1,0 +1,75 @@
+"""Tests for the propagation-delay simulation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.honest import fork_rate_with_delay
+from repro.errors import SimulationError
+from repro.sim.latency import LatencyMiner, LatencySimulation
+
+
+def miners(n=4):
+    return [LatencyMiner(f"m{i}", 1.0 / n) for i in range(n)]
+
+
+def test_zero_delay_no_forks(rng):
+    sim = LatencySimulation(miners(), block_interval=600, delay=0.0)
+    result = sim.run(400, rng=rng)
+    assert result.orphans == 0
+    assert result.main_chain_length == 400
+    assert result.fork_rate == 0.0
+
+
+def test_fork_rate_tracks_analytic_estimate(rng):
+    """With delay D and interval T, roughly 1 - exp(-D/T) of blocks
+    find a concurrent rival."""
+    interval, delay = 600.0, 60.0
+    sim = LatencySimulation(miners(5), block_interval=interval, delay=delay)
+    result = sim.run(4000, rng=rng)
+    predicted = fork_rate_with_delay(interval, delay)
+    # A concurrent pair orphans one of its two blocks, but races can
+    # persist past the first collision, so the orphan rate lands
+    # between half the collision probability and the full one.
+    assert predicted / 2 * 0.7 <= result.fork_rate <= predicted * 1.1
+    assert result.fork_rate > 0
+
+
+def test_larger_delay_more_forks(rng):
+    interval = 600.0
+    rates = []
+    for delay in (6.0, 120.0):
+        sim = LatencySimulation(miners(4), block_interval=interval,
+                                delay=delay)
+        rates.append(sim.run(2500, rng=np.random.default_rng(3)).fork_rate)
+    assert rates[0] < rates[1]
+
+
+def test_revenue_roughly_proportional(rng):
+    sim = LatencySimulation(
+        [LatencyMiner("big", 0.6), LatencyMiner("small", 0.4)],
+        block_interval=600, delay=5.0)
+    result = sim.run(3000, rng=rng)
+    assert result.per_miner_share["big"] == pytest.approx(0.6, abs=0.05)
+
+
+def test_views_converge_after_flush(rng):
+    sim = LatencySimulation(miners(3), block_interval=600, delay=300.0)
+    sim.run(300, rng=rng)
+    heads = {view.head().block_id for view in sim.views}
+    # After the final flush every view has seen every block; equal-
+    # height disagreements can persist only between tip candidates of
+    # the same height.
+    heights = {view.head().height for view in sim.views}
+    assert len(heights) == 1 or max(heights) - min(heights) <= 1
+    assert heads  # non-empty
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        LatencySimulation([])
+    with pytest.raises(SimulationError):
+        LatencySimulation(miners(), block_interval=0)
+    with pytest.raises(SimulationError):
+        LatencySimulation(miners(), delay=-1)
+    with pytest.raises(SimulationError):
+        LatencyMiner("x", 0.0)

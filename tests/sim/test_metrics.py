@@ -1,0 +1,56 @@
+"""Tests for simulation accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import Accounting
+
+
+def test_locked_accumulates():
+    acc = Accounting()
+    acc.record_locked(2, 3)
+    acc.record_locked(1, 0)
+    assert acc.alice == 3
+    assert acc.others == 3
+
+
+def test_race_accounting_and_ds():
+    acc = Accounting()
+    acc.record_race(1, 4, rds=10.0, confirmations=4)
+    assert acc.alice_orphans == 1
+    assert acc.others_orphans == 4
+    # 5 orphaned blocks -> (5 - 3) * 10.
+    assert acc.ds == 20.0
+    assert acc.races == 1
+    assert acc.race_lengths == {5: 1}
+
+
+def test_short_race_pays_no_ds():
+    acc = Accounting()
+    acc.record_race(0, 2, rds=10.0, confirmations=4)
+    assert acc.ds == 0.0
+
+
+def test_utilities():
+    acc = Accounting()
+    acc.steps = 10
+    acc.record_locked(2, 6)
+    acc.record_race(1, 1, rds=10.0, confirmations=4)
+    assert acc.relative_revenue == pytest.approx(0.25)
+    assert acc.absolute_reward == pytest.approx(0.2)
+    assert acc.orphan_rate == pytest.approx(1 / 3)
+    rates = acc.rates()
+    assert rates["alice"] == pytest.approx(0.2)
+    assert rates["others_orphans"] == pytest.approx(0.1)
+
+
+def test_guards_against_empty_denominators():
+    acc = Accounting()
+    with pytest.raises(SimulationError):
+        acc.relative_revenue
+    with pytest.raises(SimulationError):
+        acc.absolute_reward
+    with pytest.raises(SimulationError):
+        acc.orphan_rate
+    with pytest.raises(SimulationError):
+        acc.rates()

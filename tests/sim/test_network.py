@@ -1,0 +1,137 @@
+"""Tests for the N-node network simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocol.params import BUParams
+from repro.sim.network import (
+    HonestAttacker,
+    NetworkMiner,
+    NetworkSimulation,
+    SplitAttacker,
+)
+
+
+def uniform_network(n=4, eb=1.0, ad=6):
+    return [NetworkMiner(f"m{i}", 1.0 / n,
+                         BUParams(mg=1.0, eb=eb, ad=ad))
+            for i in range(n)]
+
+
+def april_2017_network():
+    """The field distribution Section 2.2 reports."""
+    return [
+        NetworkMiner("miners_ad6", 0.55, BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("bitclub", 0.15, BUParams(mg=1.0, eb=1.0, ad=20)),
+        NetworkMiner("nodes", 0.0, BUParams(mg=1.0, eb=16.0, ad=12)),
+        NetworkMiner("other", 0.30, BUParams(mg=1.0, eb=16.0, ad=6)),
+    ]
+
+
+def test_homogeneous_network_never_disagrees(rng):
+    sim = NetworkSimulation(uniform_network(), rng=rng)
+    result = sim.run(1500)
+    assert result.disagreement_fraction == 0.0
+    assert result.orphans == 0
+    assert result.consensus_height == 1500
+
+
+def test_chain_share_tracks_power(rng):
+    miners = [NetworkMiner("big", 0.7, BUParams.bitcoin_compatible()),
+              NetworkMiner("small", 0.3, BUParams.bitcoin_compatible())]
+    sim = NetworkSimulation(miners, rng=rng)
+    result = sim.run(5000)
+    assert result.chain_share["big"] == pytest.approx(0.7, abs=0.03)
+
+
+def test_consensus_eb_blocks_split_attack(rng):
+    """Against an EB-consensus network (all 1 MB), the split attacker's
+    big blocks are simply orphaned: the paper's Section 6.1 point."""
+    sim = NetworkSimulation(uniform_network(eb=1.0),
+                            attacker=SplitAttacker(split_size=4.0),
+                            attacker_power=0.15, rng=rng)
+    result = sim.run(3000)
+    assert result.chain_share["attacker"] == pytest.approx(0.0, abs=1e-9)
+    assert result.attacker_orphan_ratio == 0.0
+    assert result.disagreement_fraction == 0.0
+
+
+def test_split_attack_embeds_giants_with_sticky_gate():
+    """Gate enabled: the attacker buries one oversize block, the gates
+    open, and giant blocks flow into the chain almost for free --
+    Section 4.1.1's phase-3 damage."""
+    miners = [
+        NetworkMiner("small_eb", 0.45, BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("large_eb", 0.40, BUParams(mg=1.0, eb=16.0, ad=6)),
+    ]
+    sim = NetworkSimulation(miners, attacker=SplitAttacker(split_size=4.0),
+                            attacker_power=0.15, sticky=True,
+                            rng=np.random.default_rng(11))
+    result = sim.run(6000)
+    assert result.giant_blocks_on_chain > 100
+    assert result.chain_share["attacker"] > 0.10
+
+
+def test_split_attack_splits_network_without_sticky_gate():
+    """Gate removed (BUIP038): every oversize block needs a fresh
+    burial, so the network forks perpetually instead -- the Section 6.2
+    'one risk for another' trade-off."""
+    miners = [
+        NetworkMiner("small_eb", 0.45, BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("large_eb", 0.40, BUParams(mg=1.0, eb=16.0, ad=6)),
+    ]
+    sim = NetworkSimulation(miners, attacker=SplitAttacker(split_size=4.0),
+                            attacker_power=0.15, sticky=False,
+                            rng=np.random.default_rng(11))
+    result = sim.run(6000)
+    assert result.disagreement_fraction > 0.2
+    assert result.orphans > 200
+    assert result.attacker_orphan_ratio > 0.4
+
+
+def test_honest_attacker_changes_nothing(rng):
+    sim = NetworkSimulation(uniform_network(),
+                            attacker=HonestAttacker(),
+                            attacker_power=0.2, rng=rng)
+    result = sim.run(2000)
+    assert result.orphans == 0
+    assert result.chain_share["attacker"] == pytest.approx(0.2, abs=0.04)
+
+
+def test_april_2017_distribution_is_calm_without_attacker(rng):
+    sim = NetworkSimulation(april_2017_network(), rng=rng)
+    result = sim.run(2000)
+    # Everyone mines 1 MB blocks: EB differences never bite.
+    assert result.orphans == 0
+    assert result.disagreement_fraction == 0.0
+
+
+def test_april_2017_distribution_damaged_under_attack(rng):
+    """Against the real parameter distribution, the attacker either
+    splits the network or (once a gate opens) embeds giant blocks."""
+    sim = NetworkSimulation(april_2017_network(),
+                            attacker=SplitAttacker(split_size=8.0),
+                            attacker_power=0.10,
+                            rng=np.random.default_rng(5))
+    result = sim.run(4000)
+    damage = (result.orphans + result.giant_blocks_on_chain
+              + result.disagreement_fraction)
+    assert damage > 10
+    assert result.disagreement_fraction > 0 or \
+        result.giant_blocks_on_chain > 0
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        NetworkSimulation([])
+    with pytest.raises(SimulationError):
+        NetworkSimulation(uniform_network(), attacker_power=0.2)
+    with pytest.raises(SimulationError):
+        NetworkSimulation(uniform_network(),
+                          attacker=HonestAttacker(), attacker_power=0.0)
+    with pytest.raises(SimulationError):
+        SplitAttacker(split_size=0.0)
+    with pytest.raises(SimulationError):
+        dup = uniform_network(2) + uniform_network(1)
+        NetworkSimulation(dup)

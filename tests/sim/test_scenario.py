@@ -1,0 +1,181 @@
+"""Tests for the three-miner scenario simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2
+from repro.core.config import AttackConfig
+from repro.errors import SimulationError
+from repro.sim.scenario import ALICE, BOB, CAROL, ThreeMinerScenario
+from repro.sim.strategies import (
+    AlwaysSplitStrategy,
+    HonestStrategy,
+    WaitAndWatchStrategy,
+)
+
+
+def cfg(**kwargs):
+    defaults = dict(alpha=0.2, beta=0.4, gamma=0.4, ad=3, setting=1)
+    defaults.update(kwargs)
+    return AttackConfig(**defaults)
+
+
+def scenario(strategy=None, **kwargs):
+    return ThreeMinerScenario(cfg(**kwargs), strategy or HonestStrategy())
+
+
+class TestScriptedPhase1:
+    def test_honest_blocks_lock_immediately(self):
+        sc = scenario()
+        sc.force_step(BOB)
+        sc.force_step(CAROL)
+        sc.force_step(ALICE, ON_CHAIN_1)
+        acc = sc.accounting
+        assert acc.alice == 1
+        assert acc.others == 2
+        assert sc.fork is None
+        assert sc.tracked_state() == ("base", 0)
+
+    def test_split_block_opens_fork(self):
+        sc = scenario()
+        sc.force_step(ALICE, ON_CHAIN_2)
+        assert sc.fork is not None
+        assert sc.tracked_state() == ("fork1", 0, 1, 0, 1)
+        # Carol follows Alice's block; Bob rejects it.
+        assert sc.carol.head().miner == ALICE
+        assert sc.bob.head().block_id == sc.fork.base.block_id
+
+    def test_chain1_win_orphans_chain2(self):
+        sc = scenario()
+        sc.force_step(ALICE, ON_CHAIN_2)   # fork (0, 1)
+        sc.force_step(BOB)                 # (1, 1)
+        sc.force_step(BOB)                 # chain 1 outgrows -> resolved
+        acc = sc.accounting
+        assert sc.fork is None
+        assert acc.others == 2
+        assert acc.alice_orphans == 1
+        assert acc.others_orphans == 0
+        assert sc.bob.head().block_id == sc.carol.head().block_id
+
+    def test_chain2_reaching_ad_locks(self):
+        sc = scenario()
+        sc.force_step(ALICE, ON_CHAIN_2)   # (0, 1)
+        sc.force_step(CAROL)               # (0, 2)
+        sc.force_step(CAROL)               # l2 = 3 = AD -> locked
+        acc = sc.accounting
+        assert sc.fork is None
+        assert acc.alice == 1
+        assert acc.others == 2
+        # Bob adopted Chain 2.
+        assert sc.bob.head().block_id == sc.carol.head().block_id
+
+    def test_carol_stays_on_chain2_at_tie(self):
+        sc = scenario()
+        sc.force_step(ALICE, ON_CHAIN_2)   # (0, 1)
+        sc.force_step(BOB)                 # (1, 1) tie
+        assert sc.fork is not None
+        assert sc.carol.head().miner == ALICE
+        assert sc.bob.head().miner == BOB
+
+    def test_alice_can_support_either_chain(self):
+        sc = scenario()
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(ALICE, ON_CHAIN_1)
+        assert sc.tracked_state() == ("fork1", 1, 1, 1, 1)
+        sc.force_step(ALICE, ON_CHAIN_2)
+        assert sc.tracked_state() == ("fork1", 1, 2, 1, 2)
+
+
+class TestSetting2:
+    def test_gate_opens_and_counts_down(self):
+        sc = scenario(setting=2)
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(CAROL)
+        sc.force_step(CAROL)               # chain 2 locks, Bob's gate opens
+        state = sc.tracked_state()
+        assert state[0] == "base"
+        r0 = state[1]
+        assert r0 > 0
+        sc.force_step(BOB)
+        assert sc.tracked_state() == ("base", r0 - 1)
+
+    def test_phase2_split(self):
+        sc = scenario(setting=2)
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(CAROL)
+        sc.force_step(CAROL)
+        sc.force_step(ALICE, ON_CHAIN_2)   # oversize split
+        state = sc.tracked_state()
+        assert state[0] == "fork2"
+        # Bob (gate open) follows Alice's oversize block; Carol rejects.
+        assert sc.bob.head().miner == ALICE
+        assert sc.carol.head().block_id == sc.fork.base.block_id
+
+    def test_phase3_pause(self):
+        sc = scenario(setting=2)
+        # Phase 1 split, chain 2 locks -> Bob's gate opens.
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(CAROL)
+        sc.force_step(CAROL)
+        # Phase 2 split, chain 2 (Bob's) locks -> Carol's gate opens.
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(BOB)
+        sc.force_step(BOB)
+        assert sc.in_phase3()
+
+    def test_setting1_never_opens_gate(self):
+        sc = scenario(setting=1)
+        sc.force_step(ALICE, ON_CHAIN_2)
+        sc.force_step(CAROL)
+        sc.force_step(CAROL)
+        assert sc.tracked_state() == ("base", 0)
+
+
+class TestRandomRuns:
+    def test_honest_run_has_no_forks(self, rng):
+        sc = ThreeMinerScenario(cfg(), HonestStrategy(), rng=rng)
+        result = sc.run(2000)
+        assert result.accounting.races == 0
+        assert result.accounting.alice + result.accounting.others == 2000
+
+    def test_honest_revenue_proportional(self, rng):
+        sc = ThreeMinerScenario(cfg(), HonestStrategy(), rng=rng)
+        result = sc.run(20_000)
+        assert result.accounting.relative_revenue == pytest.approx(
+            0.2, abs=0.02)
+
+    def test_always_split_causes_races(self, rng):
+        sc = ThreeMinerScenario(cfg(ad=6), AlwaysSplitStrategy(), rng=rng)
+        result = sc.run(5000)
+        assert result.accounting.races > 0
+        assert result.accounting.others_orphans > 0
+
+    def test_wait_and_watch_runs(self, rng):
+        config = cfg(ad=6, include_wait=True)
+        sc = ThreeMinerScenario(config, WaitAndWatchStrategy(), rng=rng)
+        result = sc.run(5000)
+        assert result.accounting.races > 0
+
+    def test_setting2_long_run_consistent(self, rng):
+        sc = ThreeMinerScenario(cfg(setting=2, ad=3),
+                                AlwaysSplitStrategy(), rng=rng)
+        result = sc.run(5000)
+        acc = result.accounting
+        total = acc.alice + acc.others + acc.alice_orphans \
+            + acc.others_orphans
+        # Every mined block is eventually locked or orphaned, except
+        # those still in an unresolved fork.
+        assert total <= 5000
+        assert total >= 5000 - 2 * 3  # at most one open fork pending
+
+
+class TestValidation:
+    def test_eb_ordering_enforced(self):
+        with pytest.raises(SimulationError):
+            ThreeMinerScenario(cfg(), HonestStrategy(), eb_bob=4.0,
+                               eb_carol=1.0)
+
+    def test_unknown_miner_rejected(self):
+        sc = scenario()
+        with pytest.raises(SimulationError):
+            sc.force_step("mallory")

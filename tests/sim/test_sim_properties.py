@@ -1,0 +1,81 @@
+"""Property-based tests of the substrate simulator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import AttackConfig
+from repro.sim.scenario import ThreeMinerScenario
+from repro.sim.strategies import (
+    AlwaysSplitStrategy,
+    HonestStrategy,
+    WaitAndWatchStrategy,
+)
+
+STRATEGIES = st.sampled_from([HonestStrategy(), AlwaysSplitStrategy(),
+                              WaitAndWatchStrategy()])
+
+
+@st.composite
+def configs(draw):
+    alpha = draw(st.floats(0.05, 0.3))
+    split = draw(st.floats(0.25, 0.75))
+    beta = (1 - alpha) * split
+    return AttackConfig(alpha=alpha, beta=beta, gamma=1 - alpha - beta,
+                        ad=draw(st.integers(2, 6)),
+                        setting=draw(st.sampled_from([1, 2])),
+                        include_wait=True,
+                        gate_window=draw(st.integers(2, 20)))
+
+
+@given(configs(), STRATEGIES, st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_block_conservation(config, strategy, seed):
+    """Every mined block is locked or orphaned exactly once, except the
+    blocks of an unresolved in-flight fork."""
+    scenario = ThreeMinerScenario(config, strategy,
+                                  rng=np.random.default_rng(seed))
+    result = scenario.run(600)
+    acc = result.accounting
+    settled = acc.alice + acc.others + acc.alice_orphans \
+        + acc.others_orphans
+    pending = 0
+    if scenario.fork is not None:
+        pending = scenario.fork.l1 + scenario.fork.l2
+    assert settled + pending == 600
+    assert result.tree_size == 601  # genesis + blocks
+
+
+@given(configs(), STRATEGIES, st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_views_track_fork_state(config, strategy, seed):
+    """The per-step substrate assertions never fire (the tracker and
+    the real node views stay consistent) -- running is the test."""
+    scenario = ThreeMinerScenario(config, strategy,
+                                  rng=np.random.default_rng(seed))
+    scenario.run(400)
+
+
+@given(configs(), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_honest_strategy_never_orphans(config, seed):
+    scenario = ThreeMinerScenario(config, HonestStrategy(),
+                                  rng=np.random.default_rng(seed))
+    result = scenario.run(500)
+    assert result.accounting.races == 0
+    assert result.accounting.alice_orphans == 0
+    assert result.accounting.others_orphans == 0
+
+
+@given(configs(), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_ds_income_only_with_long_races(config, seed):
+    scenario = ThreeMinerScenario(config, AlwaysSplitStrategy(),
+                                  rng=np.random.default_rng(seed))
+    result = scenario.run(800)
+    acc = result.accounting
+    long_races = sum(count for length, count in acc.race_lengths.items()
+                     if length >= config.confirmations)
+    if acc.ds > 0:
+        assert long_races > 0
+    if long_races == 0:
+        assert acc.ds == 0

@@ -1,0 +1,38 @@
+"""Cross-validation: the substrate simulator reproduces the exact MDP
+utilities in setting 1 (the layers share no code path for dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_against_sim
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+
+
+@pytest.mark.slow
+def test_absolute_reward_agreement():
+    config = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    report = validate_against_sim(config, IncentiveModel.NONCOMPLIANT_PROFIT,
+                                  steps=80_000,
+                                  rng=np.random.default_rng(42))
+    assert report.utility_error < 0.02
+    assert report.max_rate_error() < 0.01
+
+
+@pytest.mark.slow
+def test_relative_revenue_agreement():
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1)
+    report = validate_against_sim(config, IncentiveModel.COMPLIANT_PROFIT,
+                                  steps=80_000,
+                                  rng=np.random.default_rng(43))
+    assert report.analysis.utility == pytest.approx(0.2739, abs=5e-4)
+    assert report.utility_error < 0.01
+
+
+@pytest.mark.slow
+def test_orphan_rate_agreement():
+    config = AttackConfig.from_ratio(0.05, (2, 3), setting=1)
+    report = validate_against_sim(config, IncentiveModel.NON_PROFIT,
+                                  steps=120_000,
+                                  rng=np.random.default_rng(44))
+    assert report.utility_error < 0.08

@@ -1,0 +1,82 @@
+"""Tests for scenario event traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ON_CHAIN_1, ON_CHAIN_2
+from repro.core.config import AttackConfig
+from repro.errors import SimulationError
+from repro.sim.scenario import ALICE, BOB, CAROL, ThreeMinerScenario
+from repro.sim.strategies import AlwaysSplitStrategy, HonestStrategy
+from repro.sim.trace import TraceRecorder
+
+
+def scenario(recorder, strategy=None, **kwargs):
+    defaults = dict(alpha=0.2, beta=0.4, gamma=0.4, ad=3, setting=1)
+    defaults.update(kwargs)
+    return ThreeMinerScenario(AttackConfig(**defaults),
+                              strategy or HonestStrategy(),
+                              observer=recorder)
+
+
+def test_scripted_events_in_order():
+    rec = TraceRecorder()
+    sc = scenario(rec)
+    sc.force_step(BOB)                  # locked
+    sc.force_step(ALICE, ON_CHAIN_2)    # split
+    sc.force_step(BOB)                  # extends chain 1 (no event)
+    sc.force_step(BOB)                  # chain 1 wins -> resolve
+    kinds = [e["kind"] for e in rec.events]
+    assert kinds == ["locked", "split", "resolve"]
+    resolve = rec.races()[0]
+    assert resolve["winner"] == "chain1"
+    assert resolve["orphaned"] == 1
+
+
+def test_chain2_resolution_recorded():
+    rec = TraceRecorder()
+    sc = scenario(rec)
+    sc.force_step(ALICE, ON_CHAIN_2)
+    sc.force_step(CAROL)
+    sc.force_step(CAROL)                # l2 = 3 = AD -> chain 2 locks
+    resolve = rec.races()[0]
+    assert resolve["winner"] == "chain2"
+    assert resolve["l2"] == 3           # the chain just reached AD
+    assert resolve["phase"] == 1
+
+
+def test_kind_filter():
+    rec = TraceRecorder(kinds=["resolve"])
+    sc = scenario(rec)
+    sc.force_step(BOB)
+    sc.force_step(ALICE, ON_CHAIN_2)
+    sc.force_step(BOB)
+    sc.force_step(BOB)
+    assert [e["kind"] for e in rec.events] == ["resolve"]
+    # Counts still see everything.
+    assert rec.counts["locked"] >= 1
+
+
+def test_ring_buffer_drops_oldest(rng):
+    rec = TraceRecorder(capacity=10)
+    sc = ThreeMinerScenario(
+        AttackConfig(alpha=0.2, beta=0.4, gamma=0.4, ad=3, setting=1),
+        AlwaysSplitStrategy(), rng=rng, observer=rec)
+    sc.run(500)
+    assert len(rec.events) == 10
+    assert rec.dropped > 0
+
+
+def test_render_readable():
+    rec = TraceRecorder()
+    rec({"kind": "split", "step": 3, "size": 4.0})
+    rec({"kind": "resolve", "step": 7, "winner": "chain1",
+         "orphaned": 2, "l1": 2, "l2": 1, "phase": 1})
+    text = rec.render()
+    assert "step    3  split" in text
+    assert "winner=chain1" in text
+
+
+def test_invalid_capacity():
+    with pytest.raises(SimulationError):
+        TraceRecorder(capacity=0)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_attack_command(capsys):
+    code = main(["attack", "--alpha", "0.25", "--ratio", "2:3",
+                 "--model", "relative"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0.2739" in out
+    assert "advantage" in out
+
+
+def test_attack_orphans_model(capsys):
+    code = main(["attack", "--alpha", "0.01", "--ratio", "2:3",
+                 "--model", "orphans"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1.7746" in out
+
+
+def test_bad_ratio_reports_error(capsys):
+    code = main(["attack", "--ratio", "nonsense"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "ratio" in err
+
+
+def test_figures_command(capsys):
+    code = main(["figures"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 1" in out and "Figure 3" in out
+
+
+def test_games_command(capsys):
+    code = main(["games"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "consensus equilibria -> True" in out
+    assert "final MG 2.0 MB" in out
+
+
+def test_latency_command(capsys):
+    code = main(["latency", "--blocks", "300", "--delay", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fork rate" in out
+
+
+def test_validate_command(capsys):
+    code = main(["validate", "--alpha", "0.10", "--ratio", "1:1",
+                 "--steps", "8000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exact utility" in out
+
+
+def test_tables_command_fast(capsys):
+    code = main(["tables", "table4", "--fast"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "table4" in out
+
+
+def test_race_command(capsys):
+    code = main(["race", "--alpha", "0.10", "--ratio", "1:1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "P(chain 2 wins)" in out
+
+
+def test_race_wait_strategy(capsys):
+    code = main(["race", "--alpha", "0.01", "--ratio", "2:3",
+                 "--strategy", "wait"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1.7746" in out
+
+
+def test_deadline_command(capsys):
+    code = main(["deadline", "--horizon", "20"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "deadline efficiency" in out
+
+
+def test_report_command(capsys, tmp_path):
+    target = tmp_path / "r.md"
+    code = main(["report", "--fast", "--output", str(target)])
+    assert code == 0
+    assert "table2" in target.read_text()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,25 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.formatting
+import repro.chain.block
+import repro.core.double_spend
+import repro.sim.trace
+
+MODULES = [
+    repro.analysis.formatting,
+    repro.chain.block,
+    repro.core.double_spend,
+    repro.sim.trace,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0

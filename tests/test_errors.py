@@ -1,0 +1,28 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError)
+
+
+def test_subsystem_bases():
+    assert issubclass(errors.UnknownBlockError, errors.ChainError)
+    assert issubclass(errors.DuplicateBlockError, errors.ChainError)
+    assert issubclass(errors.InvalidTransitionError, errors.MDPError)
+    assert issubclass(errors.SolverError, errors.MDPError)
+    assert issubclass(errors.InvalidPowerVectorError, errors.GameError)
+
+
+def test_catch_all_surface():
+    """One except clause covers any library failure."""
+    with pytest.raises(errors.ReproError):
+        raise errors.SimulationError("boom")
+    with pytest.raises(errors.ReproError):
+        raise errors.NoActionError("boom")
