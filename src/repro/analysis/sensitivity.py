@@ -72,14 +72,23 @@ class DSSensitivity:
 
 def ds_sensitivity(base: AttackConfig,
                    confirmations: Sequence[int] = (3, 4, 5, 6),
-                   rds_values: Sequence[float] = (5.0, 10.0, 20.0)
-                   ) -> DSSensitivity:
-    """Solve u_A2 over the (confirmations, R_DS) grid."""
+                   rds_values: Sequence[float] = (5.0, 10.0, 20.0),
+                   runner=None) -> DSSensitivity:
+    """Solve u_A2 over the (confirmations, R_DS) grid.
+
+    ``runner`` optionally checkpoints each grid point through a
+    :class:`repro.runtime.sweeprunner.SweepRunner` journal so an
+    interrupted grid resumes where it stopped.
+    """
     if not confirmations or not rds_values:
         raise ReproError("grids must be non-empty")
     values: Dict[Tuple[int, float], float] = {}
     for conf in confirmations:
         for rds in rds_values:
             config = replace(base, confirmations=conf, rds=rds)
-            values[(conf, rds)] = solve_absolute_reward(config).utility
+            solve = lambda: solve_absolute_reward(config).utility  # noqa: E731
+            if runner is None:
+                values[(conf, rds)] = solve()
+            else:
+                values[(conf, rds)] = runner.cell([conf, rds], solve)
     return DSSensitivity(base=base, values=values)

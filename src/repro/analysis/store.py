@@ -5,6 +5,13 @@ Setting-2 solves take seconds to minutes; this module saves
 rates, and the full policy keyed by state tuples) and
 :class:`repro.analysis.tables.TableResult` grids so sweeps can resume
 and reports can be regenerated without re-solving.
+
+All writes go through :func:`repro.runtime.journal.atomic_write_text`
+(temp file + ``os.replace``), so a crash mid-write can never leave a
+truncated JSON file behind.  The payload encode/decode pair
+(:func:`analysis_to_payload` / :func:`analysis_from_payload`) is also
+what the checkpoint journal stores per sweep cell, which is why a
+resumed sweep reproduces an uninterrupted one byte for byte.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import AttackAnalysis
 from repro.errors import ReproError
+from repro.runtime.journal import atomic_write_text
 
 PathLike = Union[str, Path]
 
@@ -34,9 +42,9 @@ def _text_to_state(text: str):
     return tuple(json.loads(text))
 
 
-def save_analysis(analysis: AttackAnalysis, path: PathLike) -> None:
-    """Persist a solved analysis (config, utility, rates, policy)."""
-    payload = {
+def analysis_to_payload(analysis: AttackAnalysis) -> Dict:
+    """Encode a solved analysis as a JSON-compatible payload."""
+    return {
         "schema": SCHEMA_VERSION,
         "kind": "attack-analysis",
         "config": dataclasses.asdict(analysis.config),
@@ -47,7 +55,43 @@ def save_analysis(analysis: AttackAnalysis, path: PathLike) -> None:
         "policy": {_state_to_text(k): v
                    for k, v in analysis.policy.as_dict().items()},
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def _decode_payload(payload: Dict, source: str = "payload") -> Dict:
+    if payload.get("kind") != "attack-analysis":
+        raise ReproError(f"{source} does not contain an attack analysis")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ReproError(f"unsupported schema {payload.get('schema')}")
+    decoded = dict(payload)
+    decoded["policy"] = {_text_to_state(k): v
+                         for k, v in payload["policy"].items()}
+    decoded["config"] = AttackConfig(**payload["config"])
+    decoded["model"] = IncentiveModel(payload["model"])
+    return decoded
+
+
+def analysis_from_payload(payload: Dict) -> AttackAnalysis:
+    """Rebuild a full :class:`AttackAnalysis` (live policy included)
+    from a payload produced by :func:`analysis_to_payload`.
+
+    Rebuilding the MDP from the stored config is much cheaper than
+    re-solving it, which is what makes journal-restored sweep cells
+    fast.
+    """
+    summary = _decode_payload(payload)
+    policy = policy_from_summary(summary)
+    return AttackAnalysis(config=summary["config"],
+                          model=summary["model"],
+                          utility=summary["utility"],
+                          honest_utility=summary["honest_utility"],
+                          policy=policy,
+                          rates=dict(summary["rates"]))
+
+
+def save_analysis(analysis: AttackAnalysis, path: PathLike) -> None:
+    """Persist a solved analysis (config, utility, rates, policy)."""
+    payload = analysis_to_payload(analysis)
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_analysis_summary(path: PathLike) -> Dict:
@@ -59,15 +103,7 @@ def load_analysis_summary(path: PathLike) -> Dict:
     match actions by state key (see :func:`policy_from_summary`).
     """
     payload = json.loads(Path(path).read_text())
-    if payload.get("kind") != "attack-analysis":
-        raise ReproError(f"{path} does not contain an attack analysis")
-    if payload.get("schema") != SCHEMA_VERSION:
-        raise ReproError(f"unsupported schema {payload.get('schema')}")
-    payload["policy"] = {_text_to_state(k): v
-                         for k, v in payload["policy"].items()}
-    payload["config"] = AttackConfig(**payload["config"])
-    payload["model"] = IncentiveModel(payload["model"])
-    return payload
+    return _decode_payload(payload, source=str(path))
 
 
 def policy_from_summary(summary: Dict):
@@ -102,7 +138,7 @@ def save_table(result: TableResult, path: PathLike) -> None:
         "cells": [[list(k), v] for k, v in result.cells.items()],
         "paper": [[list(k), v] for k, v in result.paper.items()],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_table(path: PathLike) -> TableResult:

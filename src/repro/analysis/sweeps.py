@@ -46,12 +46,15 @@ class SweepResult:
 
 def sweep_attack(base: AttackConfig, parameter: str, values: Iterable,
                  model: IncentiveModel,
-                 transform: Callable[[AttackConfig], AttackConfig] = None
-                 ) -> SweepResult:
+                 transform: Callable[[AttackConfig], AttackConfig] = None,
+                 runner=None) -> SweepResult:
     """Solve ``model`` for ``base`` with ``parameter`` set to each value.
 
     ``transform`` optionally post-processes each config (e.g. to keep
-    power shares normalized when sweeping ``alpha``).
+    power shares normalized when sweeping ``alpha``).  ``runner`` is an
+    optional :class:`repro.runtime.sweeprunner.SweepRunner`; with a
+    journal attached, completed values survive a crash and are restored
+    (full analysis, policy included) instead of re-solved.
     """
     values = list(values)
     if not values:
@@ -63,7 +66,18 @@ def sweep_attack(base: AttackConfig, parameter: str, values: Iterable,
         config = replace(base, **{parameter: value})
         if transform is not None:
             config = transform(config)
-        analyses.append(analyze(config, model))
+        if runner is None:
+            analyses.append(analyze(config, model))
+        else:
+            from repro.analysis.store import (
+                analysis_from_payload,
+                analysis_to_payload,
+            )
+            analyses.append(runner.cell(
+                [parameter, value],
+                lambda: analyze(config, model),
+                encode=analysis_to_payload,
+                decode=analysis_from_payload))
     return SweepResult(parameter=parameter, values=values,
                        analyses=analyses)
 

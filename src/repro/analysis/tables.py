@@ -168,12 +168,32 @@ def _progress(progress: ProgressFn, message: str) -> None:
         progress(message)
 
 
+def _cell(runner, key, solve: Callable[[], float]) -> float:
+    """Solve one table cell, through the checkpoint runner when given.
+
+    ``runner`` is a :class:`repro.runtime.sweeprunner.SweepRunner`
+    (or ``None``); cells already present in its journal are restored
+    without re-solving, which is what makes a killed table run
+    resumable.
+    """
+    if runner is None:
+        return solve()
+    return runner.cell(list(key), solve)
+
+
 def table2(setting: int = 1,
            alphas: Iterable[float] = TABLE2_ALPHAS,
            ratios: Iterable[Ratio] = TABLE2_RATIOS,
-           progress: ProgressFn = None) -> TableResult:
+           progress: ProgressFn = None,
+           runner=None, supervisor=None) -> TableResult:
     """Regenerate Table 2 (relative revenue of a compliant and
-    profit-driven Alice) for one setting."""
+    profit-driven Alice) for one setting.
+
+    ``runner`` enables checkpoint/resume via a
+    :class:`repro.runtime.sweeprunner.SweepRunner`; ``supervisor``
+    runs each solve under a
+    :class:`repro.runtime.supervisor.SolverSupervisor`.
+    """
     alphas, ratios = list(alphas), list(ratios)
     paper = PAPER_TABLE2 if setting == 1 else PAPER_TABLE2_SET2
     result = TableResult(name=f"table2-setting{setting}",
@@ -184,20 +204,22 @@ def table2(setting: int = 1,
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
-            analysis = solve_relative_revenue(config)
             key = (f"{ratio[0]}:{ratio[1]}", f"{alpha:.0%}")
-            result.cells[key] = analysis.utility
+            value = _cell(runner, key,
+                          lambda: solve_relative_revenue(
+                              config, supervisor=supervisor).utility)
+            result.cells[key] = value
             if (ratio, alpha) in paper:
                 result.paper[key] = paper[(ratio, alpha)]
-            _progress(progress, f"table2 s{setting} {key}: "
-                                f"{analysis.utility:.4f}")
+            _progress(progress, f"table2 s{setting} {key}: {value:.4f}")
     return result
 
 
 def table3(setting: int = 1,
            alphas: Iterable[float] = TABLE3_ALPHAS,
            ratios: Iterable[Ratio] = TABLE3_RATIOS,
-           progress: ProgressFn = None) -> TableResult:
+           progress: ProgressFn = None,
+           runner=None, supervisor=None) -> TableResult:
     """Regenerate Table 3's BU block (absolute reward of a
     non-compliant, profit-driven Alice) for one setting."""
     alphas, ratios = list(alphas), list(ratios)
@@ -210,20 +232,22 @@ def table3(setting: int = 1,
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
-            analysis = solve_absolute_reward(config)
             key = (f"{alpha:.4g}", f"{ratio[0]}:{ratio[1]}")
-            result.cells[key] = analysis.utility
+            value = _cell(runner, key,
+                          lambda: solve_absolute_reward(
+                              config, supervisor=supervisor).utility)
+            result.cells[key] = value
             if (ratio, alpha) in paper:
                 result.paper[key] = paper[(ratio, alpha)]
-            _progress(progress, f"table3 s{setting} {key}: "
-                                f"{analysis.utility:.4f}")
+            _progress(progress, f"table3 s{setting} {key}: {value:.4f}")
     return result
 
 
 def table3_bitcoin(ties: Iterable[float] = (0.5, 1.0),
                    alphas: Iterable[float] = (0.10, 0.15, 0.20, 0.25),
                    max_len: int = 24,
-                   progress: ProgressFn = None) -> TableResult:
+                   progress: ProgressFn = None,
+                   runner=None) -> TableResult:
     """Regenerate Table 3's Bitcoin block (selfish mining combined with
     double-spending)."""
     ties, alphas = list(ties), list(alphas)
@@ -232,21 +256,22 @@ def table3_bitcoin(ties: Iterable[float] = (0.5, 1.0),
                          col_labels=[f"{a:.0%}" for a in alphas])
     for tie in ties:
         for alpha in alphas:
-            solved = solve_selfish_mining_double_spend(alpha, tie,
-                                                       max_len=max_len)
             key = (f"tie={tie:.0%}", f"{alpha:.0%}")
-            result.cells[key] = solved.absolute_reward
+            value = _cell(runner, key,
+                          lambda: solve_selfish_mining_double_spend(
+                              alpha, tie, max_len=max_len).absolute_reward)
+            result.cells[key] = value
             if (tie, alpha) in PAPER_TABLE3_BITCOIN:
                 result.paper[key] = PAPER_TABLE3_BITCOIN[(tie, alpha)]
-            _progress(progress, f"table3 bitcoin {key}: "
-                                f"{solved.absolute_reward:.4f}")
+            _progress(progress, f"table3 bitcoin {key}: {value:.4f}")
     return result
 
 
 def table4(alpha: float = 0.01,
            ratios: Iterable[Ratio] = TABLE4_RATIOS,
            settings: Iterable[int] = (1, 2),
-           progress: ProgressFn = None) -> TableResult:
+           progress: ProgressFn = None,
+           runner=None, supervisor=None) -> TableResult:
     """Regenerate Table 4 (others' blocks orphaned per Alice block,
     non-profit-driven Alice)."""
     ratios, settings = list(ratios), list(settings)
@@ -258,35 +283,71 @@ def table4(alpha: float = 0.01,
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
-            analysis = solve_orphan_rate(config)
             key = (f"{ratio[0]}:{ratio[1]}", f"setting{setting}")
-            result.cells[key] = analysis.utility
+            value = _cell(runner, key,
+                          lambda: solve_orphan_rate(
+                              config, supervisor=supervisor).utility)
+            result.cells[key] = value
             if (ratio, setting) in PAPER_TABLE4:
                 result.paper[key] = PAPER_TABLE4[(ratio, setting)]
-            _progress(progress, f"table4 {key}: {analysis.utility:.4f}")
+            _progress(progress, f"table4 {key}: {value:.4f}")
     return result
 
 
+def _make_runner(journal_dir, sweep: str):
+    """Build a journal-backed runner for one table, or ``None``."""
+    if journal_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.runtime.journal import Journal
+    from repro.runtime.sweeprunner import SweepRunner
+
+    directory = Path(journal_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = Journal(directory / f"{sweep}.journal", sweep=sweep)
+    return SweepRunner(journal=journal)
+
+
 def _main(argv: List[str]) -> int:
+    argv = list(argv)
+    journal_dir = None
+    if "--journal" in argv:
+        at = argv.index("--journal")
+        try:
+            journal_dir = argv[at + 1]
+        except IndexError:
+            print("--journal requires a directory argument")
+            return 2
+        del argv[at:at + 2]
     which = argv[0] if argv else "all"
     fast = "--fast" in argv
 
     def echo(msg: str) -> None:
         print(msg, file=sys.stderr)
 
+    def runner_for(sweep: str):
+        return _make_runner(journal_dir, sweep)
+
     outputs: List[TableResult] = []
     if which in ("table2", "all"):
-        outputs.append(table2(setting=1, progress=echo))
+        outputs.append(table2(setting=1, progress=echo,
+                              runner=runner_for("table2-setting1")))
         outputs.append(table2(setting=2, alphas=(0.25,), ratios=TABLE2_RATIOS[:4],
-                              progress=echo))
+                              progress=echo,
+                              runner=runner_for("table2-setting2")))
     if which in ("table3", "all"):
         alphas = (0.01, 0.10) if fast else TABLE3_ALPHAS
-        outputs.append(table3(setting=1, alphas=alphas, progress=echo))
-        outputs.append(table3(setting=2, alphas=alphas, progress=echo))
-        outputs.append(table3_bitcoin(progress=echo))
+        outputs.append(table3(setting=1, alphas=alphas, progress=echo,
+                              runner=runner_for("table3-setting1")))
+        outputs.append(table3(setting=2, alphas=alphas, progress=echo,
+                              runner=runner_for("table3-setting2")))
+        outputs.append(table3_bitcoin(progress=echo,
+                                      runner=runner_for("table3-bitcoin")))
     if which in ("table4", "all"):
         settings = (1,) if fast else (1, 2)
-        outputs.append(table4(settings=settings, progress=echo))
+        outputs.append(table4(settings=settings, progress=echo,
+                              runner=runner_for("table4-alpha1%")))
     if not outputs:
         print(f"unknown table {which!r}; use table2|table3|table4|all")
         return 2

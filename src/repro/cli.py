@@ -11,6 +11,7 @@ Commands
 ``race``      per-race statistics of one fork (absorbing-chain exact)
 ``deadline``  price a time-limited attack (finite horizon)
 ``report``    regenerate the paper-vs-measured markdown comparison
+``chaos``     run the network simulation under an injected fault plan
 """
 
 from __future__ import annotations
@@ -46,7 +47,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
     config = AttackConfig.from_ratio(args.alpha, _parse_ratio(args.ratio),
                                      setting=args.setting, ad=args.ad)
     model = _MODELS[args.model]
-    analysis = analyze(config, model)
+    if args.timeout is not None:
+        from repro.runtime import Budget, SolverSupervisor
+        supervisor = SolverSupervisor(budget=Budget(wall_clock=args.timeout))
+        analysis = supervisor.analyze(config, model)
+    else:
+        analysis = analyze(config, model)
     print(f"model: {model.value}")
     print(f"alpha={config.alpha:.4f} beta={config.beta:.4f} "
           f"gamma={config.gamma:.4f} AD={config.ad} "
@@ -64,6 +70,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
     argv = [args.which]
     if args.fast:
         argv.append("--fast")
+    if args.journal is not None:
+        argv.extend(["--journal", args.journal])
     return tables._main(argv)
 
 
@@ -157,6 +165,33 @@ def cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.protocol.params import BUParams
+    from repro.runtime import FaultPlan
+    from repro.sim.network import NetworkMiner, NetworkSimulation
+    plan = FaultPlan(loss_rate=args.loss, delay_rate=args.delay,
+                     max_delay=args.max_delay, duplicate_rate=args.duplicate,
+                     crash_rate=args.crash, recovery_rate=args.recovery,
+                     seed=args.seed)
+    miners = [NetworkMiner(f"m{i}", 1.0 / args.miners,
+                           BUParams(mg=1.0, eb=1.0, ad=6))
+              for i in range(args.miners)]
+    sim = NetworkSimulation(miners, rng=np.random.default_rng(args.seed),
+                            faults=plan)
+    result = sim.run(args.steps)
+    sim.check_invariants()
+    stats = result.fault_stats
+    print(f"steps: {args.steps}, blocks mined: {result.blocks_mined}, "
+          f"consensus height: {result.consensus_height}, "
+          f"orphans: {result.orphans}")
+    print(f"disagreement fraction: {result.disagreement_fraction:.4f}")
+    print(f"faults injected: lost={stats.lost} delayed={stats.delayed} "
+          f"duplicated={stats.duplicated} withheld={stats.withheld} "
+          f"crashes={stats.crashes} mining_skipped={stats.mining_skipped}")
+    print("invariants: ok")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import main as report_main
     argv = []
@@ -181,12 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--ad", type=int, default=6)
     attack.add_argument("--model", choices=sorted(_MODELS),
                         default="relative")
+    attack.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget in seconds (supervised "
+                             "solve with fallback chain)")
     attack.set_defaults(func=cmd_attack)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("which", nargs="?", default="all",
                         choices=("table2", "table3", "table4", "all"))
     tables.add_argument("--fast", action="store_true")
+    tables.add_argument("--journal", default=None, metavar="DIR",
+                        help="checkpoint directory; an interrupted run "
+                             "resumes from it without re-solving")
     tables.set_defaults(func=cmd_tables)
 
     figures = sub.add_parser("figures", help="replay Figures 1-3")
@@ -234,6 +275,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--fast", action="store_true")
     report.add_argument("--output", default="-")
     report.set_defaults(func=cmd_report)
+
+    chaos = sub.add_parser("chaos",
+                           help="fault-injected network simulation")
+    chaos.add_argument("--miners", type=int, default=4)
+    chaos.add_argument("--steps", type=int, default=5000)
+    chaos.add_argument("--loss", type=float, default=0.05)
+    chaos.add_argument("--delay", type=float, default=0.10)
+    chaos.add_argument("--max-delay", type=int, default=3)
+    chaos.add_argument("--duplicate", type=float, default=0.05)
+    chaos.add_argument("--crash", type=float, default=0.01)
+    chaos.add_argument("--recovery", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -84,11 +84,21 @@ def _prepare(config: AttackConfig, model: IncentiveModel,
 
 def solve_relative_revenue(config: AttackConfig,
                            mdp: Optional[MDP] = None,
-                           tol: float = 1e-7) -> AttackAnalysis:
-    """Maximize Alice's relative revenue u_A1 (Eq. 1)."""
+                           tol: float = 1e-7,
+                           supervisor=None) -> AttackAnalysis:
+    """Maximize Alice's relative revenue u_A1 (Eq. 1).
+
+    ``supervisor`` optionally routes the solve through a
+    :class:`repro.runtime.supervisor.SolverSupervisor` (budgets,
+    validation and the fallback chain).
+    """
     config, mdp = _prepare(config, IncentiveModel.COMPLIANT_PROFIT, mdp)
     num, den = IncentiveModel.COMPLIANT_PROFIT.utility_channels()
-    solution = maximize_ratio(mdp, num, den, lo=0.0, hi=1.0, tol=tol)
+    if supervisor is not None:
+        solution = supervisor.solve_ratio(mdp, num, den, lo=0.0, hi=1.0,
+                                          tol=tol)
+    else:
+        solution = maximize_ratio(mdp, num, den, lo=0.0, hi=1.0, tol=tol)
     policy = Policy(mdp, solution.policy)
     rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
@@ -99,7 +109,8 @@ def solve_relative_revenue(config: AttackConfig,
 
 
 def solve_absolute_reward(config: AttackConfig,
-                          mdp: Optional[MDP] = None) -> AttackAnalysis:
+                          mdp: Optional[MDP] = None,
+                          supervisor=None) -> AttackAnalysis:
     """Maximize Alice's absolute per-block reward u_A2 (Eq. 2).
 
     Each MDP step mines exactly one block, so ``t`` in Eq. 2 equals the
@@ -107,7 +118,11 @@ def solve_absolute_reward(config: AttackConfig,
     """
     config, mdp = _prepare(config, IncentiveModel.NONCOMPLIANT_PROFIT, mdp)
     num, _den = IncentiveModel.NONCOMPLIANT_PROFIT.utility_channels()
-    solution = policy_iteration(mdp, mdp.combined_reward(dict(num)))
+    if supervisor is not None:
+        solution = supervisor.solve_average(
+            mdp, mdp.combined_reward(dict(num)))
+    else:
+        solution = policy_iteration(mdp, mdp.combined_reward(dict(num)))
     policy = Policy(mdp, solution.policy)
     rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
@@ -119,12 +134,17 @@ def solve_absolute_reward(config: AttackConfig,
 
 def solve_orphan_rate(config: AttackConfig,
                       mdp: Optional[MDP] = None,
-                      tol: float = 1e-6) -> AttackAnalysis:
+                      tol: float = 1e-6,
+                      supervisor=None) -> AttackAnalysis:
     """Maximize others' blocks orphaned per Alice block, u_A3 (Eq. 3)."""
     config, mdp = _prepare(config, IncentiveModel.NON_PROFIT, mdp)
     num, den = IncentiveModel.NON_PROFIT.utility_channels()
-    solution = maximize_ratio(mdp, num, den, lo=0.0, hi=float(config.ad),
-                              tol=tol)
+    if supervisor is not None:
+        solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
+                                          hi=float(config.ad), tol=tol)
+    else:
+        solution = maximize_ratio(mdp, num, den, lo=0.0,
+                                  hi=float(config.ad), tol=tol)
     policy = Policy(mdp, solution.policy)
     rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config, model=IncentiveModel.NON_PROFIT,
@@ -134,14 +154,19 @@ def solve_orphan_rate(config: AttackConfig,
 
 
 def analyze(config: AttackConfig, model: IncentiveModel,
-            mdp: Optional[MDP] = None) -> AttackAnalysis:
-    """Dispatch to the solver matching ``model``."""
+            mdp: Optional[MDP] = None, supervisor=None) -> AttackAnalysis:
+    """Dispatch to the solver matching ``model``.
+
+    Passing a :class:`repro.runtime.supervisor.SolverSupervisor` as
+    ``supervisor`` runs the solve under budgets, input/output
+    validation and the fallback chain.
+    """
     if model is IncentiveModel.COMPLIANT_PROFIT:
-        return solve_relative_revenue(config, mdp)
+        return solve_relative_revenue(config, mdp, supervisor=supervisor)
     if model is IncentiveModel.NONCOMPLIANT_PROFIT:
-        return solve_absolute_reward(config, mdp)
+        return solve_absolute_reward(config, mdp, supervisor=supervisor)
     if model is IncentiveModel.NON_PROFIT:
-        return solve_orphan_rate(config, mdp)
+        return solve_orphan_rate(config, mdp, supervisor=supervisor)
     raise ReproError(f"unknown incentive model {model!r}")
 
 

@@ -50,6 +50,31 @@ class SolverError(MDPError):
     """An MDP solver failed to converge or hit a numerical problem."""
 
 
+class SolverInputError(SolverError):
+    """A solver was called with malformed inputs (non-positive
+    tolerance, empty channel mappings, invalid bracket, ...)."""
+
+
+class SolverDivergedError(SolverError):
+    """A solver produced non-finite intermediate or final values (NaN
+    or infinite gains/ratios) instead of a usable solution."""
+
+
+class SolverBudgetExceededError(SolverError):
+    """A supervised solve exhausted its wall-clock or iteration budget
+    before converging."""
+
+
+class FallbackExhaustedError(SolverError):
+    """Every stage of a solver fallback chain failed; carries the
+    per-stage diagnostics in :attr:`diagnostics`."""
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        #: Sequence of ``StageDiagnostics`` describing each attempt.
+        self.diagnostics = list(diagnostics)
+
+
 class GameError(ReproError):
     """Base class for game-theoretic module errors."""
 
@@ -60,3 +85,13 @@ class InvalidPowerVectorError(GameError):
 
 class SimulationError(ReproError):
     """The Monte-Carlo simulator hit an inconsistent state."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault-injection plan is malformed (rates outside [0, 1],
+    inverted windows, unknown node names)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is corrupt or belongs to a different sweep
+    or schema version."""

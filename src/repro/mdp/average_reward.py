@@ -13,6 +13,8 @@ handful of iterations.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 import numpy as np
 
 from repro.errors import SolverError
@@ -23,7 +25,9 @@ from repro.mdp.policy_iteration import AverageRewardSolution
 def relative_value_iteration(mdp: MDP, reward: np.ndarray,
                              epsilon: float = 1e-9,
                              max_iter: int = 500_000,
-                             tau: float = 0.9) -> AverageRewardSolution:
+                             tau: float = 0.9,
+                             on_iter: Optional[Callable[[int], None]] = None
+                             ) -> AverageRewardSolution:
     """Solve an average-reward MDP by relative value iteration.
 
     Parameters
@@ -37,6 +41,8 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
         Damping factor of the aperiodicity transformation:
         ``h' = (1 - tau) * h + tau * T(h)``.  The transformed problem
         has gain ``tau * g``; the returned gain is rescaled.
+    on_iter:
+        Optional per-sweep hook for budget supervision.
     """
     if not 0 < tau <= 1:
         raise SolverError("tau must lie in (0, 1]")
@@ -44,6 +50,8 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
     h = np.zeros(mdp.n_states)
     ref = mdp.start
     for it in range(1, max_iter + 1):
+        if on_iter is not None:
+            on_iter(it)
         q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
         for a in range(mdp.n_actions):
             q[a] = reward[a] + mdp.transition[a].dot(h)

@@ -15,7 +15,7 @@ favour of the incumbent action, which guarantees termination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -92,8 +92,15 @@ def _default_policy(mdp: MDP) -> np.ndarray:
 
 def policy_iteration(mdp: MDP, reward: np.ndarray,
                      initial_policy: Optional[np.ndarray] = None,
-                     max_iter: int = 1000) -> AverageRewardSolution:
-    """Solve an average-reward MDP exactly by Howard policy iteration."""
+                     max_iter: int = 1000,
+                     on_iter: Optional[Callable[[int], None]] = None
+                     ) -> AverageRewardSolution:
+    """Solve an average-reward MDP exactly by Howard policy iteration.
+
+    ``on_iter`` (if given) is called with the iteration number before
+    each evaluation/improvement round; a budget supervisor can raise
+    from it to abort a runaway solve (see :mod:`repro.runtime.budget`).
+    """
     reward = np.asarray(reward, dtype=float)
     if initial_policy is None:
         policy = _default_policy(mdp)
@@ -103,6 +110,8 @@ def policy_iteration(mdp: MDP, reward: np.ndarray,
             raise SolverError("initial policy selects unavailable actions")
     states = np.arange(mdp.n_states)
     for it in range(1, max_iter + 1):
+        if on_iter is not None:
+            on_iter(it)
         gain, bias = evaluate_policy(mdp, policy, reward)
         q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
         for a in range(mdp.n_actions):

@@ -20,18 +20,24 @@ Two methods are provided:
   wait" policy of the non-profit-driven model, for which
   ``f(rho) = 0`` for all ``rho`` beyond the optimum); there the answer
   is the threshold ``sup { rho : f(rho) > 0 }``.
+
+With ``strict=True`` the Dinkelbach method raises a typed
+:class:`~repro.errors.SolverError` on degeneracy or iteration
+exhaustion instead of silently switching method -- this is what the
+:class:`repro.runtime.supervisor.SolverSupervisor` fallback chain uses
+to make each recovery step explicit and diagnosable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import SolverDivergedError, SolverError, SolverInputError
 from repro.mdp.model import MDP
-from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
 from repro.mdp.stationary import policy_gains
 
 #: A gain below this counts as "zero" when testing profitability of the
@@ -40,6 +46,11 @@ GAIN_TOL = 1e-10
 
 #: Denominator rates below this abort Dinkelbach in favour of bisection.
 DEN_FLOOR = 1e-9
+
+#: An average-reward solver usable by :func:`maximize_ratio`: takes the
+#: MDP, a precombined reward array and an optional warm-start policy.
+AverageRewardSolver = Callable[[MDP, np.ndarray, Optional[np.ndarray]],
+                               AverageRewardSolution]
 
 
 @dataclass
@@ -69,12 +80,24 @@ class RatioSolution:
     method: str
 
 
+def _default_solver(mdp: MDP, reward: np.ndarray,
+                    initial_policy: Optional[np.ndarray]
+                    ) -> AverageRewardSolution:
+    return policy_iteration(mdp, reward, initial_policy=initial_policy)
+
+
 def _channel_gains(mdp: MDP, policy: np.ndarray,
                    num: Mapping[str, float],
-                   den: Mapping[str, float]) -> tuple:
+                   den: Mapping[str, float],
+                   rho: Optional[float] = None) -> tuple:
     gains = policy_gains(mdp, policy, set(num) | set(den))
     g_num = sum(w * gains[c] for c, w in num.items())
     g_den = sum(w * gains[c] for c, w in den.items())
+    if not (np.isfinite(g_num) and np.isfinite(g_den)):
+        where = "" if rho is None else f" at rho={rho!r}"
+        raise SolverDivergedError(
+            f"non-finite channel gains{where}: "
+            f"gain_num={g_num!r}, gain_den={g_den!r}")
     return g_num, g_den
 
 
@@ -86,11 +109,34 @@ def _transformed(mdp: MDP, num: Mapping[str, float],
     return mdp.combined_reward(weights)
 
 
+def _validate_inputs(num: Mapping[str, float], den: Mapping[str, float],
+                     lo: float, hi: float, tol: float, max_iter: int,
+                     method: str) -> None:
+    if not num:
+        raise SolverInputError("numerator channel mapping is empty")
+    if not den:
+        raise SolverInputError("denominator channel mapping is empty")
+    if tol <= 0:
+        raise SolverInputError(f"tol must be positive, got {tol!r}")
+    if max_iter < 1:
+        raise SolverInputError(f"max_iter must be >= 1, got {max_iter!r}")
+    if not (np.isfinite(lo) and np.isfinite(hi)):
+        raise SolverInputError(f"ratio bracket [{lo!r}, {hi!r}] must be "
+                               "finite")
+    if hi <= lo:
+        raise SolverError("ratio bracket must satisfy lo < hi")
+    if method not in ("dinkelbach", "bisection"):
+        raise SolverError(f"unknown method {method!r}")
+
+
 def maximize_ratio(mdp: MDP, num: Mapping[str, float],
                    den: Mapping[str, float], lo: float, hi: float,
                    tol: float = 1e-7, max_iter: int = 80,
                    method: str = "dinkelbach",
-                   initial_policy: Optional[np.ndarray] = None
+                   initial_policy: Optional[np.ndarray] = None,
+                   strict: bool = False,
+                   solver: Optional[AverageRewardSolver] = None,
+                   on_solve: Optional[Callable[[int], None]] = None
                    ) -> RatioSolution:
     """Maximize ``gain(num) / gain(den)`` over stationary policies.
 
@@ -107,25 +153,49 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         ``"bisection"``.
     initial_policy:
         Optional warm start.
+    strict:
+        Dinkelbach only: raise :class:`~repro.errors.SolverError`
+        when the iteration hits a zero-denominator policy or exhausts
+        ``max_iter`` instead of silently falling back to bisection.
+        Used by the supervised fallback chain, where each stage must
+        fail loudly for the next stage to be tried deliberately.
+    solver:
+        Average-reward solver for the transformed problems; defaults
+        to :func:`repro.mdp.policy_iteration.policy_iteration`.  The
+        supervised fallback chain substitutes relative value iteration
+        or the occupation-measure LP here.
+    on_solve:
+        Called with the running transformed-solve count after each
+        solve -- a budget supervisor's tick hook.
     """
-    if hi <= lo:
-        raise SolverError("ratio bracket must satisfy lo < hi")
-    if method not in ("dinkelbach", "bisection"):
-        raise SolverError(f"unknown method {method!r}")
+    _validate_inputs(num, den, lo, hi, tol, max_iter, method)
+    if solver is None:
+        solver = _default_solver
     solves = 0
     policy = initial_policy
+
+    def run_solver(reward: np.ndarray,
+                   warm: Optional[np.ndarray]) -> AverageRewardSolution:
+        nonlocal solves
+        solution = solver(mdp, reward, warm)
+        solves += 1
+        if on_solve is not None:
+            on_solve(solves)
+        return solution
 
     if method == "dinkelbach":
         rho = lo
         best: Optional[RatioSolution] = None
         for _ in range(max_iter):
-            solution = policy_iteration(
-                mdp, _transformed(mdp, num, den, rho),
-                initial_policy=policy)
-            solves += 1
+            solution = run_solver(_transformed(mdp, num, den, rho), policy)
             policy = solution.policy
-            g_num, g_den = _channel_gains(mdp, policy, num, den)
+            g_num, g_den = _channel_gains(mdp, policy, num, den, rho=rho)
             if g_den < DEN_FLOOR:
+                if strict:
+                    raise SolverError(
+                        "Dinkelbach hit a degenerate (zero-denominator) "
+                        f"policy at rho={rho!r}: gain_num={g_num!r}, "
+                        f"gain_den={g_den!r}")
                 break  # degenerate policy; fall back to bisection
             new_rho = g_num / g_den
             best = RatioSolution(value=new_rho, policy=policy,
@@ -137,8 +207,17 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
             if new_rho <= rho:  # numerical stall; answer is converged
                 return best
             rho = new_rho
-        if best is not None and solves >= max_iter:
-            return best
+        else:
+            if strict:
+                raise SolverError(
+                    f"Dinkelbach did not converge in {max_iter} "
+                    f"transformed solves (last rho={rho!r})")
+            if best is not None:
+                return best
+        if strict and best is None:
+            raise SolverError(
+                "Dinkelbach made no progress before degenerating at "
+                f"rho={rho!r}")
         # fall through to bisection
 
     # Bisection on the profitability threshold.
@@ -148,20 +227,21 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         if hi_b - lo_b <= tol:
             break
         mid = 0.5 * (lo_b + hi_b)
-        solution = policy_iteration(mdp, _transformed(mdp, num, den, mid),
-                                    initial_policy=best_policy)
-        solves += 1
+        solution = run_solver(_transformed(mdp, num, den, mid), best_policy)
         if solution.gain > GAIN_TOL:
             lo_b = mid
             best_policy = solution.policy
         else:
             hi_b = mid
     if best_policy is None:
-        solution = policy_iteration(mdp, _transformed(mdp, num, den, lo_b))
-        solves += 1
+        solution = run_solver(_transformed(mdp, num, den, lo_b), None)
         best_policy = solution.policy
-    g_num, g_den = _channel_gains(mdp, best_policy, num, den)
+    g_num, g_den = _channel_gains(mdp, best_policy, num, den, rho=lo_b)
     value = g_num / g_den if g_den > DEN_FLOOR else 0.5 * (lo_b + hi_b)
+    if not np.isfinite(value):
+        raise SolverDivergedError(
+            f"ratio bisection produced non-finite value {value!r} "
+            f"(gain_num={g_num!r}, gain_den={g_den!r})")
     return RatioSolution(value=float(value), policy=best_policy,
                          gain_num=g_num, gain_den=g_den,
                          iterations=solves, method="bisection")

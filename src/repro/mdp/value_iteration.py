@@ -8,6 +8,7 @@ criterion (see :mod:`repro.mdp.policy_iteration`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -47,12 +48,15 @@ def greedy_policy(mdp: MDP, reward: np.ndarray,
 
 def value_iteration(mdp: MDP, reward: np.ndarray, discount: float,
                     epsilon: float = 1e-8,
-                    max_iter: int = 100_000) -> DiscountedSolution:
+                    max_iter: int = 100_000,
+                    on_iter: Optional[Callable[[int], None]] = None
+                    ) -> DiscountedSolution:
     """Solve a discounted MDP by value iteration.
 
     Stops when the sup-norm update falls below
     ``epsilon * (1 - discount) / (2 * discount)`` (the standard bound
-    guaranteeing an epsilon-optimal value function).
+    guaranteeing an epsilon-optimal value function).  ``on_iter`` is
+    called once per sweep for budget supervision.
     """
     if not 0 < discount < 1:
         raise SolverError("discount must lie in (0, 1)")
@@ -60,6 +64,8 @@ def value_iteration(mdp: MDP, reward: np.ndarray, discount: float,
     values = np.zeros(mdp.n_states)
     threshold = epsilon * (1.0 - discount) / (2.0 * discount)
     for it in range(1, max_iter + 1):
+        if on_iter is not None:
+            on_iter(it)
         q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
         for a in range(mdp.n_actions):
             q[a] = reward[a] + discount * mdp.transition[a].dot(values)

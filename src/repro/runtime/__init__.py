@@ -1,0 +1,65 @@
+"""Supervised runtime for long-running computations.
+
+This package is the robustness layer between the mathematical toolkit
+and production-scale sweeps:
+
+- :mod:`repro.runtime.budget` -- wall-clock/iteration budgets enforced
+  cooperatively through the solvers' ``on_iter`` hooks;
+- :mod:`repro.runtime.fallbacks` -- declarative solver fallback chains
+  (Dinkelbach -> bisection -> value iteration -> LP) with per-stage
+  diagnostics;
+- :mod:`repro.runtime.supervisor` -- :class:`SolverSupervisor`, tying
+  budgets, input/output validation and fallback chains together;
+- :mod:`repro.runtime.journal` -- atomic file writes and the
+  append-only checkpoint journal;
+- :mod:`repro.runtime.sweeprunner` -- :class:`SweepRunner`,
+  checkpointed resumable execution of sweep cells;
+- :mod:`repro.runtime.faults` -- fault plans (loss, delay,
+  duplication, crashes, partitions) for the network simulator.
+
+See ``docs/robustness.md`` for the full design.
+"""
+
+from repro.runtime.budget import Budget, BudgetClock
+from repro.runtime.fallbacks import (
+    AVERAGE_CHAIN,
+    AverageRequest,
+    ChainResult,
+    RATIO_CHAIN,
+    RatioRequest,
+    StageDiagnostics,
+    run_chain,
+)
+from repro.runtime.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    PartitionWindow,
+)
+from repro.runtime.journal import JOURNAL_SCHEMA, Journal, atomic_write_text
+from repro.runtime.supervisor import SolverSupervisor
+from repro.runtime.sweeprunner import SweepRunner, SweepStats
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "RATIO_CHAIN",
+    "AVERAGE_CHAIN",
+    "RatioRequest",
+    "AverageRequest",
+    "ChainResult",
+    "StageDiagnostics",
+    "run_chain",
+    "SolverSupervisor",
+    "Journal",
+    "JOURNAL_SCHEMA",
+    "atomic_write_text",
+    "SweepRunner",
+    "SweepStats",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "CrashWindow",
+    "PartitionWindow",
+]

@@ -1,0 +1,243 @@
+"""Pluggable fault injection for the network simulator.
+
+The paper's threat model assumes an ideal network: every block reaches
+every node instantly and nodes never fail.  Real BU deployments do not
+enjoy that, and the simulator's role as the cross-check for every MDP
+number means we must know its metrics *degrade gracefully* -- and its
+block tree stays consistent -- when the network misbehaves.
+
+A :class:`FaultPlan` declares the misbehaviour:
+
+- **message loss**: each block announcement is independently dropped
+  with ``loss_rate``;
+- **bounded random delay**: with ``delay_rate`` an announcement is
+  deferred by 1..``max_delay`` simulation steps;
+- **duplicated announcements**: with ``duplicate_rate`` a second copy
+  of the announcement is delivered one step later (validating that
+  node views are idempotent);
+- **crashes**: nodes go down randomly (``crash_rate`` /
+  ``recovery_rate`` per step) or on a schedule
+  (:class:`CrashWindow`); a down node neither mines nor observes, and
+  on recovery optionally re-syncs every block it missed;
+- **partitions**: during a :class:`PartitionWindow`, announcements
+  crossing the group boundary are withheld until the window ends
+  (``resync=True``) or dropped (``resync=False``).
+
+The plan is interpreted by a :class:`FaultInjector`, which owns its own
+RNG (``plan.seed``) so that enabling faults never perturbs the mining
+sequence drawn from the simulation's RNG -- a fault-free plan plus any
+seed reproduces the fault-free run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+#: Rates are probabilities; windows are step intervals ``[start, stop)``.
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Scheduled downtime of one node over steps ``[start, stop)``."""
+
+    node: str
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.stop <= self.start:
+            raise FaultInjectionError(
+                f"crash window [{self.start}, {self.stop}) is invalid")
+
+    def active(self, step: int) -> bool:
+        """Whether the node is down at ``step``."""
+        return self.start <= step < self.stop
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Steps ``[start, stop)`` during which ``group`` is cut off from
+    the rest of the network (announcements cross in neither
+    direction)."""
+
+    start: int
+    stop: int
+    group: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.stop <= self.start:
+            raise FaultInjectionError(
+                f"partition window [{self.start}, {self.stop}) is invalid")
+        if not self.group:
+            raise FaultInjectionError("partition group must be non-empty")
+        object.__setattr__(self, "group", frozenset(self.group))
+
+    def active(self, step: int) -> bool:
+        """Whether the partition is in force at ``step``."""
+        return self.start <= step < self.stop
+
+    def separates(self, a: str, b: str, step: int) -> bool:
+        """Whether ``a`` and ``b`` are on opposite sides at ``step``."""
+        return self.active(step) and ((a in self.group) != (b in self.group))
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultInjectionError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of network faults for one simulation run.
+
+    All rates are per-announcement (loss, delay, duplication) or
+    per-node-step (crash, recovery) probabilities.  ``seed`` feeds the
+    injector's private RNG; two runs with the same plan and simulation
+    seed are identical.
+    """
+
+    loss_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: int = 3
+    duplicate_rate: float = 0.0
+    crash_rate: float = 0.0
+    recovery_rate: float = 0.5
+    crash_windows: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+    resync: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "delay_rate", "duplicate_rate",
+                     "crash_rate", "recovery_rate"):
+            _check_rate(name, getattr(self, name))
+        if self.delay_rate > 0 and self.max_delay < 1:
+            raise FaultInjectionError(
+                f"max_delay must be >= 1 when delay_rate > 0, "
+                f"got {self.max_delay!r}")
+        object.__setattr__(self, "crash_windows", tuple(self.crash_windows))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    def validate_nodes(self, names: Sequence[str]) -> None:
+        """Check that every node referenced by a window exists."""
+        known = set(names)
+        for window in self.crash_windows:
+            if window.node not in known:
+                raise FaultInjectionError(
+                    f"crash window references unknown node "
+                    f"{window.node!r}")
+        for window in self.partitions:
+            unknown = set(window.group) - known
+            if unknown:
+                raise FaultInjectionError(
+                    f"partition group references unknown nodes "
+                    f"{sorted(unknown)!r}")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this plan can produce any fault at all."""
+        return bool(self.loss_rate or self.delay_rate
+                    or self.duplicate_rate or self.crash_rate
+                    or self.crash_windows or self.partitions)
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults over one simulation run."""
+
+    lost: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    withheld: int = 0
+    dropped_down: int = 0
+    mining_skipped: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def total_disruptions(self) -> int:
+        """Total individual fault events injected."""
+        return (self.lost + self.delayed + self.duplicated + self.withheld
+                + self.dropped_down + self.mining_skipped + self.crashes)
+
+
+class FaultInjector:
+    """Stateful interpreter of a :class:`FaultPlan`.
+
+    Owns the crash state of every node and a private RNG; the network
+    simulation queries it per step and per announcement.
+    """
+
+    def __init__(self, plan: FaultPlan, names: Sequence[str],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        plan.validate_nodes(names)
+        self.plan = plan
+        self.names = list(names)
+        self.rng = rng if rng is not None else np.random.default_rng(
+            plan.seed)
+        self.stats = FaultStats()
+        self._random_down: Set[str] = set()
+
+    # -- crash state ---------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        """Advance random crash/recovery state to ``step``."""
+        if self.plan.recovery_rate and self._random_down:
+            recovered = {name for name in self._random_down
+                         if self.rng.random() < self.plan.recovery_rate}
+            if recovered:
+                self._random_down -= recovered
+                self.stats.recoveries += len(recovered)
+        if self.plan.crash_rate:
+            for name in self.names:
+                if name not in self._random_down and \
+                        self.rng.random() < self.plan.crash_rate:
+                    self._random_down.add(name)
+                    self.stats.crashes += 1
+
+    def is_down(self, name: str, step: int) -> bool:
+        """Whether ``name`` is crashed at ``step`` (random or
+        scheduled)."""
+        if name in self._random_down:
+            return True
+        return any(w.node == name and w.active(step)
+                   for w in self.plan.crash_windows)
+
+    # -- message routing -----------------------------------------------
+
+    def partition_release(self, origin: str, recipient: str,
+                          step: int) -> Optional[int]:
+        """If an active partition separates the pair, return the step
+        at which the message may be released (the latest separating
+        window's ``stop``); otherwise ``None``."""
+        release: Optional[int] = None
+        for window in self.plan.partitions:
+            if window.separates(origin, recipient, step):
+                release = window.stop if release is None else \
+                    max(release, window.stop)
+        return release
+
+    def message_schedule(self, step: int) -> List[int]:
+        """Due steps for one announcement sent at ``step``.
+
+        An empty list means the message is lost; two entries mean it
+        is duplicated.  Entries equal to ``step`` are delivered
+        immediately.
+        """
+        plan = self.plan
+        if plan.loss_rate and self.rng.random() < plan.loss_rate:
+            self.stats.lost += 1
+            return []
+        due = step
+        if plan.delay_rate and self.rng.random() < plan.delay_rate:
+            due = step + 1 + int(self.rng.integers(plan.max_delay))
+            self.stats.delayed += 1
+        schedule = [due]
+        if plan.duplicate_rate and self.rng.random() < plan.duplicate_rate:
+            schedule.append(due + 1)
+            self.stats.duplicated += 1
+        return schedule

@@ -1,0 +1,177 @@
+"""Crash-safe persistence primitives: atomic file writes and an
+append-only checkpoint journal.
+
+Two failure modes motivate this module:
+
+- a process killed while *rewriting* a result file must never leave a
+  truncated JSON document behind -- :func:`atomic_write_text` writes to
+  a temporary file in the same directory and ``os.replace``\\ s it over
+  the target, so readers observe either the old or the new content;
+- a process killed while *appending* to a sweep journal may leave a
+  partial final line -- :class:`Journal` tolerates exactly that (the
+  torn tail is discarded on load) while treating corruption anywhere
+  else as a hard :class:`~repro.errors.CheckpointError`.
+
+The journal is JSON-lines: a schema-versioned header record followed by
+one ``{"key": ..., "value": ...}`` record per completed sweep cell.
+Keys are canonicalized (``sort_keys``) so lookups are stable across
+runs.  See ``docs/robustness.md`` for the on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+
+#: Journal format version; bump on breaking layout changes.
+JOURNAL_SCHEMA = 1
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The text is written to a temporary file in the same directory
+    (same filesystem, so the final ``os.replace`` is atomic), flushed
+    and fsynced, then renamed over the target.  A crash at any point
+    leaves either the previous content or the new content, never a
+    truncated mix.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent,
+                                    prefix=target.name + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def canonical_key(key) -> str:
+    """Serialize a JSON-compatible key to its canonical text form."""
+    try:
+        return json.dumps(key, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"journal key {key!r} is not JSON-serializable") from exc
+
+
+class Journal:
+    """An append-only, schema-versioned checkpoint journal for sweeps.
+
+    Parameters
+    ----------
+    path:
+        Journal file location.  Created (with a header record) if
+        missing; loaded and validated if present.
+    sweep:
+        Name of the sweep this journal belongs to.  Opening an existing
+        journal with a different sweep name raises
+        :class:`~repro.errors.CheckpointError` -- resuming the wrong
+        sweep from a journal would silently mix results.
+    meta:
+        Optional JSON-compatible metadata stored in the header (e.g.
+        the parameter grid), for human inspection only.
+    """
+
+    def __init__(self, path: PathLike, sweep: str,
+                 meta: Optional[Dict] = None) -> None:
+        self.path = Path(path)
+        self.sweep = str(sweep)
+        self._records: Dict[str, object] = {}
+        if self.path.exists():
+            self._load()
+        else:
+            header = {"schema": JOURNAL_SCHEMA, "kind": "journal",
+                      "sweep": self.sweep, "meta": meta or {}}
+            atomic_write_text(self.path, json.dumps(header) + "\n")
+
+    # -- loading ------------------------------------------------------
+
+    def _load(self) -> None:
+        text = self.path.read_text()
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise CheckpointError(f"{self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{self.path} has a corrupt header") from exc
+        if not isinstance(header, dict) or header.get("kind") != "journal":
+            raise CheckpointError(f"{self.path} is not a sweep journal")
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise CheckpointError(
+                f"{self.path} uses unsupported journal schema "
+                f"{header.get('schema')!r} (expected {JOURNAL_SCHEMA})")
+        if header.get("sweep") != self.sweep:
+            raise CheckpointError(
+                f"{self.path} belongs to sweep {header.get('sweep')!r}, "
+                f"not {self.sweep!r}")
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    # Torn tail from a crash mid-append: discard.
+                    break
+                raise CheckpointError(
+                    f"{self.path}:{lineno} is corrupt (not a torn tail)")
+            if (not isinstance(record, dict) or "key" not in record
+                    or "value" not in record):
+                raise CheckpointError(
+                    f"{self.path}:{lineno} is not a cell record")
+            self._records[canonical_key(record["key"])] = record["value"]
+
+    # -- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key) -> bool:
+        return canonical_key(key) in self._records
+
+    def get(self, key):
+        """Return the recorded value for ``key``.
+
+        Raises
+        ------
+        CheckpointError
+            If the key has not been recorded.
+        """
+        text = canonical_key(key)
+        if text not in self._records:
+            raise CheckpointError(f"no journal record for key {key!r}")
+        return self._records[text]
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate ``(canonical_key, value)`` pairs in record order."""
+        return iter(self._records.items())
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, key, value) -> None:
+        """Append one completed cell (idempotent per key)."""
+        text = canonical_key(key)
+        line = json.dumps({"key": key, "value": value})
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[text] = value

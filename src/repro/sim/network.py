@@ -18,12 +18,21 @@ Metrics: per-miner blocks on the final consensus chain, orphan counts,
 and *disagreement time* -- the fraction of steps during which not all
 participants mine on the same head, the fork-frequency concern of the
 paper's critics.
+
+Passing a :class:`repro.runtime.faults.FaultPlan` replaces the ideal
+zero-delay broadcast with a faulty network: announcements can be lost,
+delayed, or duplicated, nodes can crash (skipping their mining slots
+and missing announcements) and partitions can cut groups off.  The
+shared :class:`BlockTree` still records every mined block -- faults act
+purely on *delivery to views* -- which keeps the structural invariants
+of :meth:`NetworkSimulation.check_invariants` exact under any fault
+schedule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +41,7 @@ from repro.chain.tree import BlockTree
 from repro.errors import SimulationError
 from repro.protocol.node import NodeView
 from repro.protocol.params import BUParams, MESSAGE_LIMIT_MB
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultStats
 
 
 @dataclass(frozen=True)
@@ -114,6 +124,9 @@ class NetworkResult:
         Consensus-chain blocks larger than the smallest signaled EB --
         the "embed giant blocks through open sticky gates" damage of
         Section 4.1.1's phase 3.
+    fault_stats:
+        Injected-fault counters when the run had a fault plan, else
+        ``None``.
     """
 
     blocks_mined: int
@@ -123,6 +136,7 @@ class NetworkResult:
     disagreement_fraction: float
     attacker_orphan_ratio: float
     giant_blocks_on_chain: int
+    fault_stats: Optional[FaultStats] = None
 
 
 ATTACKER = "attacker"
@@ -135,7 +149,8 @@ class NetworkSimulation:
                  attacker: Optional[Attacker] = None,
                  attacker_power: float = 0.0,
                  sticky: bool = True,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         if not miners:
             raise SimulationError("need at least one compliant miner")
         if attacker is None and attacker_power > 0:
@@ -153,6 +168,10 @@ class NetworkSimulation:
         total = sum(m.power for m in miners) + attacker_power
         if total <= 0:
             raise SimulationError("total mining power must be positive")
+        if total > 1.0 + 1e-9:
+            raise SimulationError(
+                f"mining powers sum to {total:.6g} > 1 (attacker share "
+                f"included); power shares must form a distribution")
         self._weights = np.array(
             [m.power / total for m in miners] + (
                 [attacker_power / total] if attacker else []))
@@ -166,6 +185,12 @@ class NetworkSimulation:
         self._mined[ATTACKER] = 0
         self._disagreement_steps = 0
         self._steps = 0
+        # Fault machinery (inert when no plan is given): messages due at
+        # a later step and blocks withheld from crashed nodes.
+        self._injector = (FaultInjector(faults, names)
+                          if faults is not None else None)
+        self._pending: Dict[int, List[Tuple[str, Block]]] = {}
+        self._withheld_down: Dict[str, List[Block]] = {}
 
     # -- queries used by attacker strategies ---------------------------
 
@@ -190,16 +215,86 @@ class NetworkSimulation:
         ids = {view.head().block_id for view in self.views.values()}
         return len(ids) > 1
 
+    # -- fault-aware delivery ------------------------------------------
+
+    def _deliver(self, name: str, block: Block, step: int) -> None:
+        """Deliver one announcement to a view, honoring crash state."""
+        injector = self._injector
+        if injector is not None and injector.is_down(name, step):
+            if injector.plan.resync:
+                self._withheld_down.setdefault(name, []).append(block)
+                injector.stats.withheld += 1
+            else:
+                injector.stats.dropped_down += 1
+            return
+        self.views[name].observe(block)
+
+    def _flush_recovered(self, step: int) -> None:
+        """Replay withheld announcements to nodes that are back up,
+        oldest first (tree arrival order)."""
+        injector = self._injector
+        assert injector is not None
+        for name in list(self._withheld_down):
+            if injector.is_down(name, step):
+                continue
+            blocks = self._withheld_down.pop(name)
+            blocks.sort(key=lambda b: self.tree.arrival_index(b.block_id))
+            for block in blocks:
+                self.views[name].observe(block)
+
+    def _deliver_due(self, step: int) -> None:
+        """Deliver every pending announcement whose due step arrived."""
+        for due in sorted(d for d in self._pending if d <= step):
+            for name, block in self._pending.pop(due):
+                self._deliver(name, block, step)
+
+    def _broadcast(self, block: Block, origin: str, step: int) -> None:
+        """Announce a freshly mined block to every view, subject to the
+        fault plan.  The miner always observes its own block."""
+        injector = self._injector
+        if origin in self.views:
+            self.views[origin].observe(block)
+        for name in self.views:
+            if name == origin:
+                continue
+            if injector is None:
+                self.views[name].observe(block)
+                continue
+            release = injector.partition_release(origin, name, step)
+            if release is not None:
+                if injector.plan.resync:
+                    self._pending.setdefault(release, []).append(
+                        (name, block))
+                    injector.stats.withheld += 1
+                else:
+                    injector.stats.lost += 1
+                continue
+            for due in injector.message_schedule(step):
+                if due <= step:
+                    self._deliver(name, block, step)
+                else:
+                    self._pending.setdefault(due, []).append((name, block))
+
     # -- dynamics -------------------------------------------------------
 
-    def step(self) -> Block:
-        """One block event; returns the mined block."""
+    def step(self) -> Optional[Block]:
+        """One block event; returns the mined block, or ``None`` when
+        the drawn miner was crashed (its slot is skipped)."""
         self._steps += 1
+        step = self._steps
+        injector = self._injector
+        if injector is not None:
+            injector.begin_step(step)
+            self._deliver_due(step)
+            self._flush_recovered(step)
         if self.in_disagreement():
             self._disagreement_steps += 1
         idx = int(self.rng.choice(len(self._weights), p=self._weights))
         if idx < len(self.miners):
             miner = self.miners[idx]
+            if injector is not None and injector.is_down(miner.name, step):
+                injector.stats.mining_skipped += 1
+                return None
             view = self.views[miner.name]
             parent, size = view.head(), miner.params.mg
             name = miner.name
@@ -208,10 +303,9 @@ class NetworkSimulation:
             parent, size = self.attacker.choose(self)
             name = ATTACKER
         block = make_block(parent, size=size, miner=name,
-                           timestamp=self._steps)
+                           timestamp=step)
         self.tree.add(block)
-        for view in self.views.values():
-            view.observe(block)
+        self._broadcast(block, name, step)
         self._mined[name] += 1
         return block
 
@@ -220,6 +314,45 @@ class NetworkSimulation:
         for _ in range(steps):
             self.step()
         return self._summarize()
+
+    # -- invariants -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the structural invariants that must hold regardless of
+        any injected faults; raises :class:`SimulationError` otherwise.
+
+        1. *Conservation*: the shared tree holds genesis plus exactly
+           the mined blocks -- faults affect delivery, never the ledger
+           of what was mined.
+        2. *View soundness*: every node's head is a tree block whose
+           chain the node itself accepts as valid, with consistent
+           chain length.
+        3. *Bounded progress*: no head can be higher than the number of
+           blocks mined.
+        """
+        mined_total = sum(self._mined.values())
+        if len(self.tree) != 1 + mined_total:
+            raise SimulationError(
+                f"conservation violated: tree has {len(self.tree)} blocks "
+                f"but {mined_total} were mined")
+        for name, view in self.views.items():
+            head = view.head()
+            if head.block_id not in self.tree:
+                raise SimulationError(
+                    f"{name} head {head.block_id} not in the shared tree")
+            if not view.accepts(head):
+                raise SimulationError(
+                    f"{name} mines on a chain it considers invalid "
+                    f"(head {head.block_id})")
+            chain = self.tree.chain(head)
+            if len(chain) != head.height + 1:
+                raise SimulationError(
+                    f"{name} head height {head.height} inconsistent with "
+                    f"chain length {len(chain)}")
+            if head.height > mined_total:
+                raise SimulationError(
+                    f"{name} head height {head.height} exceeds blocks "
+                    f"mined ({mined_total})")
 
     def _summarize(self) -> NetworkResult:
         consensus = self.majority_head()
@@ -247,4 +380,6 @@ class NetworkSimulation:
             chain_share=share,
             disagreement_fraction=(self._disagreement_steps / self._steps
                                    if self._steps else 0.0),
-            attacker_orphan_ratio=ratio)
+            attacker_orphan_ratio=ratio,
+            fault_stats=(self._injector.stats
+                         if self._injector is not None else None))

@@ -1,8 +1,12 @@
 """Tests for result persistence."""
 
+import dataclasses
+
 import pytest
 
 from repro.analysis.store import (
+    analysis_from_payload,
+    analysis_to_payload,
     load_analysis_summary,
     load_table,
     policy_from_summary,
@@ -63,3 +67,37 @@ def test_kind_mismatch_rejected(tmp_path, analysis):
     save_table(table, tpath)
     with pytest.raises(ReproError):
         load_analysis_summary(tpath)
+
+
+def test_payload_roundtrip_rebuilds_full_analysis(analysis):
+    payload = analysis_to_payload(analysis)
+    rebuilt = analysis_from_payload(payload)
+    assert rebuilt.utility == analysis.utility
+    assert rebuilt.honest_utility == analysis.honest_utility
+    assert rebuilt.rates == analysis.rates
+    assert rebuilt.config == analysis.config
+    assert rebuilt.policy.as_dict() == analysis.policy.as_dict()
+
+
+def test_policy_from_summary_rejects_config_mismatch(tmp_path, analysis):
+    """A stored policy replayed against a *different* configuration's
+    MDP misses states and must fail loudly, not silently misbehave."""
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    summary = load_analysis_summary(path)
+    # Pretend the summary belongs to a larger-AD config: its MDP has
+    # states the stored policy never saw.
+    summary["config"] = dataclasses.replace(summary["config"], ad=8)
+    with pytest.raises(ReproError, match="config mismatch"):
+        policy_from_summary(summary)
+
+
+def test_saves_are_atomic(tmp_path, analysis):
+    """Saving over an existing file leaves no temp litter and replaces
+    the content in one step."""
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    before = path.read_bytes()
+    save_analysis(analysis, path)
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["analysis.json"]

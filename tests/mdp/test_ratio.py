@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import SolverError
+from repro.errors import SolverDivergedError, SolverError, SolverInputError
 from repro.mdp.builder import MDPBuilder
 from repro.mdp.ratio import maximize_ratio
 
@@ -87,3 +87,76 @@ def test_warm_start_accepted():
     sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
                          initial_policy=warm)
     assert sol.value == pytest.approx(1.5, abs=1e-6)
+
+
+def always_wait_mdp():
+    """The non-profit model's Wait-forever analogue: ``idle`` earns
+    num = den = 0, so any policy-iteration tie-break that keeps it
+    makes Dinkelbach's update 0/0."""
+    b = MDPBuilder(actions=["attack", "idle"], channels=["num", "den"])
+    b.add(0, "attack", 0, 1.0, num=1.0, den=2.0)
+    b.add(0, "idle", 0, 1.0)
+    return b.build(start=0)
+
+
+def test_input_validation():
+    mdp = renewal_mdp()
+    with pytest.raises(SolverInputError, match="tol"):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                       tol=0.0)
+    with pytest.raises(SolverInputError, match="max_iter"):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                       max_iter=0)
+    with pytest.raises(SolverInputError, match="numerator"):
+        maximize_ratio(mdp, {}, {"den": 1.0}, lo=0.0, hi=5.0)
+    with pytest.raises(SolverInputError, match="denominator"):
+        maximize_ratio(mdp, {"num": 1.0}, {}, lo=0.0, hi=5.0)
+    with pytest.raises(SolverInputError, match="finite"):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0,
+                       hi=np.inf)
+
+
+def test_nonfinite_gains_raise_with_rho():
+    """If the per-channel gains of a solved policy come out non-finite,
+    the solver must report the rho it was probing instead of returning
+    a bogus ratio."""
+    from repro.mdp.policy_iteration import AverageRewardSolution
+
+    b = MDPBuilder(actions=["a"], channels=["num", "den"])
+    b.add(0, "a", 0, 1.0, num=np.inf, den=1.0)
+    mdp = b.build(start=0)
+
+    def stub_solver(_mdp, _reward, _warm):
+        # Sidestep the inner solve (which would also choke on inf) so
+        # the channel-gain validation is what fires.
+        return AverageRewardSolution(gain=0.0, bias=np.zeros(1),
+                                     policy=np.zeros(1, dtype=int),
+                                     iterations=1)
+
+    with pytest.raises(SolverDivergedError, match="rho"):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
+                       solver=stub_solver)
+
+
+def test_strict_dinkelbach_flags_degenerate_policy():
+    """Warm-started on the zero-denominator policy with ``lo`` at the
+    optimum, strict Dinkelbach cannot make progress and must say so
+    instead of silently returning the bracket edge."""
+    mdp = always_wait_mdp()
+    idle = np.array([mdp.action_index("idle")])
+    with pytest.raises(SolverError, match="degenerate"):
+        maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.5, hi=10.0,
+                       method="dinkelbach", initial_policy=idle,
+                       strict=True)
+
+
+def test_bisection_solves_always_wait_degeneracy():
+    """The bisection fallback answers the same problem correctly even
+    when warm-started on the always-wait policy: the optimum is
+    sup{rho : some policy still beats rho}, here 0.5."""
+    mdp = always_wait_mdp()
+    idle = np.array([mdp.action_index("idle")])
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=10.0,
+                         method="bisection", initial_policy=idle)
+    assert sol.value == pytest.approx(0.5, abs=1e-5)
+    assert mdp.actions[sol.policy[0]] == "attack"

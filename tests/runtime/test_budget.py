@@ -1,0 +1,46 @@
+"""Tests for solver budgets and their enforcement clocks."""
+
+import time
+
+import pytest
+
+from repro.errors import SolverBudgetExceededError, SolverInputError
+from repro.runtime import Budget
+
+
+def test_budget_validation():
+    with pytest.raises(SolverInputError):
+        Budget(wall_clock=0.0)
+    with pytest.raises(SolverInputError):
+        Budget(wall_clock=-1.0)
+    with pytest.raises(SolverInputError):
+        Budget(max_ticks=0)
+
+
+def test_unlimited_budget_never_expires():
+    clock = Budget().start()
+    for _ in range(10_000):
+        clock.tick()
+    assert clock.ticks == 10_000
+
+
+def test_iteration_budget_enforced():
+    clock = Budget(max_ticks=3).start()
+    clock.tick()
+    clock.tick(2)
+    with pytest.raises(SolverBudgetExceededError, match="iteration"):
+        clock.tick()
+
+
+def test_wall_clock_budget_enforced():
+    clock = Budget(wall_clock=0.01).start()
+    time.sleep(0.02)
+    with pytest.raises(SolverBudgetExceededError, match="wall-clock"):
+        clock.tick()
+
+
+def test_elapsed_is_monotone():
+    clock = Budget(wall_clock=60.0).start()
+    first = clock.elapsed
+    time.sleep(0.002)
+    assert clock.elapsed >= first >= 0.0

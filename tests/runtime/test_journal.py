@@ -1,0 +1,100 @@
+"""Tests for atomic writes and the checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime import JOURNAL_SCHEMA, Journal, atomic_write_text
+
+
+def test_atomic_write_replaces_content(tmp_path):
+    target = tmp_path / "out.json"
+    target.write_text("old")
+    atomic_write_text(target, "new")
+    assert target.read_text() == "new"
+    # No temporary litter left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+def test_journal_records_and_reloads(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["a", 1], 0.5)
+    journal.record(["b", 2], {"x": [1, 2]})
+    assert ["a", 1] in journal
+    assert journal.get(["b", 2]) == {"x": [1, 2]}
+
+    reopened = Journal(path, sweep="demo")
+    assert len(reopened) == 2
+    assert reopened.get(["a", 1]) == 0.5
+    assert ["c", 3] not in reopened
+
+
+def test_journal_key_order_is_canonical(tmp_path):
+    journal = Journal(tmp_path / "j", sweep="demo")
+    journal.record({"b": 1, "a": 2}, "v")
+    assert {"a": 2, "b": 1} in journal
+
+
+def test_journal_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["done"], 1.0)
+    with open(path, "a") as handle:
+        handle.write('{"key": ["torn"], "val')  # crash mid-append
+
+    recovered = Journal(path, sweep="demo")
+    assert len(recovered) == 1
+    assert ["done"] in recovered
+    assert ["torn"] not in recovered
+
+
+def test_journal_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["a"], 1.0)
+    lines = path.read_text().splitlines()
+    lines.insert(1, "not json")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        Journal(path, sweep="demo")
+
+
+def test_journal_rejects_wrong_sweep(tmp_path):
+    path = tmp_path / "sweep.journal"
+    Journal(path, sweep="table2-setting1")
+    with pytest.raises(CheckpointError, match="belongs to sweep"):
+        Journal(path, sweep="table2-setting2")
+
+
+def test_journal_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "sweep.journal"
+    header = {"schema": JOURNAL_SCHEMA + 1, "kind": "journal",
+              "sweep": "demo", "meta": {}}
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(CheckpointError, match="schema"):
+        Journal(path, sweep="demo")
+
+
+def test_journal_rejects_foreign_files(tmp_path):
+    path = tmp_path / "not-a-journal"
+    path.write_text(json.dumps({"kind": "table"}) + "\n")
+    with pytest.raises(CheckpointError, match="not a sweep journal"):
+        Journal(path, sweep="demo")
+    empty = tmp_path / "empty"
+    empty.write_text("")
+    with pytest.raises(CheckpointError, match="empty"):
+        Journal(empty, sweep="demo")
+
+
+def test_journal_rejects_unserializable_keys(tmp_path):
+    journal = Journal(tmp_path / "j", sweep="demo")
+    with pytest.raises(CheckpointError, match="JSON-serializable"):
+        journal.record(object(), 1.0)
+
+
+def test_journal_get_missing_key(tmp_path):
+    journal = Journal(tmp_path / "j", sweep="demo")
+    with pytest.raises(CheckpointError, match="no journal record"):
+        journal.get(["missing"])

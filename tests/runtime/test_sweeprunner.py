@@ -1,0 +1,115 @@
+"""Tests for checkpointed sweep execution and crash/resume."""
+
+import pytest
+
+from repro.analysis import tables
+from repro.analysis.sensitivity import ds_sensitivity
+from repro.analysis.store import save_table
+from repro.core.config import AttackConfig
+from repro.runtime import Journal, SweepRunner
+
+ALPHAS = (0.10, 0.15)
+RATIOS = ((1, 1), (1, 2))
+
+
+class Killed(RuntimeError):
+    """Simulated crash injected mid-sweep."""
+
+
+def kill_after(n):
+    def hook(solved):
+        if solved >= n:
+            raise Killed(f"killed after {n} cells")
+    return hook
+
+
+def test_runner_without_journal_always_solves():
+    runner = SweepRunner()
+    calls = []
+    for _ in range(2):
+        runner.cell(["k"], lambda: calls.append(1) or 7.0)
+    assert len(calls) == 2
+    assert runner.stats.solved == 2
+    assert runner.stats.restored == 0
+
+
+def test_runner_restores_from_journal(tmp_path):
+    journal = Journal(tmp_path / "j", sweep="demo")
+    first = SweepRunner(journal=journal)
+    assert first.cell(["a"], lambda: 1.25) == 1.25
+
+    second = SweepRunner(journal=Journal(tmp_path / "j", sweep="demo"))
+    value = second.cell(["a"], lambda: pytest.fail("must not re-solve"))
+    assert value == 1.25
+    assert second.stats.restored == 1
+    assert second.stats.solved == 0
+
+
+def test_killed_table_sweep_resumes_byte_identical(tmp_path, monkeypatch):
+    """A table run killed mid-sweep, resumed against its journal, must
+    produce a byte-identical saved table without re-solving the cells
+    completed before the crash."""
+    solves = []
+    real_solve = tables.solve_relative_revenue
+
+    def counting_solve(config, **kwargs):
+        solves.append(config)
+        return real_solve(config, **kwargs)
+
+    monkeypatch.setattr(tables, "solve_relative_revenue", counting_solve)
+
+    # The uninterrupted reference run (no journal).
+    reference = tables.table2(setting=1, alphas=ALPHAS, ratios=RATIOS)
+    save_table(reference, tmp_path / "reference.json")
+    total_cells = len(reference.cells)
+    assert total_cells == 4
+    solves.clear()
+
+    # Run with a journal and crash after two completed cells.
+    journal_path = tmp_path / "table2.journal"
+    crashed = SweepRunner(Journal(journal_path, sweep="table2-setting1"),
+                          fault_hook=kill_after(2))
+    with pytest.raises(Killed):
+        tables.table2(setting=1, alphas=ALPHAS, ratios=RATIOS,
+                      runner=crashed)
+    assert crashed.stats.solved == 2
+    assert len(solves) == 2
+    solves.clear()
+
+    # Resume: only the remaining cells are solved, output is identical.
+    resumed_runner = SweepRunner(
+        Journal(journal_path, sweep="table2-setting1"))
+    resumed = tables.table2(setting=1, alphas=ALPHAS, ratios=RATIOS,
+                            runner=resumed_runner)
+    assert resumed_runner.stats.restored == 2
+    assert resumed_runner.stats.solved == total_cells - 2
+    assert len(solves) == total_cells - 2
+    save_table(resumed, tmp_path / "resumed.json")
+    assert (tmp_path / "resumed.json").read_bytes() == \
+        (tmp_path / "reference.json").read_bytes()
+
+    # A second resume restores everything and solves nothing.
+    replay_runner = SweepRunner(
+        Journal(journal_path, sweep="table2-setting1"))
+    solves.clear()
+    replay = tables.table2(setting=1, alphas=ALPHAS, ratios=RATIOS,
+                           runner=replay_runner)
+    assert replay_runner.stats.restored == total_cells
+    assert not solves
+    assert replay.cells == reference.cells
+
+
+def test_ds_sensitivity_checkpointing(tmp_path):
+    base = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    journal = Journal(tmp_path / "ds.journal", sweep="ds")
+    fresh = ds_sensitivity(base, confirmations=(3,), rds_values=(5.0, 10.0),
+                           runner=SweepRunner(journal=journal))
+
+    restored_runner = SweepRunner(
+        journal=Journal(tmp_path / "ds.journal", sweep="ds"))
+    restored = ds_sensitivity(base, confirmations=(3,),
+                              rds_values=(5.0, 10.0),
+                              runner=restored_runner)
+    assert restored.values == fresh.values
+    assert restored_runner.stats.restored == 2
+    assert restored_runner.stats.solved == 0

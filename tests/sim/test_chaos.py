@@ -1,0 +1,163 @@
+"""Fault-injected network simulation tests (chaos suite).
+
+The invariants of :meth:`NetworkSimulation.check_invariants` must hold
+under any combination of message loss, delay, duplication, crashes and
+partitions -- faults may slow convergence and fork the views, but they
+can never corrupt the shared block tree or make a node mine on a chain
+it rejects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError, SimulationError
+from repro.protocol.params import BUParams
+from repro.runtime import CrashWindow, FaultPlan, PartitionWindow
+from repro.sim.network import NetworkMiner, NetworkSimulation
+
+
+def uniform(n=4, eb=1.0, ad=6, total=1.0):
+    return [NetworkMiner(f"m{i}", total / n,
+                         BUParams(mg=1.0, eb=eb, ad=ad))
+            for i in range(n)]
+
+
+def test_fault_free_plan_changes_nothing():
+    """A plan without faults must reproduce the fault-free run exactly:
+    the injector draws from its own RNG, never the simulation's."""
+    baseline = NetworkSimulation(
+        uniform(), rng=np.random.default_rng(7)).run(2000)
+    with_plan = NetworkSimulation(
+        uniform(), rng=np.random.default_rng(7),
+        faults=FaultPlan(seed=123)).run(2000)
+    assert with_plan.consensus_height == baseline.consensus_height
+    assert with_plan.chain_share == baseline.chain_share
+    assert with_plan.fault_stats.total_disruptions() == 0
+
+
+def test_duplicates_are_idempotent():
+    """Views adopt only strictly longer prefixes, so duplicated
+    announcements must not change anything."""
+    baseline = NetworkSimulation(
+        uniform(), rng=np.random.default_rng(3)).run(2000)
+    duplicated = NetworkSimulation(
+        uniform(), rng=np.random.default_rng(3),
+        faults=FaultPlan(duplicate_rate=1.0, seed=0)).run(2000)
+    assert duplicated.consensus_height == baseline.consensus_height
+    assert duplicated.orphans == baseline.orphans == 0
+    assert duplicated.fault_stats.duplicated > 0
+
+
+def test_message_loss_forks_but_stays_consistent(rng):
+    sim = NetworkSimulation(uniform(), rng=rng,
+                            faults=FaultPlan(loss_rate=0.2, seed=1))
+    result = sim.run(3000)
+    sim.check_invariants()
+    assert result.fault_stats.lost > 0
+    # Lost announcements leave nodes behind, which forks the network.
+    assert result.orphans > 0
+
+
+def test_crash_window_skips_mining_and_resyncs():
+    plan = FaultPlan(crash_windows=(CrashWindow("m0", 100, 600),), seed=0)
+    sim = NetworkSimulation(uniform(), rng=np.random.default_rng(9),
+                            faults=plan)
+    result = sim.run(2000)
+    sim.check_invariants()
+    assert result.fault_stats.mining_skipped > 0
+    assert result.fault_stats.withheld > 0
+    # Long after recovery and resync, all views agree again.
+    heads = {h.block_id for h in sim.heads().values()}
+    assert len(heads) == 1
+
+
+def test_partition_forks_then_heals():
+    group = frozenset({"m0", "m1"})
+    plan = FaultPlan(partitions=(PartitionWindow(200, 800, group),), seed=0)
+    sim = NetworkSimulation(uniform(), rng=np.random.default_rng(4),
+                            faults=plan)
+    result = sim.run(2500)
+    sim.check_invariants()
+    assert result.fault_stats.withheld > 0
+    assert result.disagreement_fraction > 0
+    heads = {h.block_id for h in sim.heads().values()}
+    assert len(heads) == 1  # healed after the window closed
+
+
+def test_no_resync_drops_messages_permanently(rng):
+    plan = FaultPlan(crash_rate=0.02, recovery_rate=0.3, resync=False,
+                     seed=5)
+    sim = NetworkSimulation(uniform(), rng=rng, faults=plan)
+    result = sim.run(2000)
+    sim.check_invariants()
+    assert result.fault_stats.dropped_down > 0
+    assert result.fault_stats.withheld == 0
+
+
+def test_fault_plan_validation():
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(loss_rate=1.5)
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(delay_rate=0.5, max_delay=0)
+    with pytest.raises(FaultInjectionError):
+        CrashWindow("m0", 5, 5)
+    with pytest.raises(FaultInjectionError):
+        PartitionWindow(1, 10, frozenset())
+    plan = FaultPlan(crash_windows=(CrashWindow("ghost", 1, 10),))
+    with pytest.raises(FaultInjectionError, match="unknown node"):
+        NetworkSimulation(uniform(), faults=plan)
+
+
+def test_invariant_checker_detects_corruption(rng):
+    sim = NetworkSimulation(uniform(), rng=rng)
+    sim.run(50)
+    sim._mined["m0"] += 1  # corrupt the ledger on purpose
+    with pytest.raises(SimulationError, match="conservation"):
+        sim.check_invariants()
+
+
+@pytest.mark.chaos
+def test_randomized_fault_schedule_never_violates_invariants():
+    """Acceptance criterion: >= 10k steps of combined loss + delay +
+    duplication + random crashes with the invariants checked
+    throughout."""
+    plan = FaultPlan(loss_rate=0.05, delay_rate=0.15, max_delay=4,
+                     duplicate_rate=0.05, crash_rate=0.01,
+                     recovery_rate=0.4, seed=42)
+    sim = NetworkSimulation(uniform(n=5, total=1.0),
+                            rng=np.random.default_rng(42), faults=plan)
+    for step in range(10_000):
+        sim.step()
+        if step % 250 == 0:
+            sim.check_invariants()
+    sim.check_invariants()
+    result = sim._summarize()
+    stats = result.fault_stats
+    # The schedule actually exercised every fault type.
+    assert stats.lost > 0 and stats.delayed > 0
+    assert stats.duplicated > 0 and stats.crashes > 0
+    assert stats.mining_skipped > 0
+    assert result.blocks_mined == sum(sim._mined.values())
+
+
+@pytest.mark.chaos
+def test_chaos_with_attacker_and_partitions():
+    """Faults layered on top of the split attack: the adversarial
+    scenario must still satisfy every structural invariant."""
+    from repro.sim.network import SplitAttacker
+    miners = [
+        NetworkMiner("small_eb", 0.45, BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("large_eb", 0.40, BUParams(mg=1.0, eb=16.0, ad=6)),
+    ]
+    plan = FaultPlan(loss_rate=0.05, delay_rate=0.1, duplicate_rate=0.05,
+                     partitions=(PartitionWindow(
+                         500, 1500, frozenset({"small_eb"})),),
+                     seed=7)
+    sim = NetworkSimulation(miners, attacker=SplitAttacker(split_size=4.0),
+                            attacker_power=0.15,
+                            rng=np.random.default_rng(7), faults=plan)
+    for step in range(10_000):
+        sim.step()
+        if step % 500 == 0:
+            sim.check_invariants()
+    sim.check_invariants()

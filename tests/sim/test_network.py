@@ -13,19 +13,25 @@ from repro.sim.network import (
 )
 
 
-def uniform_network(n=4, eb=1.0, ad=6):
-    return [NetworkMiner(f"m{i}", 1.0 / n,
+def uniform_network(n=4, eb=1.0, ad=6, total=1.0):
+    """``n`` equal miners sharing ``total`` power (leave headroom for
+    an attacker via ``total < 1``)."""
+    return [NetworkMiner(f"m{i}", total / n,
                          BUParams(mg=1.0, eb=eb, ad=ad))
             for i in range(n)]
 
 
-def april_2017_network():
-    """The field distribution Section 2.2 reports."""
+def april_2017_network(scale=1.0):
+    """The field distribution Section 2.2 reports, optionally scaled
+    down to leave power headroom for an attacker."""
     return [
-        NetworkMiner("miners_ad6", 0.55, BUParams(mg=1.0, eb=1.0, ad=6)),
-        NetworkMiner("bitclub", 0.15, BUParams(mg=1.0, eb=1.0, ad=20)),
+        NetworkMiner("miners_ad6", 0.55 * scale,
+                     BUParams(mg=1.0, eb=1.0, ad=6)),
+        NetworkMiner("bitclub", 0.15 * scale,
+                     BUParams(mg=1.0, eb=1.0, ad=20)),
         NetworkMiner("nodes", 0.0, BUParams(mg=1.0, eb=16.0, ad=12)),
-        NetworkMiner("other", 0.30, BUParams(mg=1.0, eb=16.0, ad=6)),
+        NetworkMiner("other", 0.30 * scale,
+                     BUParams(mg=1.0, eb=16.0, ad=6)),
     ]
 
 
@@ -48,7 +54,7 @@ def test_chain_share_tracks_power(rng):
 def test_consensus_eb_blocks_split_attack(rng):
     """Against an EB-consensus network (all 1 MB), the split attacker's
     big blocks are simply orphaned: the paper's Section 6.1 point."""
-    sim = NetworkSimulation(uniform_network(eb=1.0),
+    sim = NetworkSimulation(uniform_network(eb=1.0, total=0.85),
                             attacker=SplitAttacker(split_size=4.0),
                             attacker_power=0.15, rng=rng)
     result = sim.run(3000)
@@ -91,7 +97,7 @@ def test_split_attack_splits_network_without_sticky_gate():
 
 
 def test_honest_attacker_changes_nothing(rng):
-    sim = NetworkSimulation(uniform_network(),
+    sim = NetworkSimulation(uniform_network(total=0.8),
                             attacker=HonestAttacker(),
                             attacker_power=0.2, rng=rng)
     result = sim.run(2000)
@@ -110,7 +116,7 @@ def test_april_2017_distribution_is_calm_without_attacker(rng):
 def test_april_2017_distribution_damaged_under_attack(rng):
     """Against the real parameter distribution, the attacker either
     splits the network or (once a gate opens) embeds giant blocks."""
-    sim = NetworkSimulation(april_2017_network(),
+    sim = NetworkSimulation(april_2017_network(scale=0.9),
                             attacker=SplitAttacker(split_size=8.0),
                             attacker_power=0.10,
                             rng=np.random.default_rng(5))
@@ -135,3 +141,19 @@ def test_validation():
     with pytest.raises(SimulationError):
         dup = uniform_network(2) + uniform_network(1)
         NetworkSimulation(dup)
+
+
+def test_validation_power_sum():
+    # Compliant powers plus attacker share may not exceed 1.
+    with pytest.raises(SimulationError, match="sum"):
+        NetworkSimulation(uniform_network(total=1.2))
+    with pytest.raises(SimulationError, match="sum"):
+        NetworkSimulation(uniform_network(total=1.0),
+                          attacker=HonestAttacker(), attacker_power=0.2)
+    # All-zero power has no miner to draw blocks from.
+    with pytest.raises(SimulationError, match="positive"):
+        NetworkSimulation([NetworkMiner(
+            "idle", 0.0, BUParams(mg=1.0, eb=1.0, ad=6))])
+    # Summing to exactly 1 (or below) is fine.
+    NetworkSimulation(uniform_network(total=1.0))
+    NetworkSimulation(uniform_network(total=0.6))
