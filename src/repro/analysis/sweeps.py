@@ -47,25 +47,39 @@ class SweepResult:
 def sweep_attack(base: AttackConfig, parameter: str, values: Iterable,
                  model: IncentiveModel,
                  transform: Callable[[AttackConfig], AttackConfig] = None,
-                 runner=None) -> SweepResult:
+                 runner=None, workers: int = 1) -> SweepResult:
     """Solve ``model`` for ``base`` with ``parameter`` set to each value.
 
     ``transform`` optionally post-processes each config (e.g. to keep
     power shares normalized when sweeping ``alpha``).  ``runner`` is an
     optional :class:`repro.runtime.sweeprunner.SweepRunner`; with a
     journal attached, completed values survive a crash and are restored
-    (full analysis, policy included) instead of re-solved.
+    (full analysis, policy included) instead of re-solved.  With
+    ``workers > 1`` the values are solved on that many processes
+    through :func:`repro.runtime.parallel.run_cells`; the analyses are
+    then payload round-trips, exactly like journal-restored cells.
     """
     values = list(values)
     if not values:
         raise ReproError("sweep needs at least one value")
     if parameter not in AttackConfig.__dataclass_fields__:
         raise ReproError(f"unknown AttackConfig field {parameter!r}")
-    analyses = []
+    configs = []
     for value in values:
         config = replace(base, **{parameter: value})
         if transform is not None:
             config = transform(config)
+        configs.append(config)
+    if workers > 1:
+        from repro.runtime.parallel import SolveTask, run_cells
+        tasks = [SolveTask(kind="analyze", key=(parameter, value),
+                           config=config, model=model)
+                 for value, config in zip(values, configs)]
+        analyses = run_cells(tasks, runner=runner, workers=workers)
+        return SweepResult(parameter=parameter, values=values,
+                           analyses=analyses)
+    analyses = []
+    for value, config in zip(values, configs):
         if runner is None:
             analyses.append(analyze(config, model))
         else:
@@ -73,9 +87,12 @@ def sweep_attack(base: AttackConfig, parameter: str, values: Iterable,
                 analysis_from_payload,
                 analysis_to_payload,
             )
+            # NOTE: bind the loop variable as a default argument --
+            # a bare closure would late-bind and make every deferred
+            # cell solve the final config.
             analyses.append(runner.cell(
                 [parameter, value],
-                lambda: analyze(config, model),
+                lambda config=config: analyze(config, model),
                 encode=analysis_to_payload,
                 decode=analysis_from_payload))
     return SweepResult(parameter=parameter, values=values,

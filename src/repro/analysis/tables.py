@@ -181,37 +181,82 @@ def _cell(runner, key, solve: Callable[[], float]) -> float:
     return runner.cell(list(key), solve)
 
 
+def _fill_cells(result: TableResult, specs, runner, supervisor,
+                workers: int, progress: ProgressFn, label: str,
+                serial_solve=None) -> None:
+    """Solve the cells described by ``specs`` into ``result``.
+
+    ``specs`` is a list of ``(key, task, paper_value)`` triples where
+    ``task`` is a :class:`repro.runtime.parallel.SolveTask`.  With
+    ``workers == 1`` each task runs in-process through
+    ``serial_solve`` (which resolves the solver from this module, so
+    tests can monkeypatch it, and honours a supervisor); with
+    ``workers > 1`` the tasks fan out through
+    :func:`repro.runtime.parallel.run_cells`.  A supervisor forces the
+    serial path because it holds live, non-picklable state.
+    """
+    if workers > 1:
+        if supervisor is not None:
+            raise ReproError(
+                "supervised table solves hold live solver state and "
+                "cannot run in parallel; use workers=1")
+        from repro.runtime.parallel import run_cells
+        paper_by_key = {key: pv for key, _t, pv in specs
+                        if pv is not None}
+
+        def on_done(task, value) -> None:
+            _progress(progress, f"{label} {task.key}: {value:.4f}")
+
+        values = run_cells([task for _k, task, _p in specs],
+                           runner=runner, workers=workers,
+                           progress=on_done)
+        for (key, _task, _pv), value in zip(specs, values):
+            result.cells[key] = value
+        result.paper.update(paper_by_key)
+        return
+    for key, task, paper_value in specs:
+        value = _cell(runner, key, lambda task=task: serial_solve(task))
+        result.cells[key] = value
+        if paper_value is not None:
+            result.paper[key] = paper_value
+        _progress(progress, f"{label} {key}: {value:.4f}")
+
+
 def table2(setting: int = 1,
            alphas: Iterable[float] = TABLE2_ALPHAS,
            ratios: Iterable[Ratio] = TABLE2_RATIOS,
            progress: ProgressFn = None,
-           runner=None, supervisor=None) -> TableResult:
+           runner=None, supervisor=None,
+           workers: int = 1) -> TableResult:
     """Regenerate Table 2 (relative revenue of a compliant and
     profit-driven Alice) for one setting.
 
     ``runner`` enables checkpoint/resume via a
     :class:`repro.runtime.sweeprunner.SweepRunner`; ``supervisor``
     runs each solve under a
-    :class:`repro.runtime.supervisor.SolverSupervisor`.
+    :class:`repro.runtime.supervisor.SolverSupervisor` (serial only);
+    ``workers > 1`` fans the cells out over that many processes.
     """
+    from repro.runtime.parallel import SolveTask
     alphas, ratios = list(alphas), list(ratios)
     paper = PAPER_TABLE2 if setting == 1 else PAPER_TABLE2_SET2
     result = TableResult(name=f"table2-setting{setting}",
                          row_labels=[f"{b}:{g}" for b, g in ratios],
                          col_labels=[f"{a:.0%}" for a in alphas])
+    specs = []
     for ratio in ratios:
         for alpha in alphas:
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
             key = (f"{ratio[0]}:{ratio[1]}", f"{alpha:.0%}")
-            value = _cell(runner, key,
-                          lambda: solve_relative_revenue(
-                              config, supervisor=supervisor).utility)
-            result.cells[key] = value
-            if (ratio, alpha) in paper:
-                result.paper[key] = paper[(ratio, alpha)]
-            _progress(progress, f"table2 s{setting} {key}: {value:.4f}")
+            specs.append((key, SolveTask(kind="relative", key=key,
+                                         config=config),
+                          paper.get((ratio, alpha))))
+    _fill_cells(result, specs, runner, supervisor, workers, progress,
+                f"table2 s{setting}",
+                serial_solve=lambda task: solve_relative_revenue(
+                    task.config, supervisor=supervisor).utility)
     return result
 
 
@@ -219,27 +264,30 @@ def table3(setting: int = 1,
            alphas: Iterable[float] = TABLE3_ALPHAS,
            ratios: Iterable[Ratio] = TABLE3_RATIOS,
            progress: ProgressFn = None,
-           runner=None, supervisor=None) -> TableResult:
+           runner=None, supervisor=None,
+           workers: int = 1) -> TableResult:
     """Regenerate Table 3's BU block (absolute reward of a
     non-compliant, profit-driven Alice) for one setting."""
+    from repro.runtime.parallel import SolveTask
     alphas, ratios = list(alphas), list(ratios)
     paper = PAPER_TABLE3_SET1 if setting == 1 else PAPER_TABLE3_SET2
     result = TableResult(name=f"table3-setting{setting}",
                          row_labels=[f"{a:.4g}" for a in alphas],
                          col_labels=[f"{b}:{g}" for b, g in ratios])
+    specs = []
     for alpha in alphas:
         for ratio in ratios:
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
             key = (f"{alpha:.4g}", f"{ratio[0]}:{ratio[1]}")
-            value = _cell(runner, key,
-                          lambda: solve_absolute_reward(
-                              config, supervisor=supervisor).utility)
-            result.cells[key] = value
-            if (ratio, alpha) in paper:
-                result.paper[key] = paper[(ratio, alpha)]
-            _progress(progress, f"table3 s{setting} {key}: {value:.4f}")
+            specs.append((key, SolveTask(kind="absolute", key=key,
+                                         config=config),
+                          paper.get((ratio, alpha))))
+    _fill_cells(result, specs, runner, supervisor, workers, progress,
+                f"table3 s{setting}",
+                serial_solve=lambda task: solve_absolute_reward(
+                    task.config, supervisor=supervisor).utility)
     return result
 
 
@@ -247,23 +295,27 @@ def table3_bitcoin(ties: Iterable[float] = (0.5, 1.0),
                    alphas: Iterable[float] = (0.10, 0.15, 0.20, 0.25),
                    max_len: int = 24,
                    progress: ProgressFn = None,
-                   runner=None) -> TableResult:
+                   runner=None, workers: int = 1) -> TableResult:
     """Regenerate Table 3's Bitcoin block (selfish mining combined with
     double-spending)."""
+    from repro.runtime.parallel import SolveTask
     ties, alphas = list(ties), list(alphas)
     result = TableResult(name="table3-bitcoin",
                          row_labels=[f"tie={t:.0%}" for t in ties],
                          col_labels=[f"{a:.0%}" for a in alphas])
+    specs = []
     for tie in ties:
         for alpha in alphas:
             key = (f"tie={tie:.0%}", f"{alpha:.0%}")
-            value = _cell(runner, key,
-                          lambda: solve_selfish_mining_double_spend(
-                              alpha, tie, max_len=max_len).absolute_reward)
-            result.cells[key] = value
-            if (tie, alpha) in PAPER_TABLE3_BITCOIN:
-                result.paper[key] = PAPER_TABLE3_BITCOIN[(tie, alpha)]
-            _progress(progress, f"table3 bitcoin {key}: {value:.4f}")
+            specs.append((key, SolveTask(
+                kind="selfish_ds", key=key,
+                params=(("alpha", alpha), ("tie_power", tie),
+                        ("max_len", max_len))),
+                PAPER_TABLE3_BITCOIN.get((tie, alpha))))
+    _fill_cells(result, specs, runner, None, workers, progress,
+                "table3 bitcoin",
+                serial_solve=lambda task: solve_selfish_mining_double_spend(
+                    **dict(task.params)).absolute_reward)
     return result
 
 
@@ -271,26 +323,29 @@ def table4(alpha: float = 0.01,
            ratios: Iterable[Ratio] = TABLE4_RATIOS,
            settings: Iterable[int] = (1, 2),
            progress: ProgressFn = None,
-           runner=None, supervisor=None) -> TableResult:
+           runner=None, supervisor=None,
+           workers: int = 1) -> TableResult:
     """Regenerate Table 4 (others' blocks orphaned per Alice block,
     non-profit-driven Alice)."""
+    from repro.runtime.parallel import SolveTask
     ratios, settings = list(ratios), list(settings)
     result = TableResult(name=f"table4-alpha{alpha:.0%}",
                          row_labels=[f"{b}:{g}" for b, g in ratios],
                          col_labels=[f"setting{s}" for s in settings])
+    specs = []
     for ratio in ratios:
         for setting in settings:
             if not feasible(alpha, ratio):
                 continue
             config = AttackConfig.from_ratio(alpha, ratio, setting=setting)
             key = (f"{ratio[0]}:{ratio[1]}", f"setting{setting}")
-            value = _cell(runner, key,
-                          lambda: solve_orphan_rate(
-                              config, supervisor=supervisor).utility)
-            result.cells[key] = value
-            if (ratio, setting) in PAPER_TABLE4:
-                result.paper[key] = PAPER_TABLE4[(ratio, setting)]
-            _progress(progress, f"table4 {key}: {value:.4f}")
+            specs.append((key, SolveTask(kind="orphans", key=key,
+                                         config=config),
+                          PAPER_TABLE4.get((ratio, setting))))
+    _fill_cells(result, specs, runner, supervisor, workers, progress,
+                "table4",
+                serial_solve=lambda task: solve_orphan_rate(
+                    task.config, supervisor=supervisor).utility)
     return result
 
 
@@ -320,6 +375,15 @@ def _main(argv: List[str]) -> int:
             print("--journal requires a directory argument")
             return 2
         del argv[at:at + 2]
+    workers = 1
+    if "--workers" in argv:
+        at = argv.index("--workers")
+        try:
+            workers = int(argv[at + 1])
+        except (IndexError, ValueError):
+            print("--workers requires an integer argument")
+            return 2
+        del argv[at:at + 2]
     which = argv[0] if argv else "all"
     fast = "--fast" in argv
 
@@ -331,22 +395,26 @@ def _main(argv: List[str]) -> int:
 
     outputs: List[TableResult] = []
     if which in ("table2", "all"):
-        outputs.append(table2(setting=1, progress=echo,
+        outputs.append(table2(setting=1, progress=echo, workers=workers,
                               runner=runner_for("table2-setting1")))
-        outputs.append(table2(setting=2, alphas=(0.25,), ratios=TABLE2_RATIOS[:4],
-                              progress=echo,
+        outputs.append(table2(setting=2, alphas=(0.25,),
+                              ratios=TABLE2_RATIOS[:4],
+                              progress=echo, workers=workers,
                               runner=runner_for("table2-setting2")))
     if which in ("table3", "all"):
         alphas = (0.01, 0.10) if fast else TABLE3_ALPHAS
         outputs.append(table3(setting=1, alphas=alphas, progress=echo,
+                              workers=workers,
                               runner=runner_for("table3-setting1")))
         outputs.append(table3(setting=2, alphas=alphas, progress=echo,
+                              workers=workers,
                               runner=runner_for("table3-setting2")))
-        outputs.append(table3_bitcoin(progress=echo,
+        outputs.append(table3_bitcoin(progress=echo, workers=workers,
                                       runner=runner_for("table3-bitcoin")))
     if which in ("table4", "all"):
         settings = (1,) if fast else (1, 2)
         outputs.append(table4(settings=settings, progress=echo,
+                              workers=workers,
                               runner=runner_for("table4-alpha1%")))
     if not outputs:
         print(f"unknown table {which!r}; use table2|table3|table4|all")

@@ -12,6 +12,7 @@ Commands
 ``deadline``  price a time-limited attack (finite horizon)
 ``report``    regenerate the paper-vs-measured markdown comparison
 ``chaos``     run the network simulation under an injected fault plan
+``bench``     run the pipeline benchmarks, emit BENCH_<name>.json
 """
 
 from __future__ import annotations
@@ -72,6 +73,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
         argv.append("--fast")
     if args.journal is not None:
         argv.extend(["--journal", args.journal])
+    if args.workers != 1:
+        argv.extend(["--workers", str(args.workers)])
     return tables._main(argv)
 
 
@@ -201,6 +204,19 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runtime.bench import main as bench_main
+    argv = list(args.names)
+    if args.fast:
+        argv.append("--fast")
+    argv.extend(["--output-dir", args.output_dir])
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    argv.extend(["--max-regression", str(args.max_regression)])
+    argv.extend(["--repeat", str(args.repeat)])
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("which", nargs="?", default="all",
                         choices=("table2", "table3", "table4", "all"))
     tables.add_argument("--fast", action="store_true")
+    tables.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="solve cells on N parallel processes")
     tables.add_argument("--journal", default=None, metavar="DIR",
                         help="checkpoint directory; an interrupted run "
                              "resumes from it without re-solving")
@@ -288,6 +306,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--recovery", type=float, default=0.5)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser("bench",
+                           help="pipeline benchmarks -> BENCH_*.json")
+    bench.add_argument("names", nargs="*",
+                       help="benchmarks to run (default: all)")
+    bench.add_argument("--fast", action="store_true",
+                       help="shrink the MDPs for a CI smoke run")
+    bench.add_argument("--output-dir", default=".", metavar="DIR")
+    bench.add_argument("--baseline", default=None, metavar="DIR",
+                       help="committed BENCH_*.json directory to gate "
+                            "against")
+    bench.add_argument("--max-regression", type=float, default=2.0,
+                       metavar="X")
+    bench.add_argument("--repeat", type=int, default=1, metavar="N")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

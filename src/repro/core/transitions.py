@@ -102,27 +102,30 @@ def _gate_decrement(config: AttackConfig, l1_final: int) -> int:
         else max(l1_final - 1, 0)
 
 
-def _base_transitions(config: AttackConfig, r: int) -> Iterator[Transition]:
-    """Transitions out of a base state (phase 1 when ``r = 0``)."""
+#: Raw transition tuple ``(state, action, next_state, prob, rewards)``
+#: -- the allocation-free representation used by the build fast path.
+RawTransition = Tuple[State, str, State, float, Dict[str, float]]
+
+
+def _base_raw(config: AttackConfig, r: int) -> Iterator[RawTransition]:
+    """Raw transitions out of a base state (phase 1 when ``r = 0``)."""
     state = base1_state() if r == 0 else base2_state(r)
     others = config.beta + config.gamma
     one_locked = _next_base(config, r, 1)
     fork = (("fork1", 0, 1, 0, 1) if r == 0
             else ("fork2", 0, 1, 0, 1, r))
-    yield Transition(state, ON_CHAIN_1, one_locked, config.alpha,
-                     {"alice": 1.0})
-    yield Transition(state, ON_CHAIN_1, one_locked, others,
-                     {"others": 1.0})
+    yield (state, ON_CHAIN_1, one_locked, config.alpha, {"alice": 1.0})
+    yield (state, ON_CHAIN_1, one_locked, others, {"others": 1.0})
     if r == 0 or config.phase2_attack:
-        yield Transition(state, ON_CHAIN_2, fork, config.alpha, {})
-        yield Transition(state, ON_CHAIN_2, one_locked, others,
-                         {"others": 1.0})
+        yield (state, ON_CHAIN_2, fork, config.alpha, {})
+        yield (state, ON_CHAIN_2, one_locked, others, {"others": 1.0})
     if config.include_wait:
-        yield Transition(state, WAIT, one_locked, 1.0, {"others": 1.0})
+        yield (state, WAIT, one_locked, 1.0, {"others": 1.0})
 
 
-def _fork_events(config: AttackConfig, state: State
-                 ) -> Iterator[Tuple[str, float, bool, State, Dict[str, float]]]:
+def _fork_events(
+        config: AttackConfig, state: State
+) -> Iterator[Tuple[str, float, bool, State, Dict[str, float]]]:
     """Yield ``(event, prob, is_alice_choice, next_state, rewards)`` for
     every miner-block event in a fork state, *per chain extended*.
 
@@ -143,75 +146,101 @@ def _fork_events(config: AttackConfig, state: State
     else:  # pragma: no cover - guarded by callers
         raise ReproError(f"not a fork state: {state!r}")
 
-    def on_chain1(delta_a: int) -> Tuple[State, Dict[str, float]]:
-        l1_new, a1_new = l1 + 1, a1 + delta_a
-        if l1_new > l2:  # Chain 1 outgrows Chain 2: race resolved.
-            rewards = _chain1_win_rewards(config, l1_new, a1_new, l2, a2)
-            nxt = _next_base(config, r, _gate_decrement(config, l1_new)) \
-                if r > 0 else base1_state()
-            return nxt, rewards
-        return (tag,) + ((l1_new, l2, a1_new, a2) if tag == "fork1"
-                         else (l1_new, l2, a1_new, a2, r)), {}
+    fork1 = tag == "fork1"
+    l1_new = l1 + 1
+    if l1_new > l2:  # Chain 1 outgrows Chain 2: race resolved.
+        nxt1 = _next_base(config, r, _gate_decrement(config, l1_new)) \
+            if r > 0 else base1_state()
+        nxt1_a = nxt1_c = nxt1
+        rew1_a = _chain1_win_rewards(config, l1_new, a1 + 1, l2, a2)
+        rew1_c = _chain1_win_rewards(config, l1_new, a1, l2, a2)
+    else:
+        nxt1_a = (tag, l1_new, l2, a1 + 1, a2) if fork1 \
+            else (tag, l1_new, l2, a1 + 1, a2, r)
+        nxt1_c = (tag, l1_new, l2, a1, a2) if fork1 \
+            else (tag, l1_new, l2, a1, a2, r)
+        rew1_a = {}
+        rew1_c = {}
+    l2_new = l2 + 1
+    if l2_new == lock_depth:  # Chain 2 reaches AD: locked.
+        if fork1:
+            nxt2 = (base2_state(config.gate_window) if config.setting == 2
+                    else base1_state())
+        else:  # Carol's gate opens -> transient phase 3.
+            nxt2 = _phase3_state(config)
+        nxt2_a = nxt2_c = nxt2
+        rew2_a = _chain2_win_rewards(config, l2_new, a2 + 1, l1, a1)
+        rew2_c = _chain2_win_rewards(config, l2_new, a2, l1, a1)
+    else:
+        nxt2_a = (tag, l1, l2_new, a1, a2 + 1) if fork1 \
+            else (tag, l1, l2_new, a1, a2 + 1, r)
+        nxt2_c = (tag, l1, l2_new, a1, a2) if fork1 \
+            else (tag, l1, l2_new, a1, a2, r)
+        rew2_a = {}
+        rew2_c = {}
+    yield ("c1", config.alpha, True, nxt1_a, rew1_a)
+    yield ("c2", config.alpha, True, nxt2_a, rew2_a)
+    yield ("c1", compliant_c1, False, nxt1_c, rew1_c)
+    yield ("c2", compliant_c2, False, nxt2_c, rew2_c)
 
-    def on_chain2(delta_a: int) -> Tuple[State, Dict[str, float]]:
-        l2_new, a2_new = l2 + 1, a2 + delta_a
-        if l2_new == lock_depth:  # Chain 2 reaches AD: locked.
-            rewards = _chain2_win_rewards(config, l2_new, a2_new, l1, a1)
-            if tag == "fork1":
-                nxt = (base2_state(config.gate_window) if config.setting == 2
-                       else base1_state())
-            else:  # Carol's gate opens -> transient phase 3.
-                nxt = _phase3_state(config)
-            return nxt, rewards
-        return (tag,) + ((l1, l2_new, a1, a2_new) if tag == "fork1"
-                         else (l1, l2_new, a1, a2_new, r)), {}
 
-    nxt, rewards = on_chain1(1)
-    yield ("c1", config.alpha, True, nxt, rewards)
-    nxt, rewards = on_chain2(1)
-    yield ("c2", config.alpha, True, nxt, rewards)
-    nxt, rewards = on_chain1(0)
-    yield ("c1", compliant_c1, False, nxt, rewards)
-    nxt, rewards = on_chain2(0)
-    yield ("c2", compliant_c2, False, nxt, rewards)
+def _fork_raw(config: AttackConfig,
+              state: State) -> Iterator[RawTransition]:
+    """Raw transitions out of a fork state, for every action.
 
-
-def _fork_transitions(config: AttackConfig,
-                      state: State) -> Iterator[Transition]:
-    """Transitions out of a fork state, for every action."""
-    events = list(_fork_events(config, state))
-    compliant = [(e, p, nxt, rew) for e, p, alice, nxt, rew in events
-                 if not alice]
-    alice_events = {e: (p, nxt, rew) for e, p, alice, nxt, rew in events
-                    if alice}
-    for action, event in ((ON_CHAIN_1, "c1"), (ON_CHAIN_2, "c2")):
-        p, nxt, rew = alice_events[event]
-        yield Transition(state, action, nxt, p, rew)
-        for _e, cp, cnxt, crew in compliant:
-            yield Transition(state, action, cnxt, cp, crew)
+    :func:`_fork_events` yields exactly four events in a fixed order
+    (Alice on chain 1, Alice on chain 2, compliant on chain 1,
+    compliant on chain 2); they are unpacked positionally here to keep
+    the hot BFS loop free of intermediate containers.
+    """
+    (_, ap1, _, anxt1, arew1), (_, ap2, _, anxt2, arew2), \
+        (_, cp1, _, cnxt1, crew1), (_, cp2, _, cnxt2, crew2) = \
+        _fork_events(config, state)
+    yield (state, ON_CHAIN_1, anxt1, ap1, arew1)
+    yield (state, ON_CHAIN_1, cnxt1, cp1, crew1)
+    yield (state, ON_CHAIN_1, cnxt2, cp2, crew2)
+    yield (state, ON_CHAIN_2, anxt2, ap2, arew2)
+    yield (state, ON_CHAIN_2, cnxt1, cp1, crew1)
+    yield (state, ON_CHAIN_2, cnxt2, cp2, crew2)
     if config.include_wait:
-        total = sum(cp for _e, cp, _n, _r in compliant)
-        for _e, cp, cnxt, crew in compliant:
-            yield Transition(state, WAIT, cnxt, cp / total, crew)
+        total = cp1 + cp2
+        yield (state, WAIT, cnxt1, cp1 / total, crew1)
+        yield (state, WAIT, cnxt2, cp2 / total, crew2)
 
 
-def generate_transitions(config: AttackConfig) -> Iterator[Transition]:
-    """Yield every transition of the attack MDP, discovering states by
-    breadth-first search from the phase-1 base state."""
+def generate_raw_transitions(config: AttackConfig
+                             ) -> Iterator[RawTransition]:
+    """Yield every transition of the attack MDP as raw ``(state,
+    action, next_state, prob, rewards)`` tuples, discovering states by
+    breadth-first search from the phase-1 base state.
+
+    This is the allocation-free fast path used by the MDP build;
+    :func:`generate_transitions` wraps the same stream in
+    :class:`Transition` records for inspection and tests.
+    """
     start = base1_state()
     seen = {start}
     frontier = [start]
     while frontier:
         state = frontier.pop()
         if state[0] == "base":
-            produced = _base_transitions(config, state[1])
+            produced = _base_raw(config, state[1])
         else:
-            produced = _fork_transitions(config, state)
+            produced = _fork_raw(config, state)
         for tr in produced:
             yield tr
-            if tr.next_state not in seen:
-                seen.add(tr.next_state)
-                frontier.append(tr.next_state)
+            nxt = tr[2]
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+
+
+def generate_transitions(config: AttackConfig) -> Iterator[Transition]:
+    """Yield every transition of the attack MDP, discovering states by
+    breadth-first search from the phase-1 base state."""
+    for state, action, nxt, prob, rewards in \
+            generate_raw_transitions(config):
+        yield Transition(state, action, nxt, prob, rewards)
 
 
 def actions_for(config: AttackConfig):

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.mdp.kernels import greedy_policy_from_q, q_backup
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution
 
@@ -52,10 +53,7 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
     for it in range(1, max_iter + 1):
         if on_iter is not None:
             on_iter(it)
-        q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
-        for a in range(mdp.n_actions):
-            q[a] = reward[a] + mdp.transition[a].dot(h)
-        q[~mdp.available] = -np.inf
+        q = q_backup(mdp, reward, h)
         t_h = q.max(axis=0)
         new_h = (1.0 - tau) * h + tau * t_h
         diff = new_h - h
@@ -63,7 +61,7 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
         gain = diff[ref] / tau
         h = new_h - new_h[ref]
         if span < epsilon * tau:
-            policy = np.asarray(q.argmax(axis=0), dtype=int)
+            policy = greedy_policy_from_q(q)
             return AverageRewardSolution(gain=float(gain), bias=h,
                                          policy=policy, iterations=it)
     raise SolverError(

@@ -1,10 +1,17 @@
 """Incremental MDP construction.
 
-The builder interns state keys, accumulates transitions per
-(state, action) pair, merges duplicate (state, action, next) entries by
+The builder interns state keys, accumulates transitions as flat
+coordinate lists, merges duplicate (state, action, next) entries by
 summing probabilities (with probability-weighted rewards, the way the
 paper's Table 1 merges events that lead to the same state), and
 validates row-stochasticity when :meth:`MDPBuilder.build` is called.
+
+``add`` is the hottest pure-Python call in the attack-MDP build (one
+call per generated transition, ~180k for the 30,595-state setting-2
+model), so it does nothing but append to flat lists; all merging and
+matrix assembly happens vectorized in :meth:`MDPBuilder.build` (CSR
+construction from COO triplets sums duplicates, ``np.add.at``
+accumulates expected rewards).
 """
 
 from __future__ import annotations
@@ -32,8 +39,15 @@ class MDPBuilder:
         self._action_index = {a: i for i, a in enumerate(self.actions)}
         self._keys: List[Hashable] = []
         self._index: Dict[Hashable, int] = {}
-        # (state, action) -> {next_state: [prob, channel_reward_sums...]}
-        self._entries: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        # Flat COO-style triplet lists, one entry per add() call.
+        self._src: List[int] = []
+        self._act: List[int] = []
+        self._dst: List[int] = []
+        self._prob: List[float] = []
+        # Per-channel expected-reward scatter lists: (state, action,
+        # prob * reward) triplets, appended only for nonzero rewards.
+        self._rew: Dict[str, Tuple[List[int], List[int], List[float]]] = {
+            c: ([], [], []) for c in self.channels}
 
     def state_id(self, key: Hashable) -> int:
         """Intern ``key`` and return its state index."""
@@ -64,53 +78,132 @@ class MDPBuilder:
             raise InvalidTransitionError(f"probability {prob} out of range")
         if prob == 0:
             return
-        unknown = set(rewards) - set(self.channels)
-        if unknown:
-            raise MDPError(f"unknown reward channels {sorted(unknown)}")
         a = self._action_index.get(action)
         if a is None:
             raise MDPError(f"unknown action {action!r}")
         s = self.state_id(state)
         t = self.state_id(next_state)
-        bucket = self._entries.setdefault((s, a), {})
-        row = bucket.get(t)
-        if row is None:
-            row = np.zeros(1 + len(self.channels))
-            bucket[t] = row
-        row[0] += prob
-        for i, name in enumerate(self.channels):
-            row[1 + i] += prob * rewards.get(name, 0.0)
+        self._src.append(s)
+        self._act.append(a)
+        self._dst.append(t)
+        self._prob.append(prob)
+        if rewards:
+            rew = self._rew
+            for name, value in rewards.items():
+                lists = rew.get(name)
+                if lists is None:
+                    unknown = sorted(set(rewards) - set(self.channels))
+                    raise MDPError(f"unknown reward channels {unknown}")
+                if value != 0.0:
+                    lists[0].append(s)
+                    lists[1].append(a)
+                    lists[2].append(prob * value)
+
+    def extend(self, transitions) -> None:
+        """Bulk-record an iterable of raw ``(state, action,
+        next_state, prob, rewards)`` tuples.
+
+        Equivalent to calling :meth:`add` once per entry but with the
+        per-call overhead (argument packing, attribute lookups) hoisted
+        out of the loop -- this is the path the attack-MDP build uses
+        for its ~180k generated transitions.
+        """
+        index = self._index
+        keys = self._keys
+        action_index = self._action_index
+        src_append = self._src.append
+        act_append = self._act.append
+        dst_append = self._dst.append
+        prob_append = self._prob.append
+        rew = self._rew
+        for state, action, next_state, prob, rewards in transitions:
+            if prob < 0 or prob > 1 + PROB_TOL:
+                raise InvalidTransitionError(
+                    f"probability {prob} out of range")
+            if prob == 0:
+                continue
+            a = action_index.get(action)
+            if a is None:
+                raise MDPError(f"unknown action {action!r}")
+            s = index.get(state)
+            if s is None:
+                s = len(keys)
+                index[state] = s
+                keys.append(state)
+            t = index.get(next_state)
+            if t is None:
+                t = len(keys)
+                index[next_state] = t
+                keys.append(next_state)
+            src_append(s)
+            act_append(a)
+            dst_append(t)
+            prob_append(prob)
+            for name, value in rewards.items():
+                lists = rew.get(name)
+                if lists is None:
+                    unknown = sorted(set(rewards) - set(self.channels))
+                    raise MDPError(f"unknown reward channels {unknown}")
+                if value != 0.0:
+                    lists[0].append(s)
+                    lists[1].append(a)
+                    lists[2].append(prob * value)
 
     def build(self, start: Hashable, validate: bool = True) -> MDP:
-        """Assemble the MDP.  ``start`` must be an interned state key."""
+        """Assemble the MDP.  ``start`` must be an interned state key.
+
+        Row-stochasticity is checked by the assembled
+        :class:`~repro.mdp.model.MDP`'s own validator (pass
+        ``validate=False`` to skip it, e.g. for deliberately partial
+        test fixtures).
+        """
         if start not in self._index:
             raise MDPError(f"unknown start state {start!r}")
-        n = len(self._keys)
-        n_actions = len(self.actions)
-        available = np.zeros((n_actions, n), dtype=bool)
-        rewards = {c: np.zeros((n_actions, n)) for c in self.channels}
-        mats: List[sparse.csr_matrix] = []
-        per_action: List[Tuple[List[int], List[int], List[float]]] = [
-            ([], [], []) for _ in range(n_actions)]
-        for (s, a), bucket in self._entries.items():
-            available[a, s] = True
-            rows, cols, vals = per_action[a]
-            total = 0.0
-            for t, row in bucket.items():
-                rows.append(s)
-                cols.append(t)
-                vals.append(row[0])
-                total += row[0]
-                for i, name in enumerate(self.channels):
-                    rewards[name][a, s] += row[1 + i]
-            if validate and abs(total - 1.0) > PROB_TOL:
-                raise InvalidTransitionError(
-                    f"probabilities for state {self._keys[s]!r} action "
-                    f"{self.actions[a]!r} sum to {total}")
-        for a in range(n_actions):
-            rows, cols, vals = per_action[a]
-            mats.append(sparse.csr_matrix(
-                (vals, (rows, cols)), shape=(n, n)))
-        return MDP(state_keys=self._keys, actions=self.actions,
-                   transition=mats, rewards=rewards, available=available,
-                   start=self._index[start], validate=validate)
+        src = np.asarray(self._src, dtype=np.intp)
+        act = np.asarray(self._act, dtype=np.intp)
+        dst = np.asarray(self._dst, dtype=np.intp)
+        prob = np.asarray(self._prob, dtype=float)
+        rew = {}
+        for name in self.channels:
+            ss, aa, vv = self._rew[name]
+            rew[name] = (np.asarray(ss, dtype=np.intp),
+                         np.asarray(aa, dtype=np.intp),
+                         np.asarray(vv, dtype=float))
+        return assemble_mdp(self._keys, self.actions, src, act, dst,
+                            prob, rew, self._index[start],
+                            validate=validate)
+
+
+def assemble_mdp(keys, actions, src, act, dst, prob, rew_scatter,
+                 start_index, validate: bool = True) -> MDP:
+    """Assemble an :class:`~repro.mdp.model.MDP` from flat COO-style
+    arrays.
+
+    Shared by :meth:`MDPBuilder.build` and the vectorized attack-MDP
+    fast path.  ``src``/``act``/``dst``/``prob`` are parallel arrays
+    (one entry per recorded transition); ``rew_scatter`` maps each
+    channel name to ``(state_idx, action_idx, value)`` scatter arrays
+    of *expected* (probability-weighted) rewards.
+    """
+    n = len(keys)
+    n_actions = len(actions)
+    available = np.zeros((n_actions, n), dtype=bool)
+    available[act, src] = True
+
+    rewards = {}
+    for name, (ss, aa, vv) in rew_scatter.items():
+        arr = np.zeros((n_actions, n))
+        if len(ss):
+            np.add.at(arr, (aa, ss), vv)
+        rewards[name] = arr
+
+    mats: List[sparse.csr_matrix] = []
+    for a in range(n_actions):
+        mask = act == a
+        # The CSR constructor sums duplicate (row, col) entries,
+        # which performs the (state, action, next) merge.
+        mats.append(sparse.csr_matrix(
+            (prob[mask], (src[mask], dst[mask])), shape=(n, n)))
+    return MDP(state_keys=keys, actions=actions, transition=mats,
+               rewards=rewards, available=available, start=start_index,
+               validate=validate)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverError
+from repro.mdp.kernels import q_backup
 from repro.mdp.model import MDP
 
 
@@ -67,10 +68,7 @@ def backward_induction(mdp: MDP, reward: np.ndarray,
     values = np.zeros((horizon + 1, n))
     policies = np.zeros((horizon, n), dtype=int)
     for t in range(1, horizon + 1):
-        q = np.full((mdp.n_actions, n), -np.inf)
-        for a in range(mdp.n_actions):
-            q[a] = reward[a] + mdp.transition[a].dot(values[t - 1])
-        q[~mdp.available] = -np.inf
+        q = q_backup(mdp, reward, values[t - 1])
         values[t] = q.max(axis=0)
         policies[t - 1] = q.argmax(axis=0)
     return FiniteHorizonSolution(horizon=horizon, values=values,

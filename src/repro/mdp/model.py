@@ -48,15 +48,47 @@ class MDP:
                  validate: bool = True) -> None:
         self.state_keys: List = list(state_keys)
         self.actions: List[str] = list(actions)
+        # Skip the CSR re-wrap for inputs that are already CSR (the
+        # builder's output, and every cache-shared matrix): the wrap
+        # copies three large arrays per action for nothing.
         self.transition: List[sparse.csr_matrix] = [
-            sparse.csr_matrix(p) for p in transition]
+            p if isinstance(p, sparse.csr_matrix) else sparse.csr_matrix(p)
+            for p in transition]
         self.rewards: Dict[str, np.ndarray] = {
             name: np.asarray(r, dtype=float) for name, r in rewards.items()}
         self.available = np.asarray(available, dtype=bool)
         self.start = int(start)
         self._index: Dict = {k: i for i, k in enumerate(self.state_keys)}
+        self._kernel = None
+        self._eval_cache = None
         if validate:
             self._validate()
+
+    # -- performance layer -------------------------------------------
+
+    def kernel(self):
+        """The lazily-built stacked Bellman kernel of this MDP (see
+        :class:`repro.mdp.kernels.BellmanKernel`).  MDPs are treated as
+        immutable; mutating ``transition`` after the first solver call
+        requires :meth:`invalidate_caches`."""
+        if self._kernel is None:
+            from repro.mdp.kernels import BellmanKernel
+            self._kernel = BellmanKernel(self)
+        return self._kernel
+
+    def eval_cache(self):
+        """The lazily-built per-MDP policy-evaluation cache (see
+        :class:`repro.mdp.kernels.PolicyEvalCache`)."""
+        if self._eval_cache is None:
+            from repro.mdp.kernels import PolicyEvalCache
+            self._eval_cache = PolicyEvalCache(self)
+        return self._eval_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop the kernel and evaluation cache (required after any
+        in-place mutation of ``transition`` or ``rewards``)."""
+        self._kernel = None
+        self._eval_cache = None
 
     # -- structure ---------------------------------------------------
 
@@ -93,13 +125,26 @@ class MDP:
 
     def combined_reward(self, weights: Mapping[str, float]) -> np.ndarray:
         """Return the ``(A, N)`` reward array for a weighted combination
-        of channels, e.g. ``{"num": 1.0, "den": -rho}``."""
-        out = np.zeros((self.n_actions, self.n_states))
+        of channels, e.g. ``{"num": 1.0, "den": -rho}``.
+
+        The common single-channel unit-weight case (every plain
+        average-reward solve inside the Dinkelbach loop) returns a copy
+        of the channel array directly, skipping the zeros allocation
+        and the add.
+        """
+        out: Optional[np.ndarray] = None
         for name, w in weights.items():
             if name not in self.rewards:
                 raise MDPError(f"unknown reward channel {name!r}")
-            if w != 0.0:
+            if w == 0.0:
+                continue
+            if out is None:
+                channel = self.rewards[name]
+                out = channel.copy() if w == 1.0 else w * channel
+            else:
                 out += w * self.rewards[name]
+        if out is None:
+            out = np.zeros((self.n_actions, self.n_states))
         return out
 
     def channel_reward(self, name: str) -> np.ndarray:
@@ -112,20 +157,9 @@ class MDP:
 
     def policy_matrix(self, policy: np.ndarray) -> sparse.csr_matrix:
         """Return the ``(N, N)`` transition matrix induced by ``policy``
-        (an array of action indices)."""
-        policy = np.asarray(policy, dtype=int)
-        if policy.shape != (self.n_states,):
-            raise MDPError("policy must assign one action per state")
-        out: Optional[sparse.csr_matrix] = None
-        for a in range(self.n_actions):
-            mask = (policy == a).astype(float)
-            if not mask.any():
-                continue
-            selected = sparse.diags(mask).dot(self.transition[a])
-            out = selected if out is None else out + selected
-        if out is None:
-            raise MDPError("empty policy")
-        return sparse.csr_matrix(out)
+        (an array of action indices), extracted by row-slicing the
+        stacked Bellman kernel."""
+        return self.kernel().policy_matrix(policy)
 
     def policy_reward(self, policy: np.ndarray,
                       reward: np.ndarray) -> np.ndarray:

@@ -18,10 +18,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse import linalg as sla
 
 from repro.errors import SolverError
+from repro.mdp.kernels import q_backup
 from repro.mdp.model import MDP
 
 #: Improvement tolerance: an action must beat the incumbent by more than
@@ -59,30 +58,15 @@ def evaluate_policy(mdp: MDP, policy: np.ndarray,
     Solves the (N+1)-dimensional linear system of the average-reward
     evaluation equations with the bias pinned to zero at the MDP's
     start state.  Assumes the policy is unichain.
+
+    The solve runs through the MDP's
+    :class:`~repro.mdp.kernels.PolicyEvalCache`: the system's LU
+    factorization depends only on the policy, so re-evaluating the same
+    policy under a different (e.g. Dinkelbach-transformed) reward costs
+    two triangular solves instead of a fresh factorization.
     """
-    n = mdp.n_states
-    p_pi = mdp.policy_matrix(policy)
-    r_pi = mdp.policy_reward(policy, np.asarray(reward, dtype=float))
-    eye = sparse.identity(n, format="csr")
-    ones = sparse.csr_matrix(np.ones((n, 1)))
-    pin = sparse.csr_matrix(
-        (np.ones(1), (np.zeros(1, dtype=int), np.array([mdp.start]))),
-        shape=(1, n))
-    top = sparse.hstack([eye - p_pi, ones], format="csr")
-    bottom = sparse.hstack([pin, sparse.csr_matrix((1, 1))], format="csr")
-    system = sparse.vstack([top, bottom], format="csc")
-    rhs = np.concatenate([r_pi, [0.0]])
-    try:
-        solution = sla.spsolve(system, rhs)
-    except Exception as exc:  # pragma: no cover - scipy failure modes
-        raise SolverError(f"policy evaluation failed: {exc}") from exc
-    if not np.all(np.isfinite(solution)):
-        raise SolverError(
-            "policy evaluation produced non-finite values; the policy is "
-            "likely multichain (start state unreachable)")
-    bias = solution[:n]
-    gain = float(solution[n])
-    return gain, bias
+    policy = np.asarray(policy, dtype=int)
+    return mdp.eval_cache().evaluate(policy, reward)
 
 
 def _default_policy(mdp: MDP) -> np.ndarray:
@@ -113,10 +97,7 @@ def policy_iteration(mdp: MDP, reward: np.ndarray,
         if on_iter is not None:
             on_iter(it)
         gain, bias = evaluate_policy(mdp, policy, reward)
-        q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
-        for a in range(mdp.n_actions):
-            q[a] = reward[a] + mdp.transition[a].dot(bias)
-        q[~mdp.available] = -np.inf
+        q = q_backup(mdp, reward, bias)
         best = q.max(axis=0)
         incumbent = q[policy, states]
         improvable = best > incumbent + IMPROVE_TOL

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.mdp.kernels import greedy_policy_from_q, q_backup
 from repro.mdp.model import MDP
 
 
@@ -39,11 +40,7 @@ def greedy_policy(mdp: MDP, reward: np.ndarray,
                   values: np.ndarray) -> np.ndarray:
     """Return the greedy policy for ``values`` under ``reward``,
     respecting action availability."""
-    q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
-    for a in range(mdp.n_actions):
-        q[a] = reward[a] + mdp.transition[a].dot(values)
-    q[~mdp.available] = -np.inf
-    return np.asarray(q.argmax(axis=0), dtype=int)
+    return greedy_policy_from_q(q_backup(mdp, reward, values))
 
 
 def value_iteration(mdp: MDP, reward: np.ndarray, discount: float,
@@ -66,15 +63,12 @@ def value_iteration(mdp: MDP, reward: np.ndarray, discount: float,
     for it in range(1, max_iter + 1):
         if on_iter is not None:
             on_iter(it)
-        q = np.full((mdp.n_actions, mdp.n_states), -np.inf)
-        for a in range(mdp.n_actions):
-            q[a] = reward[a] + discount * mdp.transition[a].dot(values)
-        q[~mdp.available] = -np.inf
+        q = q_backup(mdp, reward, values, discount=discount)
         new_values = q.max(axis=0)
         if np.abs(new_values - values).max() < threshold:
             return DiscountedSolution(
                 values=new_values,
-                policy=np.asarray(q.argmax(axis=0), dtype=int),
+                policy=greedy_policy_from_q(q),
                 iterations=it)
         values = new_values
     raise SolverError(f"value iteration did not converge in {max_iter} sweeps")

@@ -1,0 +1,243 @@
+"""Benchmark trajectory of the attack-MDP pipeline.
+
+``python -m repro bench`` runs a small registry of named benchmarks
+over the pipeline's hot path -- building the setting-2 attack MDP,
+solving it, rebuilding reward channels against the structure cache --
+and emits one ``BENCH_<name>.json`` per benchmark (wall time, state
+count, solve/cache counters).  Committed result files form a
+performance trajectory across PRs; the optional ``--baseline``
+comparison turns the same files into a CI regression gate: the run
+fails when any benchmark takes more than ``--max-regression`` times
+its baseline wall time, or when a recorded utility drifts.
+
+Wall times are machine-dependent, so the gate is deliberately loose
+(default 2x) -- it catches algorithmic regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.runtime.journal import atomic_write_text
+
+#: Format version of the BENCH_*.json files.
+BENCH_SCHEMA = 1
+
+#: Utilities are deterministic; any drift beyond this fails the gate.
+UTILITY_TOL = 1e-9
+
+#: Baselines shorter than this are padded up before applying the
+#: regression factor -- sub-50ms timings are mostly scheduler noise.
+WALL_FLOOR_S = 0.05
+
+
+def _set2_config(fast: bool):
+    """The Table 2 setting-2 acceptance cell (alpha = 25%, beta:gamma
+    = 1:1); ``fast`` shrinks AD so CI smoke finishes in seconds."""
+    from repro.core.config import AttackConfig
+    return AttackConfig.from_ratio(0.25, (1, 1), setting=2,
+                                   ad=2 if fast else 6)
+
+
+def bench_attack_build(fast: bool) -> Dict:
+    """Cold build of the setting-2 attack MDP (cache cleared)."""
+    from repro.core.attack_mdp import build_attack_mdp, \
+        clear_attack_mdp_cache
+    config = _set2_config(fast)
+    clear_attack_mdp_cache()
+    start = time.perf_counter()
+    mdp = build_attack_mdp(config)
+    wall = time.perf_counter() - start
+    return {"wall_time_s": wall,
+            "metrics": {"n_states": mdp.n_states,
+                        "n_actions": mdp.n_actions}}
+
+
+def bench_attack_solve(fast: bool) -> Dict:
+    """Relative-revenue solve of a pre-built setting-2 MDP.
+
+    The build cache is cleared first so the timed solve starts from a
+    cold policy-evaluation cache (build time itself is excluded).
+    """
+    from repro.core.attack_mdp import build_attack_mdp, \
+        clear_attack_mdp_cache
+    from repro.core.solve import solve_relative_revenue
+    config = _set2_config(fast)
+    clear_attack_mdp_cache()
+    mdp = build_attack_mdp(config)
+    start = time.perf_counter()
+    analysis = solve_relative_revenue(config, mdp)
+    wall = time.perf_counter() - start
+    stats = mdp.eval_cache().stats
+    return {"wall_time_s": wall,
+            "metrics": {"n_states": mdp.n_states,
+                        "utility": analysis.utility,
+                        "factorizations": stats.factorizations,
+                        "policy_misses": stats.policy_misses,
+                        "policy_hits": stats.policy_hits}}
+
+
+def bench_attack_e2e(fast: bool) -> Dict:
+    """Cold end-to-end cell: build + solve from an empty cache.
+
+    This is the acceptance trajectory -- compare against the seed's
+    build + solve wall time for the same cell.
+    """
+    from repro.core.attack_mdp import build_attack_mdp, \
+        clear_attack_mdp_cache
+    from repro.core.solve import solve_relative_revenue
+    config = _set2_config(fast)
+    clear_attack_mdp_cache()
+    start = time.perf_counter()
+    mdp = build_attack_mdp(config)
+    analysis = solve_relative_revenue(config, mdp)
+    wall = time.perf_counter() - start
+    return {"wall_time_s": wall,
+            "metrics": {"n_states": mdp.n_states,
+                        "utility": analysis.utility,
+                        "factorizations":
+                            mdp.eval_cache().stats.factorizations}}
+
+
+def bench_reward_rebuild(fast: bool) -> Dict:
+    """Reward-channel-only rebuild against a warm structure cache.
+
+    Rebuilding the double-spend channel for a new ``rds`` must not
+    re-enumerate the state space; this benchmark times the cached
+    variant build and records the cache counters proving it took the
+    reward-only path.
+    """
+    from dataclasses import replace
+
+    from repro.core.attack_mdp import attack_mdp_cache_stats, \
+        build_attack_mdp, clear_attack_mdp_cache
+    config = _set2_config(fast)
+    clear_attack_mdp_cache()
+    base = build_attack_mdp(config)
+    start = time.perf_counter()
+    variant = build_attack_mdp(replace(config, rds=2.0))
+    wall = time.perf_counter() - start
+    stats = attack_mdp_cache_stats()
+    if variant.transition[0] is not base.transition[0]:
+        raise ReproError("reward variant rebuilt its transition "
+                         "matrices; the structure cache is broken")
+    return {"wall_time_s": wall,
+            "metrics": {"n_states": variant.n_states,
+                        "reward_rebuilds": stats.reward_rebuilds,
+                        "misses": stats.misses}}
+
+
+#: name -> benchmark callable; each returns {"wall_time_s", "metrics"}.
+BENCHMARKS: Dict[str, Callable[[bool], Dict]] = {
+    "attack-build": bench_attack_build,
+    "attack-solve": bench_attack_solve,
+    "attack-e2e": bench_attack_e2e,
+    "reward-rebuild": bench_reward_rebuild,
+}
+
+
+def bench_filename(name: str) -> str:
+    """The committed artifact name for one benchmark."""
+    return f"BENCH_{name}.json"
+
+
+def run_benchmark(name: str, fast: bool = False,
+                  repeat: int = 1) -> Dict:
+    """Run one registered benchmark and return its BENCH document.
+
+    With ``repeat > 1`` the benchmark runs that many times and the
+    recorded wall time is the minimum -- the standard noise filter for
+    a timing gate; metrics come from the first run.
+    """
+    if name not in BENCHMARKS:
+        raise ReproError(
+            f"unknown benchmark {name!r}; "
+            f"available: {', '.join(sorted(BENCHMARKS))}")
+    if repeat < 1:
+        raise ReproError(f"repeat must be >= 1, got {repeat!r}")
+    result = BENCHMARKS[name](fast)
+    wall = result["wall_time_s"]
+    for _ in range(repeat - 1):
+        wall = min(wall, BENCHMARKS[name](fast)["wall_time_s"])
+    return {"schema": BENCH_SCHEMA, "name": name, "fast": fast,
+            "machine": platform.machine(),
+            "wall_time_s": wall,
+            "metrics": result["metrics"]}
+
+
+def compare_to_baseline(doc: Dict, baseline: Dict,
+                        max_regression: float) -> List[str]:
+    """Failures of ``doc`` against its committed ``baseline``.
+
+    Returns human-readable failure strings (empty = pass).  A baseline
+    recorded in the other ``fast`` mode is skipped -- the two modes
+    solve different state spaces and their wall times are not
+    comparable.
+    """
+    if baseline.get("fast") != doc.get("fast"):
+        return []
+    failures = []
+    limit = max_regression * max(baseline["wall_time_s"], WALL_FLOOR_S)
+    if doc["wall_time_s"] > limit:
+        failures.append(
+            f"{doc['name']}: wall time {doc['wall_time_s']:.4f}s "
+            f"exceeds {max_regression:g}x baseline "
+            f"({baseline['wall_time_s']:.4f}s)")
+    base_utility = baseline.get("metrics", {}).get("utility")
+    utility = doc.get("metrics", {}).get("utility")
+    if base_utility is not None and utility is not None:
+        if abs(utility - base_utility) > UTILITY_TOL:
+            failures.append(
+                f"{doc['name']}: utility {utility!r} drifted from "
+                f"baseline {base_utility!r}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro bench`` entry point."""
+    import argparse
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument("names", nargs="*",
+                        help="benchmarks to run (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink the MDPs for a CI smoke run")
+    parser.add_argument("--output-dir", default=".", metavar="DIR")
+    parser.add_argument("--baseline", default=None, metavar="DIR",
+                        help="directory of committed BENCH_*.json to "
+                             "gate against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        metavar="X",
+                        help="fail when wall time exceeds X times the "
+                             "baseline (default 2.0)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each benchmark N times, record the "
+                             "minimum wall time")
+    args = parser.parse_args(argv)
+    names = args.names or sorted(BENCHMARKS)
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failures: List[str] = []
+    for name in names:
+        doc = run_benchmark(name, fast=args.fast, repeat=args.repeat)
+        path = out_dir / bench_filename(name)
+        atomic_write_text(path, json.dumps(doc, indent=2,
+                                           sort_keys=True) + "\n")
+        print(f"{name}: {doc['wall_time_s']:.4f}s "
+              f"{doc['metrics']} -> {path}")
+        if args.baseline is not None:
+            base_path = Path(args.baseline) / bench_filename(name)
+            if base_path.exists():
+                baseline = json.loads(base_path.read_text())
+                failures.extend(compare_to_baseline(
+                    doc, baseline, args.max_regression))
+            else:
+                print(f"{name}: no baseline at {base_path}, skipping "
+                      "comparison")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0

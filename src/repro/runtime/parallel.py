@@ -1,0 +1,183 @@
+"""Process-parallel execution of independent sweep cells.
+
+A sweep (a paper table, a sensitivity grid, a parameter scan) is a set
+of independent cells; nothing couples them except the shared build
+cache, which each worker process re-warms on its own.  This module
+describes one cell as a picklable :class:`SolveTask`, executes task
+lists either serially or on a :class:`~concurrent.futures.\
+ProcessPoolExecutor`, and keeps the
+:class:`~repro.runtime.sweeprunner.SweepRunner` checkpoint semantics:
+cells already present in the runner's journal are restored without
+solving, fresh results are recorded in the parent process as they
+complete (so a killed parallel run resumes exactly like a serial one),
+and the returned list is ordered by input position regardless of
+completion order.
+
+Parallel and serial execution produce bit-identical results: a task's
+payload is a plain float or JSON-style dict computed by the same
+deterministic solver code path, and pickling across the process
+boundary is exact for both.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.errors import ReproError
+
+#: Task kinds understood by :func:`execute_task`.
+TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze")
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One picklable sweep cell.
+
+    Attributes
+    ----------
+    kind:
+        What to solve: ``"relative"`` / ``"absolute"`` / ``"orphans"``
+        (the three incentive-model utilities, payload = float),
+        ``"selfish_ds"`` (the Bitcoin selfish-mining baseline, payload
+        = float), or ``"analyze"`` (full analysis, payload = the JSON
+        dict of :func:`repro.analysis.store.analysis_to_payload`).
+    key:
+        Journal identity of the cell (stable across runs).
+    config:
+        Attack configuration (all kinds except ``"selfish_ds"``).
+    model:
+        Incentive model (``"analyze"`` only).
+    params:
+        Extra keyword arguments (``"selfish_ds"``: ``alpha``, ``tie``,
+        ``max_len``).
+    """
+
+    kind: str
+    key: Tuple
+    config: Optional[AttackConfig] = None
+    model: Optional[IncentiveModel] = None
+    params: Tuple[Tuple[str, object], ...] = field(default=())
+
+
+def execute_task(task: SolveTask):
+    """Solve one task and return its JSON-compatible payload.
+
+    Runs in a worker process under parallel execution; must therefore
+    touch only picklable inputs and return picklable, JSON-encodable
+    output (what the journal would store).
+    """
+    if task.kind == "relative":
+        from repro.core.solve import solve_relative_revenue
+        return solve_relative_revenue(task.config).utility
+    if task.kind == "absolute":
+        from repro.core.solve import solve_absolute_reward
+        return solve_absolute_reward(task.config).utility
+    if task.kind == "orphans":
+        from repro.core.solve import solve_orphan_rate
+        return solve_orphan_rate(task.config).utility
+    if task.kind == "selfish_ds":
+        from repro.baselines.selfish_ds import (
+            solve_selfish_mining_double_spend,
+        )
+        return solve_selfish_mining_double_spend(
+            **dict(task.params)).absolute_reward
+    if task.kind == "analyze":
+        from repro.analysis.store import analysis_to_payload
+        from repro.core.solve import analyze
+        return analysis_to_payload(analyze(task.config, task.model))
+    raise ReproError(f"unknown task kind {task.kind!r}")
+
+
+def decode_payload(kind: str, payload):
+    """Convert a journal/worker payload back to the caller-facing
+    value (identity for float kinds, analysis reconstruction for
+    ``"analyze"``)."""
+    if kind == "analyze":
+        from repro.analysis.store import analysis_from_payload
+        return analysis_from_payload(payload)
+    return payload
+
+
+ProgressFn = Optional[Callable[[SolveTask, object], None]]
+
+
+def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
+              progress: ProgressFn = None) -> List:
+    """Execute ``tasks`` and return their decoded values in input
+    order.
+
+    Parameters
+    ----------
+    tasks:
+        The cells to solve.
+    runner:
+        Optional :class:`~repro.runtime.sweeprunner.SweepRunner`.
+        Journaled cells are restored without solving; fresh results
+        are recorded (and ``fault_hook`` fired) in the parent process.
+    workers:
+        ``1`` solves in-process; ``> 1`` fans the non-restored cells
+        out to that many worker processes.  Results are identical
+        either way, only wall time and journal record *order* differ
+        (parallel records in completion order).
+    progress:
+        Optional callback invoked with ``(task, value)`` as each cell
+        completes (input order when serial, completion order when
+        parallel).
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers!r}")
+    results: List = [None] * len(tasks)
+    pending: List[Tuple[int, SolveTask]] = []
+    for i, task in enumerate(tasks):
+        journal = getattr(runner, "journal", None)
+        if journal is not None and task.key in journal:
+            runner.stats.restored += 1
+            results[i] = decode_payload(task.kind, journal.get(task.key))
+            if progress is not None:
+                progress(task, results[i])
+        else:
+            pending.append((i, task))
+
+    if workers == 1 or len(pending) <= 1:
+        # Serial path: reuse SweepRunner.cell so checkpoint semantics
+        # (fault_hook before each fresh solve, record after) match the
+        # historical serial sweeps exactly.
+        for i, task in pending:
+            if runner is not None:
+                payload = runner.cell(
+                    list(task.key),
+                    lambda task=task: execute_task(task))
+            else:
+                payload = execute_task(task)
+            results[i] = decode_payload(task.kind, payload)
+            if progress is not None:
+                progress(task, results[i])
+        return results
+
+    def record(task: SolveTask, payload) -> None:
+        if runner is None:
+            return
+        # In parallel mode solves happen in workers, so the
+        # fault_hook fires in the parent just before the journal
+        # record -- the closest crash point the parent controls.
+        if runner.fault_hook is not None:
+            runner.fault_hook(runner.stats.solved)
+        if runner.journal is not None:
+            runner.journal.record(list(task.key), payload)
+        runner.stats.solved += 1
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures: Dict = {pool.submit(execute_task, task): (i, task)
+                         for i, task in pending}
+        for future in as_completed(futures):
+            i, task = futures[future]
+            payload = future.result()
+            record(task, payload)
+            results[i] = decode_payload(task.kind, payload)
+            if progress is not None:
+                progress(task, results[i])
+    return results

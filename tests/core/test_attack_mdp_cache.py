@@ -1,0 +1,148 @@
+"""Tests for the attack-MDP build cache and the fast build path."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.attack_mdp import (
+    _build_fresh,
+    attack_mdp_cache_stats,
+    build_attack_mdp,
+    clear_attack_mdp_cache,
+)
+from repro.core.config import AttackConfig
+from repro.core.solve import solve_absolute_reward
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_attack_mdp_cache()
+    yield
+    clear_attack_mdp_cache()
+
+
+def small_config(**kwargs) -> AttackConfig:
+    return AttackConfig.from_ratio(0.25, (1, 1), setting=2, ad=2,
+                                   **kwargs)
+
+
+def test_exact_config_hit_returns_same_instance():
+    config = small_config()
+    first = build_attack_mdp(config)
+    second = build_attack_mdp(config)
+    assert second is first
+    stats = attack_mdp_cache_stats()
+    assert stats.misses == 1
+    assert stats.hits == 1
+
+
+def test_reward_variant_shares_structure():
+    config = small_config()
+    base = build_attack_mdp(config)
+    variant_config = replace(config, rds=3.0, confirmations=2)
+    variant = build_attack_mdp(variant_config)
+    assert variant is not base
+    stats = attack_mdp_cache_stats()
+    assert stats.reward_rebuilds == 1
+    assert stats.misses == 1
+    # Transition structure, state keys and the Bellman kernel are the
+    # very same objects; only the reward channels were recomputed.
+    for p_base, p_var in zip(base.transition, variant.transition):
+        assert p_var is p_base
+    assert variant.state_keys == base.state_keys
+    assert variant.kernel() is base.kernel()
+
+
+def test_reward_variant_matches_fresh_build():
+    config = small_config()
+    build_attack_mdp(config)
+    variant_config = replace(config, rds=3.0, confirmations=2)
+    variant = build_attack_mdp(variant_config)
+    fresh = build_attack_mdp(variant_config, cache=False)
+    index = {key: i for i, key in enumerate(fresh.state_keys)}
+    perm = np.array([index[key] for key in variant.state_keys])
+    for name in fresh.channels:
+        np.testing.assert_allclose(
+            variant.rewards[name], fresh.rewards[name][:, perm],
+            atol=1e-12, err_msg=f"channel {name}")
+
+
+def test_reward_variant_solves_identically():
+    config = small_config()
+    build_attack_mdp(config)
+    variant_config = replace(config, rds=2.0)
+    cached = solve_absolute_reward(
+        variant_config, build_attack_mdp(variant_config))
+    fresh = solve_absolute_reward(
+        variant_config, build_attack_mdp(variant_config, cache=False))
+    assert cached.utility == pytest.approx(fresh.utility, abs=1e-12)
+
+
+def test_cache_false_bypasses_cache():
+    config = small_config()
+    first = build_attack_mdp(config, cache=False)
+    second = build_attack_mdp(config, cache=False)
+    assert second is not first
+    stats = attack_mdp_cache_stats()
+    assert stats.hits == 0
+    assert stats.misses == 0
+
+
+def test_clear_resets_counters_and_entries():
+    config = small_config()
+    build_attack_mdp(config)
+    build_attack_mdp(config)
+    clear_attack_mdp_cache()
+    stats = attack_mdp_cache_stats()
+    assert (stats.hits, stats.misses, stats.reward_rebuilds) == (0, 0, 0)
+    rebuilt = build_attack_mdp(config)
+    assert attack_mdp_cache_stats().misses == 1
+    assert rebuilt is build_attack_mdp(config)
+
+
+def canonical(mdp):
+    """Order-independent view of an MDP for cross-build comparison."""
+    perm = np.array(sorted(range(mdp.n_states),
+                           key=lambda i: repr(mdp.state_keys[i])))
+    keys = [mdp.state_keys[i] for i in perm]
+    mats = [p[perm][:, perm].toarray() for p in mdp.transition]
+    rewards = {name: mdp.rewards[name][:, perm]
+               for name in mdp.channels}
+    available = mdp.available[:, perm]
+    return keys, mats, rewards, available, mdp.state_keys[mdp.start]
+
+
+@pytest.mark.parametrize("variant", [
+    {},
+    {"include_wait": True},
+    {"ad_carol": 3},
+    {"phase3_return": "phase2_reset"},
+    {"gate_countdown": "l1"},
+    {"rds": 2.0, "confirmations": 2},
+])
+def test_fast_build_matches_generic(variant):
+    """The template-replication build must agree with the reference
+    BFS build exactly (up to state ordering) on every setting-2
+    variant it handles."""
+    config = small_config(**variant)
+    fast_mdp, _ = _build_fresh(config, validate=True, fast=True)
+    slow_mdp, _ = _build_fresh(config, validate=True, fast=False)
+    f_keys, f_mats, f_rew, f_avail, f_start = canonical(fast_mdp)
+    s_keys, s_mats, s_rew, s_avail, s_start = canonical(slow_mdp)
+    assert f_keys == s_keys
+    assert f_start == s_start
+    np.testing.assert_array_equal(f_avail, s_avail)
+    for fm, sm in zip(f_mats, s_mats):
+        np.testing.assert_allclose(fm, sm, atol=1e-14)
+    assert set(f_rew) == set(s_rew)
+    for name in s_rew:
+        np.testing.assert_allclose(f_rew[name], s_rew[name],
+                                   atol=1e-14, err_msg=f"channel {name}")
+
+
+def test_setting1_uses_generic_build():
+    config = AttackConfig.from_ratio(0.10, (1, 1), setting=1, ad=2)
+    mdp = build_attack_mdp(config)
+    assert mdp.n_states > 0
+    assert build_attack_mdp(config) is mdp
