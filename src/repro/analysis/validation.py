@@ -4,21 +4,94 @@ Two independent implementations of the paper's system exist in this
 library: the Table 1 transition encoding solved exactly
 (:mod:`repro.core`) and the substrate simulator driven by real BU
 validity rules (:mod:`repro.sim`).  Running the MDP-optimal policy
-through the simulator and comparing channel rates validates both.
+through a sampler and comparing channel rates validates both.
+
+Two sampling engines are available:
+
+- ``"substrate"`` -- the :class:`~repro.sim.scenario.ThreeMinerScenario`
+  simulator (real BU fork choice; no shared dynamics code with the
+  MDP), the strongest cross-check but Python-speed.
+- ``"rollout"`` -- the batched vectorized sampler of
+  :mod:`repro.mdp.simulate` over the policy-induced Markov chain,
+  orders of magnitude faster; it validates the exact stationary
+  solve (gain, channel rates) by Monte-Carlo and supplies the
+  statistics the solvers cannot (variance, confidence intervals).
+
+A single run gives a point estimate; ``seeds > 1`` (optionally
+``workers > 1`` processes, fanned out through
+:mod:`repro.runtime.parallel`) turns validation into a statistical
+report -- mean, standard error, confidence interval and z-score of
+the sampled utility against the exact gain.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import AttackAnalysis, analyze
+from repro.errors import SimulationError
+from repro.sim.metrics import Welford
 from repro.sim.scenario import ThreeMinerScenario
 from repro.sim.strategies import PolicyStrategy
+
+#: Sampling engines understood by :func:`validate_against_sim`.
+ENGINES = ("substrate", "rollout")
+
+#: Default two-sided confidence level of multi-seed reports.
+CI_LEVEL = 0.99
+
+
+def _normal_quantile(level: float) -> float:
+    """Two-sided normal critical value for a confidence ``level``."""
+    if not 0.0 < level < 1.0:
+        raise SimulationError(
+            f"confidence level must be in (0, 1), got {level!r}")
+    from scipy.special import ndtri
+    return float(ndtri(0.5 + level / 2.0))
+
+
+@dataclass
+class MultiSeedSummary:
+    """Statistics of the sampled utility across seeds/trajectories.
+
+    Attributes
+    ----------
+    n:
+        Number of utility samples (seeds x trajectories).
+    mean:
+        Sample mean of the utility estimates.
+    stderr:
+        Standard error of the mean.
+    level:
+        Two-sided confidence level of ``(lo, hi)``.
+    lo / hi:
+        Confidence-interval bounds ``mean -/+ z * stderr``.
+    z_score:
+        ``(mean - exact) / stderr`` -- how many standard errors the
+        sampled mean sits from the exact gain (``0`` when the
+        standard error vanishes on an exact match).
+    per_seed:
+        Mean utility of each seed, in seed order.
+    """
+
+    n: int
+    mean: float
+    stderr: float
+    level: float
+    lo: float
+    hi: float
+    z_score: float
+    per_seed: List[float] = field(default_factory=list)
+
+    def contains_exact(self) -> bool:
+        """Whether the exact utility lies inside the interval."""
+        critical = _normal_quantile(self.level)
+        return abs(self.z_score) <= critical
 
 
 @dataclass
@@ -30,17 +103,22 @@ class ValidationReport:
     analysis:
         The exact solve (utility + channel gains).
     sim_rates:
-        Channel rates measured by the substrate simulator.
+        Channel rates measured by the sampler (pooled over all seeds
+        and trajectories).
     sim_utility:
-        The utility estimated from the simulation totals.
+        The utility estimated from the sampled totals (the multi-seed
+        mean when ``seeds * trajectories > 1``).
     steps:
-        Simulated block events.
+        Total sampled block events across all seeds and trajectories.
+    multi:
+        Multi-seed statistics, or ``None`` for a single-run report.
     """
 
     analysis: AttackAnalysis
     sim_rates: Dict[str, float]
     sim_utility: float
     steps: int
+    multi: Optional[MultiSeedSummary] = None
 
     @property
     def utility_error(self) -> float:
@@ -53,28 +131,176 @@ class ValidationReport:
                    for c in self.sim_rates)
 
 
+def _utility_from_totals(model: IncentiveModel,
+                         totals: Dict[str, float], steps: int) -> float:
+    """The Section 3 utility computed from sampled channel totals
+    (mirrors the :class:`~repro.sim.metrics.Accounting` properties)."""
+    if model is IncentiveModel.COMPLIANT_PROFIT:
+        locked = totals["alice"] + totals["others"]
+        if locked == 0:
+            raise SimulationError("no blocks locked yet")
+        return totals["alice"] / locked
+    if model is IncentiveModel.NONCOMPLIANT_PROFIT:
+        return (totals["alice"] + totals["ds"]) / steps
+    den = totals["alice"] + totals["alice_orphans"]
+    if den == 0:
+        raise SimulationError("Alice mined no blocks yet")
+    return totals["others_orphans"] / den
+
+
+def _substrate_utility(model: IncentiveModel, accounting) -> float:
+    if model is IncentiveModel.COMPLIANT_PROFIT:
+        return accounting.relative_revenue
+    if model is IncentiveModel.NONCOMPLIANT_PROFIT:
+        return accounting.absolute_reward
+    return accounting.orphan_rate
+
+
+def run_validation_seed(config: AttackConfig, model: IncentiveModel,
+                        seed: int, steps: int, trajectories: int,
+                        engine: str, policy: Tuple[int, ...]) -> Dict:
+    """Sample one seed's utility estimates (one multi-seed cell).
+
+    Runs in a worker process under parallel validation, so it accepts
+    only picklable inputs (the optimal policy travels as a tuple of
+    action indices; the MDP is rebuilt from ``config`` against the
+    process-local build cache) and returns a JSON-style payload:
+    ``{"utilities": [...], "rates": {...}, "steps": total}``.
+    """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown validation engine {engine!r}; expected one of "
+            f"{ENGINES}")
+    from repro.core.attack_mdp import build_attack_mdp
+    mdp = build_attack_mdp(config)
+    indices = np.asarray(policy, dtype=int)
+    if engine == "rollout":
+        from repro.mdp.simulate import rollout_batch
+        batch = rollout_batch(mdp, indices, steps,
+                              n_traj=trajectories, seed=seed)
+        utilities = [
+            _utility_from_totals(
+                model, {name: float(vals[b])
+                        for name, vals in batch.totals.items()},
+                steps)
+            for b in range(batch.n_traj)]
+        rates = {name: batch.rate(name) for name in mdp.channels}
+        return {"utilities": utilities, "rates": rates,
+                "steps": batch.total_steps}
+    from repro.mdp.policy import Policy
+    utilities = []
+    totals: Dict[str, float] = {}
+    for t in range(trajectories):
+        scenario = ThreeMinerScenario(
+            config, PolicyStrategy(Policy(mdp, indices)),
+            rng=np.random.default_rng((seed, t)))
+        accounting = scenario.run(steps).accounting
+        utilities.append(_substrate_utility(model, accounting))
+        for name, rate in accounting.rates().items():
+            totals[name] = totals.get(name, 0.0) + rate * steps
+    total_steps = steps * trajectories
+    rates = {name: value / total_steps for name, value in totals.items()}
+    return {"utilities": utilities, "rates": rates,
+            "steps": total_steps}
+
+
+def _multi_seed_report(analysis: AttackAnalysis, model: IncentiveModel,
+                       steps: int, seeds: int, trajectories: int,
+                       workers: int, engine: str, seed: int,
+                       ci_level: float) -> ValidationReport:
+    from repro.runtime.parallel import SolveTask, run_cells
+    config = analysis.config
+    policy = tuple(int(a) for a in analysis.policy.action_indices)
+    tasks = [
+        SolveTask(kind="validate_seed",
+                  key=("validate", model.value, config.alpha,
+                       config.beta, config.setting, engine, steps,
+                       trajectories, seed + i),
+                  config=config, model=model,
+                  params=(("seed", seed + i), ("steps", steps),
+                          ("trajectories", trajectories),
+                          ("engine", engine), ("policy", policy)))
+        for i in range(seeds)]
+    payloads = run_cells(tasks, workers=workers)
+
+    # Fold per-seed samples in input (seed) order so the report is
+    # independent of worker count and completion order.
+    acc = Welford()
+    per_seed: List[float] = []
+    rates: Dict[str, float] = {}
+    total_steps = 0
+    for payload in payloads:
+        seed_acc = Welford()
+        seed_acc.add_many(payload["utilities"])
+        per_seed.append(seed_acc.mean)
+        acc.merge(seed_acc)
+        total_steps += payload["steps"]
+        for name, rate in payload["rates"].items():
+            rates[name] = rates.get(name, 0.0) \
+                + rate * payload["steps"]
+    rates = {name: value / total_steps for name, value in rates.items()}
+
+    stderr = acc.stderr if acc.count >= 2 else 0.0
+    critical = _normal_quantile(ci_level)
+    if stderr > 0:
+        z_score = (acc.mean - analysis.utility) / stderr
+    else:
+        z_score = 0.0 if acc.mean == analysis.utility else float("inf")
+    summary = MultiSeedSummary(
+        n=acc.count, mean=acc.mean, stderr=stderr, level=ci_level,
+        lo=acc.mean - critical * stderr, hi=acc.mean + critical * stderr,
+        z_score=z_score, per_seed=per_seed)
+    return ValidationReport(analysis=analysis, sim_rates=rates,
+                            sim_utility=acc.mean, steps=total_steps,
+                            multi=summary)
+
+
 def validate_against_sim(config: AttackConfig, model: IncentiveModel,
                          steps: int = 200_000,
-                         rng: Optional[np.random.Generator] = None
-                         ) -> ValidationReport:
-    """Solve ``model`` exactly, replay the optimal policy through the
-    substrate simulator, and report the agreement.
+                         rng: Optional[np.random.Generator] = None,
+                         seeds: int = 1, trajectories: int = 1,
+                         workers: int = 1, engine: str = "substrate",
+                         seed: int = 0,
+                         ci_level: float = CI_LEVEL) -> ValidationReport:
+    """Solve ``model`` exactly, replay the optimal policy through a
+    sampler, and report the agreement.
+
+    With the defaults this is the historical single-run check: one
+    substrate-simulator trajectory of ``steps`` blocks driven by
+    ``rng``, returning a point estimate (``multi`` is ``None``).
+    Raising ``seeds`` and/or ``trajectories`` samples
+    ``seeds * trajectories`` independent utility estimates (each seed
+    optionally on one of ``workers`` parallel processes) and attaches
+    a :class:`MultiSeedSummary` -- mean, stderr, ``ci_level``
+    confidence interval and z-score against the exact gain.  Seeds
+    are ``seed, seed + 1, ...``; results are deterministic and
+    independent of ``workers``.
 
     Exact agreement is expected in setting 1; in setting 2 the
-    substrate's Rizun-faithful gate countdown differs slightly from the
-    paper's MDP (see :mod:`repro.sim.scenario`).
+    substrate's Rizun-faithful gate countdown differs slightly from
+    the paper's MDP (see :mod:`repro.sim.scenario`), while the
+    ``"rollout"`` engine samples the MDP itself and is unbiased in
+    both settings.
     """
+    if seeds < 1:
+        raise SimulationError(f"seeds must be >= 1, got {seeds!r}")
+    if trajectories < 1:
+        raise SimulationError(
+            f"trajectories must be >= 1, got {trajectories!r}")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown validation engine {engine!r}; expected one of "
+            f"{ENGINES}")
     analysis = analyze(config, model)
-    scenario = ThreeMinerScenario(config.with_wait(model.uses_wait),
-                                  PolicyStrategy(analysis.policy),
-                                  rng=rng)
-    result = scenario.run(steps)
-    acc = result.accounting
-    if model is IncentiveModel.COMPLIANT_PROFIT:
-        sim_utility = acc.relative_revenue
-    elif model is IncentiveModel.NONCOMPLIANT_PROFIT:
-        sim_utility = acc.absolute_reward
-    else:
-        sim_utility = acc.orphan_rate
-    return ValidationReport(analysis=analysis, sim_rates=acc.rates(),
-                            sim_utility=sim_utility, steps=steps)
+    if seeds == 1 and trajectories == 1 and engine == "substrate":
+        scenario = ThreeMinerScenario(
+            config.with_wait(model.uses_wait),
+            PolicyStrategy(analysis.policy), rng=rng)
+        result = scenario.run(steps)
+        acc = result.accounting
+        return ValidationReport(
+            analysis=analysis, sim_rates=acc.rates(),
+            sim_utility=_substrate_utility(model, acc), steps=steps)
+    return _multi_seed_report(analysis, model, steps, seeds,
+                              trajectories, workers, engine, seed,
+                              ci_level)

@@ -6,7 +6,8 @@ Commands
 ``tables``    regenerate the paper's result tables
 ``figures``   replay the executable Figures 1-3
 ``games``     play the Section 5 games (including Figure 4)
-``validate``  cross-check an MDP solve against the substrate simulator
+``validate``  cross-check an MDP solve against a sampler (substrate
+              simulator or vectorized rollouts; multi-seed CI report)
 ``latency``   measure natural fork rates under propagation delay
 ``race``      per-race statistics of one fork (absorbing-chain exact)
 ``deadline``  price a time-limited attack (finite horizon)
@@ -111,13 +112,27 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from repro.analysis.validation import validate_against_sim
     config = AttackConfig.from_ratio(args.alpha, _parse_ratio(args.ratio),
                                      setting=args.setting)
+    single = args.seeds == 1 and args.trajectories == 1 \
+        and args.engine == "substrate"
     report = validate_against_sim(
         config, _MODELS[args.model], steps=args.steps,
-        rng=np.random.default_rng(args.seed))
+        rng=np.random.default_rng(args.seed) if single else None,
+        seeds=args.seeds, trajectories=args.trajectories,
+        workers=args.workers, engine=args.engine, seed=args.seed)
     print(f"exact utility:     {report.analysis.utility:.6f}")
     print(f"simulated utility: {report.sim_utility:.6f} "
           f"({report.steps} blocks)")
     print(f"max channel-rate error: {report.max_rate_error():.6f}")
+    multi = report.multi
+    if multi is not None:
+        print(f"samples: {multi.n} ({args.seeds} seeds x "
+              f"{args.trajectories} trajectories, {args.engine} engine)")
+        print(f"stderr:  {multi.stderr:.6f}")
+        print(f"{multi.level:.0%} CI: [{multi.lo:.6f}, {multi.hi:.6f}]"
+              f" ({'contains' if multi.contains_exact() else 'MISSES'}"
+              " exact)")
+        print(f"z-score: {multi.z_score:+.3f}")
+        return 0 if multi.contains_exact() else 1
     return 0
 
 
@@ -263,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
                           default="absolute")
     validate.add_argument("--steps", type=int, default=50_000)
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--seeds", type=int, default=1, metavar="N",
+                          help="independent seeds for a multi-seed "
+                               "statistical report (default 1)")
+    validate.add_argument("--trajectories", type=int, default=1,
+                          metavar="B", help="trajectories per seed "
+                          "(default 1)")
+    validate.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="worker processes for the seed fan-out "
+                               "(default 1; results are identical for "
+                               "any worker count)")
+    validate.add_argument("--engine", choices=("substrate", "rollout"),
+                          default="substrate",
+                          help="sampler: the BU substrate simulator or "
+                               "the vectorized MDP rollout engine")
     validate.set_defaults(func=cmd_validate)
 
     latency = sub.add_parser("latency", help="propagation-delay forks")

@@ -2,8 +2,9 @@
 
 ``python -m repro bench`` runs a small registry of named benchmarks
 over the pipeline's hot path -- building the setting-2 attack MDP,
-solving it, rebuilding reward channels against the structure cache --
-and emits one ``BENCH_<name>.json`` per benchmark (wall time, state
+solving it, rebuilding reward channels against the structure cache,
+sampling the optimal policy through the Monte-Carlo engines -- and
+emits one ``BENCH_<name>.json`` per benchmark (wall time, state
 count, solve/cache counters).  Committed result files form a
 performance trajectory across PRs; the optional ``--baseline``
 comparison turns the same files into a CI regression gate: the run
@@ -132,12 +133,110 @@ def bench_reward_rebuild(fast: bool) -> Dict:
                         "misses": stats.misses}}
 
 
+def bench_sim_rollout(fast: bool) -> Dict:
+    """Monte-Carlo rollout throughput: serial vs batched vs pooled.
+
+    Samples the same total number of policy-chain steps through the
+    three :mod:`repro.mdp.simulate` engines on the setting-2
+    acceptance cell and records steps/second for each plus the batched
+    and pooled speedups over the serial reference.  Policy tables are
+    prebuilt and shared so the timings isolate the sampling kernels;
+    the gated wall time is the pooled run (the validation workhorse).
+    """
+    import numpy as np
+
+    from repro.core.attack_mdp import build_attack_mdp
+    from repro.core.solve import solve_relative_revenue
+    from repro.mdp.simulate import build_policy_tables, rollout, \
+        rollout_batch, rollout_pooled
+    config = _set2_config(fast)
+    mdp = build_attack_mdp(config)
+    analysis = solve_relative_revenue(config, mdp)
+    policy = np.asarray(analysis.policy.action_indices)
+    tables = build_policy_tables(mdp, policy)
+    total = 60_000 if fast else 300_000
+    n_traj = 64 if fast else 256
+
+    start = time.perf_counter()
+    rollout(mdp, policy, total, rng=np.random.default_rng(0),
+            tables=tables)
+    serial_wall = time.perf_counter() - start
+    serial_sps = total / serial_wall
+
+    per_traj = total // n_traj
+    start = time.perf_counter()
+    batch = rollout_batch(mdp, policy, per_traj, n_traj=n_traj,
+                          seed=0, tables=tables)
+    batch_wall = time.perf_counter() - start
+    batch_sps = batch.total_steps / batch_wall
+
+    start = time.perf_counter()
+    pooled = rollout_pooled(mdp, policy, per_traj, n_traj=n_traj,
+                            seed=0, tables=tables)
+    pooled_wall = time.perf_counter() - start
+    pooled_sps = pooled.steps / pooled_wall
+
+    return {"wall_time_s": pooled_wall,
+            "metrics": {"n_states": mdp.n_states,
+                        "total_steps": total,
+                        "n_traj": n_traj,
+                        "serial_steps_per_s": round(serial_sps),
+                        "batch_steps_per_s": round(batch_sps),
+                        "pooled_steps_per_s": round(pooled_sps),
+                        "batch_speedup":
+                            round(batch_sps / serial_sps, 2),
+                        "pooled_speedup":
+                            round(pooled_sps / serial_sps, 2)}}
+
+
+def bench_sim_validate(fast: bool) -> Dict:
+    """Multi-seed Monte-Carlo validation of the exact gain.
+
+    Times :func:`repro.analysis.validation.validate_against_sim` with
+    the ``"rollout"`` engine (seeds x trajectories utility samples,
+    99% confidence interval) on the setting-2 acceptance cell and
+    fails -- deterministically, the seeds are pinned -- when the exact
+    gain falls outside the sampled interval.  The recorded ``utility``
+    is the exact gain (deterministic, drift-gated); the sampled
+    statistics are informational.
+    """
+    from repro.analysis.validation import validate_against_sim
+    from repro.core.attack_mdp import build_attack_mdp
+    from repro.core.incentives import IncentiveModel
+    config = _set2_config(fast)
+    # Warm the build cache so the timed region is solve + sampling.
+    mdp = build_attack_mdp(config)
+    steps = 20_000 if fast else 100_000
+    start = time.perf_counter()
+    report = validate_against_sim(
+        config, IncentiveModel.COMPLIANT_PROFIT, steps=steps,
+        seeds=4, trajectories=8, workers=1, engine="rollout", seed=0)
+    wall = time.perf_counter() - start
+    multi = report.multi
+    if not multi.contains_exact():
+        raise ReproError(
+            f"statistical agreement failure: exact utility "
+            f"{report.analysis.utility!r} outside the {multi.level:.0%} "
+            f"confidence interval [{multi.lo!r}, {multi.hi!r}] "
+            f"(z = {multi.z_score:.2f})")
+    return {"wall_time_s": wall,
+            "metrics": {"n_states": mdp.n_states,
+                        "utility": report.analysis.utility,
+                        "sampled_mean": multi.mean,
+                        "sampled_stderr": multi.stderr,
+                        "z_score": round(multi.z_score, 3),
+                        "n_samples": multi.n,
+                        "total_steps": report.steps}}
+
+
 #: name -> benchmark callable; each returns {"wall_time_s", "metrics"}.
 BENCHMARKS: Dict[str, Callable[[bool], Dict]] = {
     "attack-build": bench_attack_build,
     "attack-solve": bench_attack_solve,
     "attack-e2e": bench_attack_e2e,
     "reward-rebuild": bench_reward_rebuild,
+    "sim-rollout": bench_sim_rollout,
+    "sim-validate": bench_sim_validate,
 }
 
 

@@ -30,7 +30,8 @@ from repro.core.incentives import IncentiveModel
 from repro.errors import ReproError
 
 #: Task kinds understood by :func:`execute_task`.
-TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze")
+TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze",
+              "validate_seed")
 
 
 @dataclass(frozen=True)
@@ -43,8 +44,11 @@ class SolveTask:
         What to solve: ``"relative"`` / ``"absolute"`` / ``"orphans"``
         (the three incentive-model utilities, payload = float),
         ``"selfish_ds"`` (the Bitcoin selfish-mining baseline, payload
-        = float), or ``"analyze"`` (full analysis, payload = the JSON
-        dict of :func:`repro.analysis.store.analysis_to_payload`).
+        = float), ``"analyze"`` (full analysis, payload = the JSON
+        dict of :func:`repro.analysis.store.analysis_to_payload`), or
+        ``"validate_seed"`` (one seed of a multi-seed Monte-Carlo
+        validation, payload = the sample dict of
+        :func:`repro.analysis.validation.run_validation_seed`).
     key:
         Journal identity of the cell (stable across runs).
     config:
@@ -53,7 +57,8 @@ class SolveTask:
         Incentive model (``"analyze"`` only).
     params:
         Extra keyword arguments (``"selfish_ds"``: ``alpha``, ``tie``,
-        ``max_len``).
+        ``max_len``; ``"validate_seed"``: ``seed``, ``steps``,
+        ``trajectories``, ``engine``, ``policy``).
     """
 
     kind: str
@@ -89,6 +94,10 @@ def execute_task(task: SolveTask):
         from repro.analysis.store import analysis_to_payload
         from repro.core.solve import analyze
         return analysis_to_payload(analyze(task.config, task.model))
+    if task.kind == "validate_seed":
+        from repro.analysis.validation import run_validation_seed
+        return run_validation_seed(task.config, task.model,
+                                   **dict(task.params))
     raise ReproError(f"unknown task kind {task.kind!r}")
 
 

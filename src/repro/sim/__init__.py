@@ -16,7 +16,7 @@ against Rizun's protocol description.
   Figures 1-3.
 """
 
-from repro.sim.metrics import Accounting
+from repro.sim.metrics import Accounting, Welford
 from repro.sim.strategies import (
     AlwaysSplitStrategy,
     HonestStrategy,
@@ -41,6 +41,7 @@ from repro.sim.network import (
 
 __all__ = [
     "Accounting",
+    "Welford",
     "Strategy",
     "HonestStrategy",
     "AlwaysSplitStrategy",

@@ -1,12 +1,97 @@
-"""Reward, orphan and double-spend accounting for simulations."""
+"""Reward, orphan and double-spend accounting for simulations, plus
+streaming (Welford) moment accumulators for sampled statistics."""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.core.double_spend import double_spend_bonus
 from repro.errors import SimulationError
+
+
+@dataclass
+class Welford:
+    """Streaming mean/variance accumulator (Welford's algorithm).
+
+    Holds O(1) state however many samples are added, so arbitrarily
+    long sample streams (per-trajectory utilities, per-seed rates)
+    never need materializing.  Accumulators combine exactly with
+    :meth:`merge` (Chan et al.'s pairwise update), which is how
+    per-seed statistics computed in worker processes are folded into
+    one report; merging in a fixed order keeps the combined result
+    independent of how work was distributed.
+
+    Attributes
+    ----------
+    count:
+        Number of samples absorbed.
+    mean:
+        Running sample mean.
+    m2:
+        Running sum of squared deviations from the mean.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Absorb one sample."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Absorb a batch of samples (in iteration order)."""
+        for value in values:
+            self.add(float(value))
+
+    def merge(self, other: "Welford") -> None:
+        """Fold another accumulator into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = \
+                other.count, other.mean, other.m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta \
+            * self.count * other.count / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (needs >= 2 samples)."""
+        if self.count < 2:
+            raise SimulationError(
+                "variance needs at least two samples")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.count)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-compatible state (for cross-process payloads)."""
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "Welford":
+        """Rebuild an accumulator from :meth:`as_dict` output."""
+        return cls(count=int(payload["count"]),
+                   mean=float(payload["mean"]),
+                   m2=float(payload["m2"]))
 
 
 @dataclass

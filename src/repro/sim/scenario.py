@@ -40,6 +40,38 @@ from repro.sim.strategies import Strategy
 
 ALICE, BOB, CAROL = "alice", "bob", "carol"
 
+#: Uniform draws pre-sampled per refill by :class:`ChunkedUniforms`.
+UNIFORM_CHUNK = 1024
+
+
+class ChunkedUniforms:
+    """Chunked scalar uniform draws from a generator.
+
+    ``Generator.random(n)`` consumes the same bit stream as ``n``
+    scalar ``Generator.random()`` calls, so buffering draws in chunks
+    of ``chunk`` changes per-block wall time (one numpy call per
+    ``chunk`` blocks instead of one per block) but never the sampled
+    values: a scenario run is bit-identical with any chunk size.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 chunk: int = UNIFORM_CHUNK) -> None:
+        if chunk < 1:
+            raise SimulationError(f"chunk must be >= 1, got {chunk!r}")
+        self._rng = rng
+        self._chunk = chunk
+        self._buffer = np.empty(0)
+        self._next = 0
+
+    def next(self) -> float:
+        """The next uniform draw from the underlying stream."""
+        if self._next >= len(self._buffer):
+            self._buffer = self._rng.random(self._chunk)
+            self._next = 0
+        value = self._buffer[self._next]
+        self._next += 1
+        return float(value)
+
 
 @dataclass
 class _Fork:
@@ -95,6 +127,10 @@ class ThreeMinerScenario:
         self.config = config
         self.strategy = strategy
         self.rng = rng if rng is not None else np.random.default_rng()
+        # step() draws its one uniform per block through this chunked
+        # buffer; drawing from self.rng directly between steps would
+        # interleave with the pre-sampled chunk.
+        self._uniforms = ChunkedUniforms(self.rng)
         self.tree = BlockTree()
         sticky = config.setting == 2
         self.bob = NodeView.bu(
@@ -167,11 +203,11 @@ class ThreeMinerScenario:
             action = ON_CHAIN_1  # the strategy pauses during phase 3
         else:
             action = self.strategy.decide(self.tracked_state())
+        u = self._uniforms.next()
         if action == WAIT:
             rest = cfg.beta + cfg.gamma
-            miner = BOB if self.rng.random() < cfg.beta / rest else CAROL
+            miner = BOB if u < cfg.beta / rest else CAROL
         else:
-            u = self.rng.random()
             if u < cfg.alpha:
                 miner = ALICE
             elif u < cfg.alpha + cfg.beta:

@@ -1,0 +1,109 @@
+"""Tests for multi-seed statistical validation of the exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    CI_LEVEL,
+    MultiSeedSummary,
+    _normal_quantile,
+    run_validation_seed,
+    validate_against_sim,
+)
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.errors import SimulationError
+
+
+def small_config(**kwargs) -> AttackConfig:
+    defaults = dict(alpha=0.3, ratio=(1, 1), setting=1, ad=3)
+    defaults.update(kwargs)
+    ratio = defaults.pop("ratio")
+    alpha = defaults.pop("alpha")
+    return AttackConfig.from_ratio(alpha, ratio, **defaults)
+
+
+def test_normal_quantile_matches_known_values():
+    assert _normal_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+    assert _normal_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+    with pytest.raises(SimulationError):
+        _normal_quantile(1.5)
+
+
+def test_multi_seed_rollout_mean_within_own_ci():
+    report = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, steps=20_000,
+        seeds=3, trajectories=8, engine="rollout")
+    multi = report.multi
+    assert isinstance(multi, MultiSeedSummary)
+    assert multi.n == 24
+    assert len(multi.per_seed) == 3
+    assert multi.level == CI_LEVEL
+    assert multi.lo <= multi.mean <= multi.hi
+    # With 24 independent samples of a 20k-step chain the exact gain
+    # must sit inside the sampled 99% interval.
+    assert multi.contains_exact()
+    assert report.sim_utility == multi.mean
+    assert abs(multi.z_score) < _normal_quantile(CI_LEVEL)
+
+
+def test_multi_seed_independent_of_worker_count():
+    kwargs = dict(steps=5_000, seeds=3, trajectories=4,
+                  engine="rollout")
+    serial = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, workers=1,
+        **kwargs)
+    parallel = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, workers=2,
+        **kwargs)
+    assert serial.multi == parallel.multi  # float-exact, not approx
+    assert serial.sim_rates == parallel.sim_rates
+    assert serial.steps == parallel.steps
+
+
+def test_multi_seed_substrate_engine():
+    report = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, steps=3_000,
+        seeds=2, trajectories=2, engine="substrate")
+    assert report.multi.n == 4
+    assert report.steps == 12_000
+
+
+def test_legacy_single_run_path_unchanged():
+    report = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, steps=4_000,
+        rng=np.random.default_rng(7))
+    assert report.multi is None
+    again = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, steps=4_000,
+        rng=np.random.default_rng(7))
+    assert report.sim_utility == again.sim_utility
+
+
+def test_validate_rejects_bad_arguments():
+    config = small_config()
+    model = IncentiveModel.COMPLIANT_PROFIT
+    with pytest.raises(SimulationError):
+        validate_against_sim(config, model, seeds=0)
+    with pytest.raises(SimulationError):
+        validate_against_sim(config, model, trajectories=0)
+    with pytest.raises(SimulationError):
+        validate_against_sim(config, model, engine="magic")
+    with pytest.raises(SimulationError):
+        run_validation_seed(config, model, seed=0, steps=10,
+                            trajectories=1, engine="magic", policy=())
+
+
+def test_run_validation_seed_payload_is_json_style():
+    from repro.core.solve import analyze
+    config = small_config()
+    analysis = analyze(config, IncentiveModel.COMPLIANT_PROFIT)
+    policy = tuple(int(a) for a in analysis.policy.action_indices)
+    payload = run_validation_seed(
+        analysis.config, IncentiveModel.COMPLIANT_PROFIT, seed=0,
+        steps=2_000, trajectories=3, engine="rollout", policy=policy)
+    assert set(payload) == {"utilities", "rates", "steps"}
+    assert len(payload["utilities"]) == 3
+    assert payload["steps"] == 6_000
+    import json
+    json.dumps(payload)  # journal/worker payloads must be JSON-safe

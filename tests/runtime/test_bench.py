@@ -17,7 +17,8 @@ from repro.runtime.bench import (
 
 def test_registry_names_are_stable():
     assert set(BENCHMARKS) == {"attack-build", "attack-solve",
-                               "attack-e2e", "reward-rebuild"}
+                               "attack-e2e", "reward-rebuild",
+                               "sim-rollout", "sim-validate"}
 
 
 def test_unknown_benchmark_raises():

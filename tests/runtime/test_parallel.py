@@ -88,6 +88,21 @@ def test_parallel_run_records_journal_and_resumes(tmp_path):
     assert values == reference
 
 
+def test_validate_seed_tasks_execute():
+    model = IncentiveModel.COMPLIANT_PROFIT
+    analysis = analyze(small_config(), model)
+    policy = tuple(int(a) for a in analysis.policy.action_indices)
+    task = SolveTask(kind="validate_seed", key=("v", 0),
+                     config=analysis.config, model=model,
+                     params=(("seed", 0), ("steps", 2_000),
+                             ("trajectories", 2),
+                             ("engine", "rollout"),
+                             ("policy", policy)))
+    payload = execute_task(task)
+    assert set(payload) == {"utilities", "rates", "steps"}
+    assert run_cells([task], workers=1) == [payload]
+
+
 def test_table2_parallel_matches_serial():
     kwargs = dict(setting=1, alphas=(0.10,), ratios=((1, 1), (1, 2)))
     serial = tables.table2(**kwargs)

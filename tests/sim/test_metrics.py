@@ -1,9 +1,10 @@
 """Tests for simulation accounting."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.metrics import Accounting
+from repro.sim.metrics import Accounting, Welford
 
 
 def test_locked_accumulates():
@@ -54,3 +55,57 @@ def test_guards_against_empty_denominators():
         acc.orphan_rate
     with pytest.raises(SimulationError):
         acc.rates()
+
+
+# -- streaming moments -------------------------------------------------
+
+
+def test_welford_matches_numpy(rng):
+    samples = rng.normal(3.0, 2.0, size=500)
+    acc = Welford()
+    acc.add_many(samples)
+    assert acc.count == 500
+    assert acc.mean == pytest.approx(samples.mean(), rel=1e-12)
+    assert acc.variance == pytest.approx(samples.var(ddof=1), rel=1e-10)
+    assert acc.std == pytest.approx(samples.std(ddof=1), rel=1e-10)
+    assert acc.stderr == pytest.approx(
+        samples.std(ddof=1) / np.sqrt(500), rel=1e-10)
+
+
+def test_welford_merge_equals_single_stream(rng):
+    samples = rng.random(301)
+    whole = Welford()
+    whole.add_many(samples)
+    left, right = Welford(), Welford()
+    left.add_many(samples[:100])
+    right.add_many(samples[100:])
+    left.merge(right)
+    assert left.count == whole.count
+    assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+    assert left.variance == pytest.approx(whole.variance, rel=1e-10)
+
+
+def test_welford_merge_handles_empty_sides():
+    acc = Welford()
+    filled = Welford()
+    filled.add_many([1.0, 2.0, 3.0])
+    acc.merge(filled)  # empty <- filled copies state
+    assert (acc.count, acc.mean) == (3, 2.0)
+    acc.merge(Welford())  # filled <- empty is a no-op
+    assert (acc.count, acc.mean) == (3, 2.0)
+
+
+def test_welford_variance_needs_two_samples():
+    acc = Welford()
+    with pytest.raises(SimulationError):
+        acc.variance
+    acc.add(1.0)
+    with pytest.raises(SimulationError):
+        acc.variance
+
+
+def test_welford_dict_round_trip():
+    acc = Welford()
+    acc.add_many([0.5, 1.5, 4.0])
+    restored = Welford.from_dict(acc.as_dict())
+    assert restored == acc

@@ -179,3 +179,23 @@ class TestValidation:
         sc = scenario()
         with pytest.raises(SimulationError):
             sc.force_step("mallory")
+
+
+class TestChunkedUniforms:
+    def test_stream_identical_to_scalar_draws(self):
+        """Buffered refills consume the generator's PCG64 stream
+        exactly like per-step scalar ``rng.random()`` calls, so
+        pre-sampling never changes a simulated trajectory."""
+        from repro.sim.scenario import UNIFORM_CHUNK, ChunkedUniforms
+        chunked = ChunkedUniforms(np.random.default_rng(5))
+        reference = np.random.default_rng(5)
+        n = 2 * UNIFORM_CHUNK + 137  # crosses two refill boundaries
+        for _ in range(n):
+            assert chunked.next() == reference.random()
+
+    def test_scenario_reproducibility_with_chunking(self):
+        a = ThreeMinerScenario(cfg(), HonestStrategy(),
+                               rng=np.random.default_rng(11)).run(3000)
+        b = ThreeMinerScenario(cfg(), HonestStrategy(),
+                               rng=np.random.default_rng(11)).run(3000)
+        assert a.accounting == b.accounting

@@ -59,6 +59,19 @@ def test_validate_command(capsys):
     assert "exact utility" in out
 
 
+def test_validate_command_multi_seed(capsys):
+    code = main(["validate", "--alpha", "0.10", "--ratio", "1:1",
+                 "--model", "relative", "--steps", "5000",
+                 "--seeds", "2", "--trajectories", "4",
+                 "--workers", "2", "--engine", "rollout"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 seeds x 4 trajectories" in out
+    assert "99% CI" in out
+    assert "z-score" in out
+    assert "contains" in out
+
+
 def test_tables_command_fast(capsys):
     code = main(["tables", "table4", "--fast"])
     out = capsys.readouterr().out
