@@ -35,6 +35,7 @@ from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import AttackAnalysis, analyze
 from repro.errors import SimulationError
+from repro.runtime.telemetry import counter_add, span
 from repro.sim.metrics import Welford
 from repro.sim.scenario import ThreeMinerScenario
 from repro.sim.strategies import PolicyStrategy
@@ -172,36 +173,41 @@ def run_validation_seed(config: AttackConfig, model: IncentiveModel,
             f"unknown validation engine {engine!r}; expected one of "
             f"{ENGINES}")
     from repro.core.attack_mdp import build_attack_mdp
-    mdp = build_attack_mdp(config)
-    indices = np.asarray(policy, dtype=int)
-    if engine == "rollout":
-        from repro.mdp.simulate import rollout_batch
-        batch = rollout_batch(mdp, indices, steps,
-                              n_traj=trajectories, seed=seed)
-        utilities = [
-            _utility_from_totals(
-                model, {name: float(vals[b])
-                        for name, vals in batch.totals.items()},
-                steps)
-            for b in range(batch.n_traj)]
-        rates = {name: batch.rate(name) for name in mdp.channels}
+    with span("validate/seed"):
+        counter_add("validate/seeds")
+        mdp = build_attack_mdp(config)
+        indices = np.asarray(policy, dtype=int)
+        if engine == "rollout":
+            from repro.mdp.simulate import rollout_batch
+            batch = rollout_batch(mdp, indices, steps,
+                                  n_traj=trajectories, seed=seed)
+            utilities = [
+                _utility_from_totals(
+                    model, {name: float(vals[b])
+                            for name, vals in batch.totals.items()},
+                    steps)
+                for b in range(batch.n_traj)]
+            rates = {name: batch.rate(name) for name in mdp.channels}
+            counter_add("validate/samples", len(utilities))
+            return {"utilities": utilities, "rates": rates,
+                    "steps": batch.total_steps}
+        from repro.mdp.policy import Policy
+        utilities = []
+        totals: Dict[str, float] = {}
+        for t in range(trajectories):
+            scenario = ThreeMinerScenario(
+                config, PolicyStrategy(Policy(mdp, indices)),
+                rng=np.random.default_rng((seed, t)))
+            accounting = scenario.run(steps).accounting
+            utilities.append(_substrate_utility(model, accounting))
+            for name, rate in accounting.rates().items():
+                totals[name] = totals.get(name, 0.0) + rate * steps
+        total_steps = steps * trajectories
+        rates = {name: value / total_steps
+                 for name, value in totals.items()}
+        counter_add("validate/samples", len(utilities))
         return {"utilities": utilities, "rates": rates,
-                "steps": batch.total_steps}
-    from repro.mdp.policy import Policy
-    utilities = []
-    totals: Dict[str, float] = {}
-    for t in range(trajectories):
-        scenario = ThreeMinerScenario(
-            config, PolicyStrategy(Policy(mdp, indices)),
-            rng=np.random.default_rng((seed, t)))
-        accounting = scenario.run(steps).accounting
-        utilities.append(_substrate_utility(model, accounting))
-        for name, rate in accounting.rates().items():
-            totals[name] = totals.get(name, 0.0) + rate * steps
-    total_steps = steps * trajectories
-    rates = {name: value / total_steps for name, value in totals.items()}
-    return {"utilities": utilities, "rates": rates,
-            "steps": total_steps}
+                "steps": total_steps}
 
 
 def _multi_seed_report(analysis: AttackAnalysis, model: IncentiveModel,

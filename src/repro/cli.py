@@ -14,6 +14,12 @@ Commands
 ``report``    regenerate the paper-vs-measured markdown comparison
 ``chaos``     run the network simulation under an injected fault plan
 ``bench``     run the pipeline benchmarks, emit BENCH_<name>.json
+``trace``     summarize a JSONL trace captured with ``--trace``
+
+``attack``, ``tables``, ``validate`` and ``bench`` accept
+``--trace FILE``: the run executes with telemetry enabled and writes
+the span/counter/gauge registry as JSONL to FILE on the way out (see
+:mod:`repro.runtime.telemetry` and docs/observability.md).
 """
 
 from __future__ import annotations
@@ -219,6 +225,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.telemetry import load_trace, summarize_trace
+    print(summarize_trace(load_trace(args.file)))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime.bench import main as bench_main
     argv = list(args.names)
@@ -250,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--timeout", type=float, default=None,
                         help="wall-clock budget in seconds (supervised "
                              "solve with fallback chain)")
+    _add_trace_flag(attack)
     attack.set_defaults(func=cmd_attack)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -261,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--journal", default=None, metavar="DIR",
                         help="checkpoint directory; an interrupted run "
                              "resumes from it without re-solving")
+    _add_trace_flag(tables)
     tables.set_defaults(func=cmd_tables)
 
     figures = sub.add_parser("figures", help="replay Figures 1-3")
@@ -292,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default="substrate",
                           help="sampler: the BU substrate simulator or "
                                "the vectorized MDP rollout engine")
+    _add_trace_flag(validate)
     validate.set_defaults(func=cmd_validate)
 
     latency = sub.add_parser("latency", help="propagation-delay forks")
@@ -349,8 +364,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=2.0,
                        metavar="X")
     bench.add_argument("--repeat", type=int, default=1, metavar="N")
+    _add_trace_flag(bench)
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser("trace",
+                           help="summarize a --trace JSONL file")
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.set_defaults(func=cmd_trace)
     return parser
+
+
+def _add_trace_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--trace", default=None, metavar="FILE",
+                     help="enable telemetry and write the trace as "
+                          "JSONL to FILE (inspect with 'repro trace')")
+
+
+def _run_traced(args: argparse.Namespace) -> int:
+    """Dispatch ``args.func``, wrapping it in a telemetry session when
+    the subcommand was given ``--trace FILE``."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+    from repro.runtime.telemetry import disable_tracing, enable_tracing
+    tracer = enable_tracing()
+    try:
+        return args.func(args)
+    finally:
+        disable_tracing()
+        tracer.write(trace_path)
+        print(f"trace written to {trace_path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -358,7 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _run_traced(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -39,6 +39,7 @@ from repro.core.transitions import (CHANNELS, _base_raw, _fork_raw,
                                     actions_for, generate_raw_transitions)
 from repro.mdp.builder import MDPBuilder, assemble_mdp
 from repro.mdp.model import MDP
+from repro.runtime.telemetry import counter_add, span
 
 #: Config fields that affect only reward channels, not the transition
 #: structure (both feed exclusively into the ``ds`` channel).
@@ -393,9 +394,10 @@ def _build_fresh(config: AttackConfig, validate: bool,
     if fast is None:
         fast = (config.setting == 2 and config.phase2_attack
                 and config.gate_window >= 1)
-    if fast:
-        return _build_fast(config, validate, with_histograms)
-    return _build_generic(config, validate, with_histograms)
+    with span("build/attack-mdp"):
+        if fast:
+            return _build_fast(config, validate, with_histograms)
+        return _build_generic(config, validate, with_histograms)
 
 
 def _ds_channel(config: AttackConfig,
@@ -458,6 +460,7 @@ def build_attack_mdp(config: AttackConfig, validate: bool = True,
             variant = entry.variants.get(rkey)
             if variant is not None:
                 _stats.hits += 1
+                counter_add("build_cache/hits")
                 entry.variants.move_to_end(rkey)
                 return variant
     # Build outside the lock; worst case two threads race on the same
@@ -471,6 +474,7 @@ def build_attack_mdp(config: AttackConfig, validate: bool = True,
                 entry = existing
             else:
                 _stats.misses += 1
+                counter_add("build_cache/misses")
                 entry = _StructureEntry(base=mdp, histograms=histograms)
                 entry.variants[rkey] = mdp
                 _cache[skey] = entry
@@ -480,6 +484,7 @@ def build_attack_mdp(config: AttackConfig, validate: bool = True,
     variant = _reward_variant(entry, config)
     with _lock:
         _stats.reward_rebuilds += 1
+        counter_add("build_cache/reward_rebuilds")
         entry.variants[rkey] = variant
         while len(entry.variants) > ATTACK_MDP_CACHE_SIZE:
             entry.variants.popitem(last=False)

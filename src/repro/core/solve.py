@@ -29,6 +29,7 @@ from repro.mdp.policy import Policy
 from repro.mdp.policy_iteration import policy_iteration
 from repro.mdp.ratio import maximize_ratio
 from repro.mdp.stationary import policy_gains
+from repro.runtime.telemetry import counter_add, span
 
 
 @dataclass
@@ -92,15 +93,19 @@ def solve_relative_revenue(config: AttackConfig,
     :class:`repro.runtime.supervisor.SolverSupervisor` (budgets,
     validation and the fallback chain).
     """
-    config, mdp = _prepare(config, IncentiveModel.COMPLIANT_PROFIT, mdp)
-    num, den = IncentiveModel.COMPLIANT_PROFIT.utility_channels()
-    if supervisor is not None:
-        solution = supervisor.solve_ratio(mdp, num, den, lo=0.0, hi=1.0,
-                                          tol=tol)
-    else:
-        solution = maximize_ratio(mdp, num, den, lo=0.0, hi=1.0, tol=tol)
-    policy = Policy(mdp, solution.policy)
-    rates = policy_gains(mdp, solution.policy)
+    with span("solve/relative"):
+        counter_add("solve/relative")
+        config, mdp = _prepare(config, IncentiveModel.COMPLIANT_PROFIT,
+                               mdp)
+        num, den = IncentiveModel.COMPLIANT_PROFIT.utility_channels()
+        if supervisor is not None:
+            solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
+                                              hi=1.0, tol=tol)
+        else:
+            solution = maximize_ratio(mdp, num, den, lo=0.0, hi=1.0,
+                                      tol=tol)
+        policy = Policy(mdp, solution.policy)
+        rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
                           model=IncentiveModel.COMPLIANT_PROFIT,
                           utility=solution.value,
@@ -116,15 +121,19 @@ def solve_absolute_reward(config: AttackConfig,
     Each MDP step mines exactly one block, so ``t`` in Eq. 2 equals the
     step count and u_A2 is a plain average reward.
     """
-    config, mdp = _prepare(config, IncentiveModel.NONCOMPLIANT_PROFIT, mdp)
-    num, _den = IncentiveModel.NONCOMPLIANT_PROFIT.utility_channels()
-    if supervisor is not None:
-        solution = supervisor.solve_average(
-            mdp, mdp.combined_reward(dict(num)))
-    else:
-        solution = policy_iteration(mdp, mdp.combined_reward(dict(num)))
-    policy = Policy(mdp, solution.policy)
-    rates = policy_gains(mdp, solution.policy)
+    with span("solve/absolute"):
+        counter_add("solve/absolute")
+        config, mdp = _prepare(config, IncentiveModel.NONCOMPLIANT_PROFIT,
+                               mdp)
+        num, _den = IncentiveModel.NONCOMPLIANT_PROFIT.utility_channels()
+        if supervisor is not None:
+            solution = supervisor.solve_average(
+                mdp, mdp.combined_reward(dict(num)))
+        else:
+            solution = policy_iteration(mdp,
+                                        mdp.combined_reward(dict(num)))
+        policy = Policy(mdp, solution.policy)
+        rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
                           model=IncentiveModel.NONCOMPLIANT_PROFIT,
                           utility=solution.gain,
@@ -137,16 +146,19 @@ def solve_orphan_rate(config: AttackConfig,
                       tol: float = 1e-6,
                       supervisor=None) -> AttackAnalysis:
     """Maximize others' blocks orphaned per Alice block, u_A3 (Eq. 3)."""
-    config, mdp = _prepare(config, IncentiveModel.NON_PROFIT, mdp)
-    num, den = IncentiveModel.NON_PROFIT.utility_channels()
-    if supervisor is not None:
-        solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
-                                          hi=float(config.ad), tol=tol)
-    else:
-        solution = maximize_ratio(mdp, num, den, lo=0.0,
-                                  hi=float(config.ad), tol=tol)
-    policy = Policy(mdp, solution.policy)
-    rates = policy_gains(mdp, solution.policy)
+    with span("solve/orphans"):
+        counter_add("solve/orphans")
+        config, mdp = _prepare(config, IncentiveModel.NON_PROFIT, mdp)
+        num, den = IncentiveModel.NON_PROFIT.utility_channels()
+        if supervisor is not None:
+            solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
+                                              hi=float(config.ad),
+                                              tol=tol)
+        else:
+            solution = maximize_ratio(mdp, num, den, lo=0.0,
+                                      hi=float(config.ad), tol=tol)
+        policy = Policy(mdp, solution.policy)
+        rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config, model=IncentiveModel.NON_PROFIT,
                           utility=solution.value,
                           honest_utility=0.0,

@@ -55,6 +55,7 @@ from scipy import sparse
 from scipy.sparse import linalg as sla
 
 from repro.errors import MDPError, SolverError
+from repro.runtime.telemetry import counter_add
 
 #: Per-policy memo size for (reward -> gain/bias) results; Dinkelbach
 #: revisits at most a handful of transformed rewards per policy.
@@ -112,6 +113,7 @@ class BellmanKernel:
 def q_backup(mdp, reward: np.ndarray, values: np.ndarray,
              discount: float = 1.0) -> np.ndarray:
     """Shared Q-backup used by every dynamic-programming solver."""
+    counter_add("kernel/q_backups")
     return mdp.kernel().q_values(reward, values, discount=discount)
 
 
@@ -137,6 +139,13 @@ class EvalCacheStats:
     stationary_hits: int = 0
     stationary_misses: int = 0
     factorizations: int = 0
+
+    def bump(self, name: str, value: int = 1) -> None:
+        """Increment one counter, mirroring it into the telemetry
+        registry (``eval_cache/<name>``) so traces always agree with
+        the stats object."""
+        setattr(self, name, getattr(self, name) + value)
+        counter_add(f"eval_cache/{name}", value)
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -177,7 +186,7 @@ class _PolicyStructure:
             except Exception as exc:
                 raise SolverError(
                     f"policy evaluation failed: {exc}") from exc
-            stats.factorizations += 1
+            stats.bump("factorizations")
         return self._lu
 
     def gain_bias(self, r_pi: np.ndarray,
@@ -193,7 +202,7 @@ class _PolicyStructure:
 
     def stationary(self, stats: EvalCacheStats) -> np.ndarray:
         if self._pi is None:
-            stats.stationary_misses += 1
+            stats.bump("stationary_misses")
             n = self.p_pi.shape[0]
             rhs = np.zeros(n + 1)
             rhs[n] = 1.0
@@ -208,7 +217,7 @@ class _PolicyStructure:
                 raise SolverError("stationary distribution has zero mass")
             self._pi = pi / total
         else:
-            stats.stationary_hits += 1
+            stats.bump("stationary_hits")
         return self._pi
 
 
@@ -261,10 +270,10 @@ class PolicyEvalCache:
         key = policy.tobytes()
         entry = self._entries.get(key)
         if entry is not None:
-            self.stats.policy_hits += 1
+            self.stats.bump("policy_hits")
             self._entries.move_to_end(key)
             return entry
-        self.stats.policy_misses += 1
+        self.stats.bump("policy_misses")
         p_pi = self._mdp.kernel().policy_matrix(policy)
         entry = _PolicyEntry(_PolicyStructure(policy.copy(), p_pi,
                                               self._mdp.start))
@@ -288,11 +297,11 @@ class PolicyEvalCache:
         memo_key = reward.tobytes()
         hit = entry.evals.get(memo_key)
         if hit is not None:
-            self.stats.eval_hits += 1
+            self.stats.bump("eval_hits")
             entry.evals.move_to_end(memo_key)
             gain, bias = hit
             return gain, bias.copy()
-        self.stats.eval_misses += 1
+        self.stats.bump("eval_misses")
         r_pi = reward[entry.structure.policy,
                       np.arange(self._mdp.n_states)]
         gain, bias = entry.structure.gain_bias(r_pi, self.stats)
@@ -316,14 +325,14 @@ class PolicyEvalCache:
             else self._mdp.channels
         missing = [n for n in names if n not in entry.gains]
         if missing:
-            self.stats.gain_misses += len(missing)
+            self.stats.bump("gain_misses", len(missing))
             pi = entry.structure.stationary(self.stats)
             states = np.arange(self._mdp.n_states)
             rows = entry.structure.policy, states
             for name in missing:
                 r_pi = self._mdp.channel_reward(name)[rows]
                 entry.gains[name] = float(pi.dot(r_pi))
-        self.stats.gain_hits += len(names) - len(missing)
+        self.stats.bump("gain_hits", len(names) - len(missing))
         return {name: entry.gains[name] for name in names}
 
     # -- invalidation -------------------------------------------------

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.mdp.kernels import q_backup
 from repro.mdp.model import MDP
+from repro.runtime.telemetry import counter_add, span
 
 #: Improvement tolerance: an action must beat the incumbent by more than
 #: this to trigger a policy change.
@@ -93,18 +94,21 @@ def policy_iteration(mdp: MDP, reward: np.ndarray,
         if not mdp.valid_policy(policy):
             raise SolverError("initial policy selects unavailable actions")
     states = np.arange(mdp.n_states)
-    for it in range(1, max_iter + 1):
-        if on_iter is not None:
-            on_iter(it)
-        gain, bias = evaluate_policy(mdp, policy, reward)
-        q = q_backup(mdp, reward, bias)
-        best = q.max(axis=0)
-        incumbent = q[policy, states]
-        improvable = best > incumbent + IMPROVE_TOL
-        if not improvable.any():
-            return AverageRewardSolution(gain=gain, bias=bias, policy=policy,
-                                         iterations=it)
-        policy = policy.copy()
-        policy[improvable] = q[:, improvable].argmax(axis=0)
+    with span("solve/average/policy-iteration"):
+        for it in range(1, max_iter + 1):
+            if on_iter is not None:
+                on_iter(it)
+            counter_add("solver/pi/iterations")
+            gain, bias = evaluate_policy(mdp, policy, reward)
+            q = q_backup(mdp, reward, bias)
+            best = q.max(axis=0)
+            incumbent = q[policy, states]
+            improvable = best > incumbent + IMPROVE_TOL
+            if not improvable.any():
+                counter_add("solver/pi/solves")
+                return AverageRewardSolution(gain=gain, bias=bias,
+                                             policy=policy, iterations=it)
+            policy = policy.copy()
+            policy[improvable] = q[:, improvable].argmax(axis=0)
     raise SolverError(f"policy iteration did not converge in {max_iter} "
                       "improvements")

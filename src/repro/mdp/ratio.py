@@ -39,6 +39,7 @@ from repro.errors import SolverDivergedError, SolverError, SolverInputError
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
 from repro.mdp.stationary import policy_gains
+from repro.runtime.telemetry import counter_add, gauge_set, span
 
 #: A gain below this counts as "zero" when testing profitability of the
 #: transformed problem.
@@ -179,69 +180,92 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         nonlocal solves
         solution = solver(mdp, reward, warm)
         solves += 1
+        counter_add("solver/ratio/transformed_solves")
         if on_solve is not None:
             on_solve(solves)
         return solution
 
+    def finish(solution: RatioSolution,
+               residual: float) -> RatioSolution:
+        counter_add("solver/ratio/solves")
+        counter_add(f"solver/ratio/{solution.method}_wins")
+        gauge_set("solver/ratio/value", solution.value)
+        gauge_set("solver/ratio/final_residual", residual)
+        return solution
+
     if method == "dinkelbach":
-        rho = lo
-        best: Optional[RatioSolution] = None
-        for _ in range(max_iter):
-            solution = run_solver(_transformed(mdp, num, den, rho), policy)
-            policy = solution.policy
-            g_num, g_den = _channel_gains(mdp, policy, num, den, rho=rho)
-            if g_den < DEN_FLOOR:
+        with span("solve/ratio/dinkelbach"):
+            rho = lo
+            best: Optional[RatioSolution] = None
+            for _ in range(max_iter):
+                counter_add("solver/ratio/dinkelbach_rounds")
+                solution = run_solver(_transformed(mdp, num, den, rho),
+                                      policy)
+                policy = solution.policy
+                g_num, g_den = _channel_gains(mdp, policy, num, den,
+                                              rho=rho)
+                if g_den < DEN_FLOOR:
+                    if strict:
+                        raise SolverError(
+                            "Dinkelbach hit a degenerate "
+                            "(zero-denominator) "
+                            f"policy at rho={rho!r}: gain_num={g_num!r}, "
+                            f"gain_den={g_den!r}")
+                    break  # degenerate policy; fall back to bisection
+                new_rho = g_num / g_den
+                best = RatioSolution(value=new_rho, policy=policy,
+                                     gain_num=g_num, gain_den=g_den,
+                                     iterations=solves,
+                                     method="dinkelbach")
+                if new_rho <= rho + tol and abs(solution.gain) <= max(
+                        GAIN_TOL, tol * max(g_den, DEN_FLOOR)):
+                    return finish(best, abs(solution.gain))
+                if new_rho <= rho:  # numerical stall; converged
+                    return finish(best, abs(solution.gain))
+                rho = new_rho
+            else:
                 if strict:
                     raise SolverError(
-                        "Dinkelbach hit a degenerate (zero-denominator) "
-                        f"policy at rho={rho!r}: gain_num={g_num!r}, "
-                        f"gain_den={g_den!r}")
-                break  # degenerate policy; fall back to bisection
-            new_rho = g_num / g_den
-            best = RatioSolution(value=new_rho, policy=policy,
-                                 gain_num=g_num, gain_den=g_den,
-                                 iterations=solves, method="dinkelbach")
-            if new_rho <= rho + tol and abs(solution.gain) <= max(
-                    GAIN_TOL, tol * max(g_den, DEN_FLOOR)):
-                return best
-            if new_rho <= rho:  # numerical stall; answer is converged
-                return best
-            rho = new_rho
-        else:
-            if strict:
+                        f"Dinkelbach did not converge in {max_iter} "
+                        f"transformed solves (last rho={rho!r})")
+                if best is not None:
+                    return finish(best, abs(solution.gain))
+            if strict and best is None:
                 raise SolverError(
-                    f"Dinkelbach did not converge in {max_iter} "
-                    f"transformed solves (last rho={rho!r})")
-            if best is not None:
-                return best
-        if strict and best is None:
-            raise SolverError(
-                "Dinkelbach made no progress before degenerating at "
-                f"rho={rho!r}")
+                    "Dinkelbach made no progress before degenerating at "
+                    f"rho={rho!r}")
         # fall through to bisection
 
     # Bisection on the profitability threshold.
-    lo_b, hi_b = lo, hi
-    best_policy = policy
-    for _ in range(max_iter):
-        if hi_b - lo_b <= tol:
-            break
-        mid = 0.5 * (lo_b + hi_b)
-        solution = run_solver(_transformed(mdp, num, den, mid), best_policy)
-        if solution.gain > GAIN_TOL:
-            lo_b = mid
+    with span("solve/ratio/bisection"):
+        lo_b, hi_b = lo, hi
+        best_policy = policy
+        last_gain = float("nan")
+        for _ in range(max_iter):
+            if hi_b - lo_b <= tol:
+                break
+            counter_add("solver/ratio/bisection_rounds")
+            mid = 0.5 * (lo_b + hi_b)
+            solution = run_solver(_transformed(mdp, num, den, mid),
+                                  best_policy)
+            last_gain = abs(solution.gain)
+            if solution.gain > GAIN_TOL:
+                lo_b = mid
+                best_policy = solution.policy
+            else:
+                hi_b = mid
+        if best_policy is None:
+            solution = run_solver(_transformed(mdp, num, den, lo_b), None)
             best_policy = solution.policy
-        else:
-            hi_b = mid
-    if best_policy is None:
-        solution = run_solver(_transformed(mdp, num, den, lo_b), None)
-        best_policy = solution.policy
-    g_num, g_den = _channel_gains(mdp, best_policy, num, den, rho=lo_b)
-    value = g_num / g_den if g_den > DEN_FLOOR else 0.5 * (lo_b + hi_b)
-    if not np.isfinite(value):
-        raise SolverDivergedError(
-            f"ratio bisection produced non-finite value {value!r} "
-            f"(gain_num={g_num!r}, gain_den={g_den!r})")
-    return RatioSolution(value=float(value), policy=best_policy,
-                         gain_num=g_num, gain_den=g_den,
-                         iterations=solves, method="bisection")
+            last_gain = abs(solution.gain)
+        g_num, g_den = _channel_gains(mdp, best_policy, num, den,
+                                      rho=lo_b)
+        value = g_num / g_den if g_den > DEN_FLOOR else 0.5 * (lo_b + hi_b)
+        if not np.isfinite(value):
+            raise SolverDivergedError(
+                f"ratio bisection produced non-finite value {value!r} "
+                f"(gain_num={g_num!r}, gain_den={g_den!r})")
+        return finish(RatioSolution(value=float(value), policy=best_policy,
+                                    gain_num=g_num, gain_den=g_den,
+                                    iterations=solves, method="bisection"),
+                      last_gain)

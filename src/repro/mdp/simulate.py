@@ -22,6 +22,7 @@ visit counts are accumulated, never trajectories.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.mdp.model import MDP
+from repro.runtime.telemetry import counter_add, gauge_set, span
 
 #: Steps advanced per uniform-draw chunk in :func:`rollout_batch`.
 #: Chunking only batches the random draws and the visit-count
@@ -297,17 +299,28 @@ def rollout(mdp: MDP, policy: np.ndarray, steps: int,
 
     visits = np.zeros(mdp.n_states, dtype=np.int64)
     uniforms = rng.random(steps)
-    for i in range(steps):
-        visits[state] += 1
-        cols, cum = rows[state]
-        if len(cols) == 1:
-            state = int(cols[0])
-        else:
-            j = int(np.searchsorted(cum, uniforms[i], side="right"))
-            state = int(cols[min(j, len(cols) - 1)])
+    started = time.monotonic()
+    with span("sim/rollout"):
+        for i in range(steps):
+            visits[state] += 1
+            cols, cum = rows[state]
+            if len(cols) == 1:
+                state = int(cols[0])
+            else:
+                j = int(np.searchsorted(cum, uniforms[i], side="right"))
+                state = int(cols[min(j, len(cols) - 1)])
+    _note_steps(steps, time.monotonic() - started)
     totals = {name: _channel_total(visits, tables.channel_rewards[name])
               for name in mdp.channels}
     return RolloutResult(steps=steps, totals=totals, visits=visits)
+
+
+def _note_steps(total_steps: int, elapsed: float) -> None:
+    """Record sampler throughput telemetry (no-op when tracing is
+    disabled; called once per rollout, never per step)."""
+    counter_add("sim/rollout_steps", total_steps)
+    if elapsed > 0:
+        gauge_set("sim/steps_per_s", total_steps / elapsed)
 
 
 def _advance_chunk_cdf(tables: PolicyTables, states: np.ndarray,
@@ -441,8 +454,11 @@ def rollout_batch(mdp: MDP, policy: np.ndarray, steps: int,
     """
     rngs, tables, first = _batch_args(mdp, policy, steps, n_traj, seed,
                                       rngs, start, chunk, method, tables)
-    visits = _sample_visits(tables, steps, rngs, first, chunk, method,
-                            pooled=False)
+    started = time.monotonic()
+    with span("sim/rollout-batch"):
+        visits = _sample_visits(tables, steps, rngs, first, chunk,
+                                method, pooled=False)
+    _note_steps(steps * len(rngs), time.monotonic() - started)
     n_traj = len(rngs)
     # One cast for the whole matrix; each row dot is then the same
     # BLAS call `_channel_total` makes for the serial sampler.
@@ -472,8 +488,11 @@ def rollout_pooled(mdp: MDP, policy: np.ndarray, steps: int,
     """
     rngs, tables, first = _batch_args(mdp, policy, steps, n_traj, seed,
                                       rngs, start, chunk, method, tables)
-    visits = _sample_visits(tables, steps, rngs, first, chunk, method,
-                            pooled=True)
+    started = time.monotonic()
+    with span("sim/rollout-pooled"):
+        visits = _sample_visits(tables, steps, rngs, first, chunk,
+                                method, pooled=True)
+    _note_steps(steps * len(rngs), time.monotonic() - started)
     totals = {name: _channel_total(visits, r_pi)
               for name, r_pi in tables.channel_rewards.items()}
     return RolloutResult(steps=steps * len(rngs), totals=totals,

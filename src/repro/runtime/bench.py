@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.runtime import telemetry
 from repro.runtime.journal import atomic_write_text
 
 #: Format version of the BENCH_*.json files.
@@ -245,13 +246,38 @@ def bench_filename(name: str) -> str:
     return f"BENCH_{name}.json"
 
 
+def _counters_during(fn: Callable[[], Dict]):
+    """Run ``fn`` and return ``(result, counter_delta)``.
+
+    An active tracer is reused (the delta is its counter increase),
+    so the run's telemetry still reaches ``--trace`` output; otherwise
+    a private tracer is installed for the duration, keeping tracing
+    globally disabled before and after.
+    """
+    active = telemetry.current_tracer()
+    if active is not None:
+        before = dict(active.counters)
+        result = fn()
+        return result, {key: value - before.get(key, 0)
+                        for key, value in active.counters.items()
+                        if value != before.get(key, 0)}
+    with telemetry.use_tracer(telemetry.Tracer()) as tracer:
+        result = fn()
+        return result, dict(tracer.counters)
+
+
 def run_benchmark(name: str, fast: bool = False,
                   repeat: int = 1) -> Dict:
     """Run one registered benchmark and return its BENCH document.
 
     With ``repeat > 1`` the benchmark runs that many times and the
     recorded wall time is the minimum -- the standard noise filter for
-    a timing gate; metrics come from the first run.
+    a timing gate; metrics and counters come from the first run.
+
+    The ``counters`` block snapshots the telemetry counters the
+    benchmark incremented (solver iterations, cache hits/misses, ...);
+    it is informational -- :func:`compare_to_baseline` gates only the
+    wall time and the recorded utility.
     """
     if name not in BENCHMARKS:
         raise ReproError(
@@ -259,14 +285,15 @@ def run_benchmark(name: str, fast: bool = False,
             f"available: {', '.join(sorted(BENCHMARKS))}")
     if repeat < 1:
         raise ReproError(f"repeat must be >= 1, got {repeat!r}")
-    result = BENCHMARKS[name](fast)
+    result, counters = _counters_during(lambda: BENCHMARKS[name](fast))
     wall = result["wall_time_s"]
     for _ in range(repeat - 1):
         wall = min(wall, BENCHMARKS[name](fast)["wall_time_s"])
     return {"schema": BENCH_SCHEMA, "name": name, "fast": fast,
             "machine": platform.machine(),
             "wall_time_s": wall,
-            "metrics": result["metrics"]}
+            "metrics": result["metrics"],
+            "counters": counters}
 
 
 def compare_to_baseline(doc: Dict, baseline: Dict,

@@ -44,6 +44,7 @@ from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
 from repro.mdp.ratio import RatioSolution, maximize_ratio
 from repro.runtime.budget import BudgetClock
+from repro.runtime.telemetry import counter_add, span
 
 
 @dataclass
@@ -227,19 +228,23 @@ def run_chain(chain: Sequence[Tuple[str, Callable]], request,
     for name, stage in chain:
         started = time.monotonic()
         try:
-            result = stage(request, clock)
+            with span(f"fallback/{name}"):
+                result = stage(request, clock)
         except (SolverInputError, SolverBudgetExceededError) as exc:
+            counter_add(f"fallback/{name}/failed")
             diagnostics.append(StageDiagnostics(
                 stage=name, status="failed",
                 elapsed=time.monotonic() - started,
                 error=str(exc), error_type=type(exc).__name__))
             raise
         except SolverError as exc:
+            counter_add(f"fallback/{name}/failed")
             diagnostics.append(StageDiagnostics(
                 stage=name, status="failed",
                 elapsed=time.monotonic() - started,
                 error=str(exc), error_type=type(exc).__name__))
             continue
+        counter_add(f"fallback/{name}/ok")
         diagnostics.append(StageDiagnostics(
             stage=name, status="ok",
             elapsed=time.monotonic() - started))

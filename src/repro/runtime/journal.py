@@ -34,14 +34,33 @@ PathLike = Union[str, Path]
 JOURNAL_SCHEMA = 1
 
 
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-completed rename inside it survives
+    a crash.  ``os.replace`` makes the rename atomic but not durable:
+    until the directory entry itself is flushed, a power loss can roll
+    the rename back.  Best-effort on platforms whose filesystems do
+    not support directory file descriptors."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def atomic_write_text(path: PathLike, text: str) -> None:
-    """Write ``text`` to ``path`` atomically.
+    """Write ``text`` to ``path`` atomically and durably.
 
     The text is written to a temporary file in the same directory
     (same filesystem, so the final ``os.replace`` is atomic), flushed
-    and fsynced, then renamed over the target.  A crash at any point
-    leaves either the previous content or the new content, never a
-    truncated mix.
+    and fsynced, then renamed over the target; the parent directory is
+    fsynced afterwards so the rename itself survives a crash.  A crash
+    at any point leaves either the previous content or the new
+    content, never a truncated mix.
     """
     target = Path(path)
     fd, tmp_name = tempfile.mkstemp(dir=target.parent,
@@ -53,6 +72,7 @@ def atomic_write_text(path: PathLike, text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, target)
+        _fsync_directory(target.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -167,8 +187,32 @@ class Journal:
     # -- recording ----------------------------------------------------
 
     def record(self, key, value) -> None:
-        """Append one completed cell (idempotent per key)."""
+        """Append one completed cell (idempotent per key).
+
+        Re-recording a key with an identical value is a no-op (no
+        duplicate line is appended, so resume loops that re-record
+        restored cells cannot grow the journal without bound).
+        Re-recording with a *different* value raises
+        :class:`~repro.errors.CheckpointError` -- a sweep whose cells
+        are not deterministic per key must not silently journal both.
+        Values compare by canonical JSON form, matching what a reload
+        would observe.  Files written before this rule keep their
+        load-time last-write-wins semantics.
+        """
         text = canonical_key(key)
+        if text in self._records:
+            existing = json.dumps(self._records[text], sort_keys=True)
+            try:
+                incoming = json.dumps(value, sort_keys=True)
+            except (TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"journal value for key {key!r} is not "
+                    "JSON-serializable") from exc
+            if existing == incoming:
+                return
+            raise CheckpointError(
+                f"conflicting re-record for key {key!r}: journal holds "
+                f"{existing}, got {incoming}")
         line = json.dumps({"key": key, "value": value})
         with open(self.path, "a") as handle:
             handle.write(line + "\n")

@@ -21,6 +21,8 @@ boundary is exact for both.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -28,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.errors import ReproError
+from repro.runtime import telemetry
 
 #: Task kinds understood by :func:`execute_task`.
 TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze",
@@ -111,6 +114,29 @@ def decode_payload(kind: str, payload):
     return payload
 
 
+def execute_task_traced(task: SolveTask) -> Tuple[object, Dict]:
+    """Solve one task under a fresh worker-local tracer and return
+    ``(payload, telemetry_snapshot)``.
+
+    Used by :func:`run_cells` when the parent has tracing enabled.
+    The worker swaps in its own :class:`~repro.runtime.telemetry.\
+Tracer` for the duration (a fork-started worker inherits the parent's
+    registry, which must not be double-counted), times the cell, and
+    ships counters/gauges/events back for the parent to merge.  The
+    snapshot carries the cell wall time and worker pid as a
+    ``worker-cell`` event so merged traces expose per-worker load.
+    """
+    tracer = telemetry.Tracer()
+    started = time.perf_counter()
+    with telemetry.use_tracer(tracer):
+        payload = execute_task(task)
+    tracer.events.append(
+        {"type": "worker-cell", "key": list(task.key),
+         "pid": os.getpid(),
+         "wall_s": time.perf_counter() - started})
+    return payload, tracer.snapshot()
+
+
 ProgressFn = Optional[Callable[[SolveTask, object], None]]
 
 
@@ -136,6 +162,15 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         Optional callback invoked with ``(task, value)`` as each cell
         completes (input order when serial, completion order when
         parallel).
+
+    With tracing enabled (:mod:`repro.runtime.telemetry`), worker
+    cells run under worker-local tracers whose snapshots ship back
+    with each payload and merge into the parent's tracer; merged
+    counters are independent of ``workers``.  A worker exception does
+    not abandon finished work: already-completed futures are drained
+    and recorded (journal included), in-flight futures are cancelled,
+    and the exception is re-raised with the failing cell's key on its
+    ``task_key`` attribute.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers!r}")
@@ -145,6 +180,7 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         journal = getattr(runner, "journal", None)
         if journal is not None and task.key in journal:
             runner.stats.restored += 1
+            telemetry.counter_add("journal/restored")
             results[i] = decode_payload(task.kind, journal.get(task.key))
             if progress is not None:
                 progress(task, results[i])
@@ -178,15 +214,60 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         if runner.journal is not None:
             runner.journal.record(list(task.key), payload)
         runner.stats.solved += 1
+        telemetry.counter_add("journal/solved")
+
+    traced = telemetry.tracing_enabled()
+    worker_fn = execute_task_traced if traced else execute_task
+
+    def unpack(payload):
+        if not traced:
+            return payload
+        payload, snapshot = payload
+        telemetry.current_tracer().merge_snapshot(snapshot)
+        return payload
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures: Dict = {pool.submit(execute_task, task): (i, task)
+        futures: Dict = {pool.submit(worker_fn, task): (i, task)
                          for i, task in pending}
+        handled = set()
         for future in as_completed(futures):
             i, task = futures[future]
-            payload = future.result()
+            handled.add(future)
+            try:
+                payload = unpack(future.result())
+            except Exception as exc:
+                _salvage(futures, handled=handled, record=record,
+                         results=results, unpack=unpack)
+                # Re-raise the worker's own exception, with the
+                # failing cell's identity attached for diagnostics.
+                exc.task_key = task.key
+                raise
             record(task, payload)
             results[i] = decode_payload(task.kind, payload)
             if progress is not None:
                 progress(task, results[i])
     return results
+
+
+def _salvage(futures: Dict, handled, record, results: List,
+             unpack) -> None:
+    """Clean up after a worker exception mid-``as_completed``: cancel
+    every not-yet-started future, then drain the ones that already
+    completed successfully (and were not yet consumed by the main
+    loop) and record their payloads (journal included) so a resume
+    does not re-solve finished work."""
+    for future in futures:
+        if future not in handled:
+            future.cancel()
+    for future, (i, task) in futures.items():
+        if future in handled or not future.done() or future.cancelled():
+            continue
+        try:
+            payload = unpack(future.result())
+        except Exception:
+            continue  # a second failure; the first is being raised
+        try:
+            record(task, payload)
+        except Exception:
+            continue  # e.g. an injected fault hook; keep draining
+        results[i] = decode_payload(task.kind, payload)

@@ -30,6 +30,7 @@ from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution
 from repro.mdp.ratio import RatioSolution
 from repro.runtime.budget import Budget, BudgetClock
+from repro.runtime.telemetry import counter_add, span
 from repro.runtime.fallbacks import (
     AVERAGE_CHAIN,
     AverageRequest,
@@ -167,8 +168,10 @@ class SolverSupervisor:
         if self.budget.wall_clock is not None or \
                 self.budget.max_ticks is not None:
             clock = self.budget.start()
+        counter_add("supervisor/solves")
         try:
-            outcome = run_chain(chain, request, clock)
+            with span("supervised-solve"):
+                outcome = run_chain(chain, request, clock)
         except Exception as exc:
             failed = getattr(exc, "diagnostics", None)
             if failed:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.runtime.journal import Journal
+from repro.runtime.telemetry import counter_add, span
 
 
 @dataclass
@@ -80,13 +81,16 @@ class SweepRunner:
         """
         if self.journal is not None and key in self.journal:
             self.stats.restored += 1
+            counter_add("journal/restored")
             value = self.journal.get(key)
             return decode(value) if decode is not None else value
         if self.fault_hook is not None:
             self.fault_hook(self.stats.solved)
-        result = solve()
+        with span("sweep/cell"):
+            result = solve()
         if self.journal is not None:
             stored = encode(result) if encode is not None else result
             self.journal.record(key, stored)
         self.stats.solved += 1
+        counter_add("journal/solved")
         return result

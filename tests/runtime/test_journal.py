@@ -1,6 +1,8 @@
 """Tests for atomic writes and the checkpoint journal."""
 
 import json
+import os
+import stat
 
 import pytest
 
@@ -17,6 +19,24 @@ def test_atomic_write_replaces_content(tmp_path):
     assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
 
 
+def test_atomic_write_fsyncs_file_then_directory(tmp_path, monkeypatch):
+    """Durability regression: the rename is only crash-safe once the
+    *parent directory* is fsynced, after the data fsync and the
+    ``os.replace``."""
+    synced = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        mode = os.fstat(fd).st_mode
+        synced.append("dir" if stat.S_ISDIR(mode) else "file")
+        real_fsync(fd)
+
+    monkeypatch.setattr("repro.runtime.journal.os.fsync",
+                        recording_fsync)
+    atomic_write_text(tmp_path / "out.json", "data")
+    assert synced == ["file", "dir"]
+
+
 def test_journal_records_and_reloads(tmp_path):
     path = tmp_path / "sweep.journal"
     journal = Journal(path, sweep="demo")
@@ -29,6 +49,50 @@ def test_journal_records_and_reloads(tmp_path):
     assert len(reopened) == 2
     assert reopened.get(["a", 1]) == 0.5
     assert ["c", 3] not in reopened
+
+
+def test_record_identical_rerecord_is_noop(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["a", 1], {"x": 1.5})
+    before = path.read_text()
+    journal.record(["a", 1], {"x": 1.5})
+    assert path.read_text() == before  # no duplicate line appended
+    assert len(journal) == 1
+    assert len(Journal(path, sweep="demo")) == 1
+
+
+def test_record_compares_values_by_canonical_json(tmp_path):
+    """A tuple and a list serialize identically, so re-recording one
+    as the other is the idempotent no-op, not a conflict."""
+    journal = Journal(tmp_path / "j", sweep="demo")
+    journal.record(["a"], (1, 2))
+    journal.record(["a"], [1, 2])
+    assert len(journal) == 1
+
+
+def test_record_conflicting_value_raises(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["a"], 1.0)
+    before = path.read_text()
+    with pytest.raises(CheckpointError, match="conflicting"):
+        journal.record(["a"], 2.0)
+    assert path.read_text() == before  # conflict appends nothing
+    assert journal.get(["a"]) == 1.0
+
+
+def test_load_keeps_last_write_wins_for_old_files(tmp_path):
+    """Journals written before the idempotency rule may hold duplicate
+    keys; loading keeps the newest record."""
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["a"], 1.0)
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"key": ["a"], "value": 2.0}) + "\n")
+    reopened = Journal(path, sweep="demo")
+    assert reopened.get(["a"]) == 2.0
+    assert len(reopened) == 1
 
 
 def test_journal_key_order_is_canonical(tmp_path):

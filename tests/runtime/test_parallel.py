@@ -88,6 +88,63 @@ def test_parallel_run_records_journal_and_resumes(tmp_path):
     assert values == reference
 
 
+def test_parallel_failure_salvages_done_cells_and_tags_key(tmp_path):
+    """A worker exception must not abandon completed cells: whatever
+    finished before the failure is journaled, in-flight work is
+    cancelled, and the original exception propagates with the failing
+    cell's key attached."""
+    good = relative_tasks()
+    bad = SolveTask(kind="nope", key=("bad",))
+    journal_path = tmp_path / "cells.journal"
+    crashed = SweepRunner(journal=Journal(journal_path, sweep="cells"))
+    with pytest.raises(ReproError) as info:
+        run_cells(good + [bad], runner=crashed, workers=2)
+    assert info.value.task_key == ("bad",)
+
+    # Every journaled cell counts as solved; the resume restores
+    # exactly those and solves only the remainder.
+    reference = run_cells(good, workers=1)
+    resumed = SweepRunner(journal=Journal(journal_path, sweep="cells"))
+    values = run_cells(good, runner=resumed, workers=2)
+    assert values == reference
+    assert resumed.stats.restored == crashed.stats.solved
+    assert resumed.stats.restored + resumed.stats.solved == len(good)
+
+
+def test_parallel_failure_without_runner_tags_key():
+    bad = SolveTask(kind="nope", key=("lone",))
+    with pytest.raises(ReproError) as info:
+        run_cells(relative_tasks() + [bad, bad], workers=2)
+    assert info.value.task_key == ("lone",)
+
+
+def test_journal_resume_counters_match_sweep_stats(tmp_path):
+    """Telemetry acceptance: a journal-resumed parallel run reports
+    restored-vs-solved counters equal to ``SweepRunner.stats``."""
+    from repro.runtime.telemetry import Tracer, use_tracer
+    tasks = relative_tasks()
+    journal_path = tmp_path / "cells.journal"
+    crashed = SweepRunner(journal=Journal(journal_path, sweep="cells"),
+                          fault_hook=kill_after(1))
+    with pytest.raises(Killed):
+        run_cells(tasks, runner=crashed, workers=2)
+
+    resumed = SweepRunner(journal=Journal(journal_path, sweep="cells"))
+    with use_tracer(Tracer()) as tracer:
+        run_cells(tasks, runner=resumed, workers=2)
+    assert tracer.counters["journal/restored"] == resumed.stats.restored
+    assert tracer.counters["journal/solved"] == resumed.stats.solved
+    assert resumed.stats.restored + resumed.stats.solved == len(tasks)
+
+    # The serial path reports through the same counters.
+    serial = SweepRunner(journal=Journal(journal_path, sweep="cells"))
+    with use_tracer(Tracer()) as tracer:
+        run_cells(tasks, runner=serial, workers=1)
+    assert tracer.counters["journal/restored"] == len(tasks)
+    assert tracer.counters["journal/restored"] == serial.stats.restored
+    assert "journal/solved" not in tracer.counters
+
+
 def test_validate_seed_tasks_execute():
     model = IncentiveModel.COMPLIANT_PROFIT
     analysis = analyze(small_config(), model)
