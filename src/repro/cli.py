@@ -14,9 +14,11 @@ Commands
 ``report``    regenerate the paper-vs-measured markdown comparison
 ``chaos``     run the network simulation under an injected fault plan
 ``bench``     run the pipeline benchmarks, emit BENCH_<name>.json
+``qa``        run the cross-solver conformance matrix against the
+              exact rational reference (see docs/correctness.md)
 ``trace``     summarize a JSONL trace captured with ``--trace``
 
-``attack``, ``tables``, ``validate`` and ``bench`` accept
+``attack``, ``tables``, ``validate``, ``bench`` and ``qa`` accept
 ``--trace FILE``: the run executes with telemetry enabled and writes
 the span/counter/gauge registry as JSONL to FILE on the way out (see
 :mod:`repro.runtime.telemetry` and docs/observability.md).
@@ -225,6 +227,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def cmd_qa(args: argparse.Namespace) -> int:
+    from repro.qa.conformance import run_conformance
+    report = run_conformance(
+        classes=args.classes or None, checks=args.checks or None,
+        seeds=args.seeds or None, fast=args.fast,
+        workers=args.workers)
+    print(report.format_matrix())
+    print(f"\n{len(report.cells)} cells, "
+          f"{len(report.failures)} failures")
+    for cell in report.failures:
+        print(f"FAIL {cell.check} on {cell.cls} (seed {cell.seed}): "
+              f"error {cell.error:.3e} > tol {cell.tolerance:.3e}"
+              f"{' -- ' + cell.detail if cell.detail else ''}")
+    if args.report is not None:
+        import os
+        parent = os.path.dirname(args.report)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0 if report.all_passed else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime.telemetry import load_trace, summarize_trace
     print(summarize_trace(load_trace(args.file)))
@@ -366,6 +392,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=1, metavar="N")
     _add_trace_flag(bench)
     bench.set_defaults(func=cmd_bench)
+
+    qa = sub.add_parser("qa",
+                        help="cross-solver conformance vs exact "
+                             "rational reference")
+    qa.add_argument("--fast", action="store_true",
+                    help="single-seed sample of the matrix (CI smoke)")
+    qa.add_argument("--seeds", type=int, nargs="*", default=None,
+                    metavar="S", help="explicit instance seeds "
+                    "(default: 0 with --fast, 0 1 2 otherwise)")
+    qa.add_argument("--classes", nargs="*", default=None, metavar="CLS",
+                    help="instance classes to cover (default: all)")
+    qa.add_argument("--checks", nargs="*", default=None, metavar="CHK",
+                    help="checks to run (default: all)")
+    qa.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="fan cells out over N worker processes")
+    qa.add_argument("--report", default=None, metavar="FILE",
+                    help="also write the full cell list as JSON")
+    _add_trace_flag(qa)
+    qa.set_defaults(func=cmd_qa)
 
     trace = sub.add_parser("trace",
                            help="summarize a --trace JSONL file")

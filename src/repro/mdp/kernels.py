@@ -207,15 +207,14 @@ class _PolicyStructure:
             rhs = np.zeros(n + 1)
             rhs[n] = 1.0
             solution = self.lu(stats).solve(rhs, trans="T")
-            pi = solution[:n]
-            if not np.all(np.isfinite(pi)):
-                raise SolverError(
-                    "stationary solve produced non-finite values")
-            pi = np.clip(pi, 0.0, None)
-            total = pi.sum()
-            if total <= 0:
-                raise SolverError("stationary distribution has zero mass")
-            self._pi = pi / total
+            # Verify the residual of the normalized solution: an LU of
+            # a (near-)singular evaluation system -- a multichain
+            # policy -- can return finite garbage that `isfinite`
+            # alone would accept.
+            from repro.mdp.stationary import _check_stationary_residual
+            self._pi = _check_stationary_residual(
+                solution[:n], self.p_pi,
+                f"policy stationary (start={self.start})")
         else:
             stats.bump("stationary_hits")
         return self._pi

@@ -41,11 +41,15 @@ from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
 from repro.mdp.stationary import policy_gains
 from repro.runtime.telemetry import counter_add, gauge_set, span
 
-#: A gain below this counts as "zero" when testing profitability of the
-#: transformed problem.
+#: A gain below this (relative to the reward scale of the transformed
+#: problem) counts as "zero" when testing profitability.
 GAIN_TOL = 1e-10
 
-#: Denominator rates below this abort Dinkelbach in favour of bisection.
+#: Denominator rates below this (relative to the denominator channel's
+#: reward scale) abort Dinkelbach in favour of bisection.  Scaling both
+#: objective channels by a common factor must not change which policies
+#: count as degenerate, so the floor is applied to
+#: ``g_den / max|r_den|``, not to ``g_den`` itself.
 DEN_FLOOR = 1e-9
 
 #: An average-reward solver usable by :func:`maximize_ratio`: takes the
@@ -175,6 +179,14 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
     solves = 0
     policy = initial_policy
 
+    # Reward scales make every tolerance below scale-equivariant:
+    # multiplying num and/or den by a common factor changes neither
+    # which policies count as degenerate nor the relative accuracy of
+    # the accepted ratio (absolute GAIN_TOL/DEN_FLOOR would).
+    num_scale = float(np.abs(mdp.combined_reward(num)).max())
+    den_scale = float(np.abs(mdp.combined_reward(den)).max())
+    den_floor = DEN_FLOOR * (den_scale if den_scale > 0 else 1.0)
+
     def run_solver(reward: np.ndarray,
                    warm: Optional[np.ndarray]) -> AverageRewardSolution:
         nonlocal solves
@@ -204,21 +216,29 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
                 policy = solution.policy
                 g_num, g_den = _channel_gains(mdp, policy, num, den,
                                               rho=rho)
-                if g_den < DEN_FLOOR:
+                if g_den < den_floor:
                     if strict:
                         raise SolverError(
                             "Dinkelbach hit a degenerate "
                             "(zero-denominator) "
                             f"policy at rho={rho!r}: gain_num={g_num!r}, "
-                            f"gain_den={g_den!r}")
+                            f"gain_den={g_den!r} "
+                            f"(den_floor={den_floor!r})")
                     break  # degenerate policy; fall back to bisection
                 new_rho = g_num / g_den
                 best = RatioSolution(value=new_rho, policy=policy,
                                      gain_num=g_num, gain_den=g_den,
                                      iterations=solves,
                                      method="dinkelbach")
-                if new_rho <= rho + tol and abs(solution.gain) <= max(
-                        GAIN_TOL, tol * max(g_den, DEN_FLOOR)):
+                # Scale-aware acceptance: the ratio step is measured
+                # relative to the ratio's own magnitude and the
+                # transformed-gain residual relative to the achieved
+                # channel gains, so every reward scaling converges to
+                # the same *relative* accuracy.
+                gain_scale = max(abs(g_num), abs(g_den))
+                if (new_rho <= rho + tol * max(1.0, abs(new_rho))
+                        and abs(solution.gain)
+                        <= max(GAIN_TOL, tol) * gain_scale):
                     return finish(best, abs(solution.gain))
                 if new_rho <= rho:  # numerical stall; converged
                     return finish(best, abs(solution.gain))
@@ -242,14 +262,19 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         best_policy = policy
         last_gain = float("nan")
         for _ in range(max_iter):
-            if hi_b - lo_b <= tol:
+            if hi_b - lo_b <= tol * max(1.0, abs(lo_b), abs(hi_b)):
                 break
             counter_add("solver/ratio/bisection_rounds")
             mid = 0.5 * (lo_b + hi_b)
             solution = run_solver(_transformed(mdp, num, den, mid),
                                   best_policy)
             last_gain = abs(solution.gain)
-            if solution.gain > GAIN_TOL:
+            # Profitability is judged relative to the transformed
+            # reward's scale: with both channels scaled by 1e-8, an
+            # absolute threshold would classify every mid within ~1e-2
+            # of the optimum as unprofitable and bias the bracket.
+            w_scale = max(num_scale, abs(mid) * den_scale)
+            if solution.gain > GAIN_TOL * max(w_scale, 1e-300):
                 lo_b = mid
                 best_policy = solution.policy
             else:
@@ -260,7 +285,7 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
             last_gain = abs(solution.gain)
         g_num, g_den = _channel_gains(mdp, best_policy, num, den,
                                       rho=lo_b)
-        value = g_num / g_den if g_den > DEN_FLOOR else 0.5 * (lo_b + hi_b)
+        value = g_num / g_den if g_den > den_floor else 0.5 * (lo_b + hi_b)
         if not np.isfinite(value):
             raise SolverDivergedError(
                 f"ratio bisection produced non-finite value {value!r} "

@@ -1,0 +1,531 @@
+"""Exact-arithmetic reference solvers over ``fractions.Fraction``.
+
+Every float solver in :mod:`repro.mdp` stops at a tolerance; a solver
+that is *confidently wrong* (singular system, scale-blind acceptance
+test, silently-degenerate fallback) still returns finite numbers.  The
+references here run the same mathematics over exact rationals, so they
+terminate with certificates instead of tolerances:
+
+- policy evaluation solves the pinned average-reward system exactly and
+  *proves* singularity (a failed pivot) instead of returning round-off;
+- Howard policy iteration terminates when no action improves under an
+  exact comparison;
+- the Dinkelbach ratio iteration terminates at an exact fixed point
+  ``f(rho*) == 0`` -- a rational certificate of optimality.
+
+Converting floats via ``Fraction(x)`` is exact (every finite binary
+float is rational), so the reference solves *the float matrix the
+production solvers saw*, not an idealized sibling.  Intended for the
+small adversarial instances of :mod:`repro.qa.generators` (n <= ~10);
+cost grows quickly with state count because rational entries widen
+under elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.mdp.model import MDP
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class ExactSingularError(SolverError):
+    """An exact linear solve certified that the system is singular
+    (e.g. a multichain policy's evaluation or stationary system)."""
+
+
+# -- exact linear algebra ------------------------------------------------
+
+def solve_linear_exact(a: List[List[Fraction]],
+                       b: List[Fraction]) -> List[Fraction]:
+    """Solve ``a x = b`` by Gaussian elimination over ``Fraction``.
+
+    Raises :class:`ExactSingularError` when a pivot column is exactly
+    zero -- unlike a float solve, this is a *proof* of singularity, not
+    a tolerance call.
+    """
+    n = len(a)
+    aug = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(n):
+        pivot_row = None
+        for r in range(col, n):
+            if aug[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            raise ExactSingularError(
+                f"exact solve: singular system (pivot column {col} is "
+                "zero)")
+        if pivot_row != col:
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        for r in range(col + 1, n):
+            factor = aug[r][col]
+            if factor == 0:
+                continue
+            factor /= pivot
+            row_r, row_c = aug[r], aug[col]
+            for c in range(col, n + 1):
+                row_r[c] -= factor * row_c[c]
+    x = [ZERO] * n
+    for r in range(n - 1, -1, -1):
+        acc = aug[r][n]
+        row = aug[r]
+        for c in range(r + 1, n):
+            acc -= row[c] * x[c]
+        x[r] = acc / row[r]
+    return x
+
+
+def _frac_rows(p: sparse.csr_matrix) -> List[Dict[int, Fraction]]:
+    """Sparse rows of a CSR matrix as ``{col: Fraction}`` dicts."""
+    p = sparse.csr_matrix(p)
+    rows: List[Dict[int, Fraction]] = []
+    for s in range(p.shape[0]):
+        lo, hi = p.indptr[s], p.indptr[s + 1]
+        rows.append({int(t): Fraction(float(v))
+                     for t, v in zip(p.indices[lo:hi], p.data[lo:hi])
+                     if v != 0.0})
+    return rows
+
+
+def _policy_rows(mdp: MDP,
+                 policy: Sequence[int]) -> List[Dict[int, Fraction]]:
+    """Rows of the policy-induced chain as Fraction dicts."""
+    rows: List[Dict[int, Fraction]] = []
+    for s, a in enumerate(policy):
+        mat = mdp.transition[int(a)]
+        lo, hi = mat.indptr[s], mat.indptr[s + 1]
+        rows.append({int(t): Fraction(float(v))
+                     for t, v in zip(mat.indices[lo:hi], mat.data[lo:hi])
+                     if v != 0.0})
+    return rows
+
+
+def combined_reward_frac(mdp: MDP, weights: Mapping[str, Fraction]
+                         ) -> List[List[Fraction]]:
+    """Exact ``(A, N)`` reward table for a weighted channel combination
+    (the rational analogue of :meth:`repro.mdp.model.MDP.combined_reward`)."""
+    a, n = mdp.n_actions, mdp.n_states
+    out = [[ZERO] * n for _ in range(a)]
+    for name, w in weights.items():
+        w = Fraction(w)
+        if w == 0:
+            continue
+        channel = mdp.channel_reward(name)
+        for ai in range(a):
+            row = out[ai]
+            crow = channel[ai]
+            for s in range(n):
+                v = crow[s]
+                if v != 0.0:
+                    row[s] += w * Fraction(float(v))
+    return out
+
+
+def _reward_table(mdp: MDP, reward) -> List[List[Fraction]]:
+    """Normalize a reward spec (channel name, float ``(A, N)`` array or
+    Fraction table) to an exact ``(A, N)`` Fraction table."""
+    if isinstance(reward, str):
+        return combined_reward_frac(mdp, {reward: ONE})
+    if isinstance(reward, np.ndarray):
+        return [[Fraction(float(v)) for v in row] for row in reward]
+    return reward  # already a Fraction table
+
+
+# -- chain structure ----------------------------------------------------
+
+def _reachable(rows: List[Dict[int, Fraction]], start: int) -> List[int]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        s = frontier.pop()
+        for t in rows[s]:
+            if t not in seen:
+                seen.add(t)
+                frontier.append(t)
+    return sorted(seen)
+
+
+def closed_classes(rows: List[Dict[int, Fraction]]) -> List[List[int]]:
+    """Closed recurrent classes of a chain given as Fraction rows
+    (Tarjan SCCs with no outgoing edges)."""
+    n = len(rows)
+    index = [0] * n
+    low = [0] * n
+    on_stack = [False] * n
+    visited = [False] * n
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [1]
+
+    def strongconnect(root: int) -> None:
+        work = [(root, iter(rows[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        visited[root] = True
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if not visited[w]:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    visited[w] = True
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, iter(rows[w])))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(sorted(comp))
+
+    for s in range(n):
+        if not visited[s]:
+            strongconnect(s)
+
+    closed = []
+    for comp in sccs:
+        members = set(comp)
+        if all(t in members for s in comp for t in rows[s]):
+            closed.append(comp)
+    return closed
+
+
+# -- stationary distribution ---------------------------------------------
+
+def _stationary_on_class(rows: List[Dict[int, Fraction]],
+                         members: List[int]) -> List[Fraction]:
+    """Exact stationary distribution restricted to one closed class."""
+    pos = {s: i for i, s in enumerate(members)}
+    m = len(members)
+    # Columns of (P^T - I) restricted to the class, last row replaced
+    # by the normalization -- the same construction the float path uses.
+    a = [[ZERO] * m for _ in range(m)]
+    for s in members:
+        i = pos[s]
+        for t, v in rows[s].items():
+            a[pos[t]][i] += v
+        a[i][i] -= ONE
+    for j in range(m):
+        a[m - 1][j] = ONE
+    b = [ZERO] * m
+    b[m - 1] = ONE
+    pi = solve_linear_exact(a, b)
+    if any(v < 0 for v in pi):
+        # Round-off cannot occur in exact arithmetic; a negative mass
+        # means the selected class was not actually closed.
+        raise SolverError("exact stationary produced negative mass; the "
+                          "selected class is not closed")
+    return pi
+
+
+def exact_stationary(p, start: Optional[int] = None) -> List[Fraction]:
+    """Exact stationary distribution of a row-stochastic matrix.
+
+    With ``start`` given, the distribution is taken over the unique
+    closed recurrent class reachable from ``start`` (transient states
+    get exact zero mass); if several closed classes are reachable the
+    long-run distribution depends on the sample path and a
+    :class:`~repro.errors.SolverError` is raised.  Without ``start``
+    the chain must have a single closed class.
+    """
+    rows = _frac_rows(p) if not isinstance(p, list) else p
+    n = len(rows)
+    classes = closed_classes(rows)
+    if start is not None:
+        reach = set(_reachable(rows, int(start)))
+        classes = [c for c in classes if set(c) <= reach]
+        if len(classes) != 1:
+            raise SolverError(
+                f"start state {start} reaches {len(classes)} closed "
+                "recurrent classes; the stationary distribution is not "
+                "determined by the start state")
+    elif len(classes) != 1:
+        raise SolverError(
+            f"chain has {len(classes)} closed recurrent classes; pass "
+            "start= to select the one reachable from a start state")
+    members = classes[0]
+    pi_class = _stationary_on_class(rows, members)
+    pi = [ZERO] * n
+    for s, v in zip(members, pi_class):
+        pi[s] = v
+    return pi
+
+
+# -- policy evaluation ----------------------------------------------------
+
+@dataclass
+class ExactAverageSolution:
+    """Exact analogue of
+    :class:`repro.mdp.policy_iteration.AverageRewardSolution`."""
+
+    gain: Fraction
+    bias: List[Fraction]
+    policy: np.ndarray
+    iterations: int
+
+
+def exact_gain_bias(mdp: MDP, policy: Sequence[int],
+                    reward) -> Tuple[Fraction, List[Fraction]]:
+    """Exact gain and bias of ``policy`` (bias pinned to zero at the
+    MDP's start state, matching the float evaluation system).
+
+    ``reward`` may be a channel name, a float ``(A, N)`` array or an
+    exact Fraction table.  Raises :class:`ExactSingularError` when the
+    evaluation system is singular (a multichain policy) -- a certified
+    failure, where the float path can return round-off garbage.
+    """
+    table = _reward_table(mdp, reward)
+    rows = _policy_rows(mdp, policy)
+    n = mdp.n_states
+    # [[I - P_pi, 1], [e_start, 0]] [h; g] = [r_pi; 0]
+    a = [[ZERO] * (n + 1) for _ in range(n + 1)]
+    b = [ZERO] * (n + 1)
+    for s in range(n):
+        a[s][s] += ONE
+        for t, v in rows[s].items():
+            a[s][t] -= v
+        a[s][n] = ONE
+        b[s] = table[int(policy[s])][s]
+    a[n][mdp.start] = ONE
+    solution = solve_linear_exact(a, b)
+    return solution[n], solution[:n]
+
+
+def exact_channel_gains(mdp: MDP, policy: Sequence[int],
+                        channels: Optional[Iterable[str]] = None
+                        ) -> Dict[str, Fraction]:
+    """Exact per-channel long-run rates ``pi . r_pi`` under ``policy``,
+    with ``pi`` the stationary distribution of the recurrent class
+    reachable from the MDP's start state."""
+    rows = _policy_rows(mdp, policy)
+    pi = exact_stationary(rows, start=mdp.start)
+    names = list(channels) if channels is not None else mdp.channels
+    out: Dict[str, Fraction] = {}
+    for name in names:
+        r = mdp.channel_reward(name)
+        total = ZERO
+        for s, mass in enumerate(pi):
+            if mass != 0:
+                v = r[int(policy[s]), s]
+                if v != 0.0:
+                    total += mass * Fraction(float(v))
+        out[name] = total
+    return out
+
+
+# -- optimal control -------------------------------------------------------
+
+def _default_policy(mdp: MDP) -> np.ndarray:
+    return np.asarray(mdp.available.argmax(axis=0), dtype=int)
+
+
+def _exact_q(mdp: MDP, table: List[List[Fraction]],
+             values: List[Fraction],
+             discount: Fraction) -> List[List[Optional[Fraction]]]:
+    """Exact Q table; unavailable pairs are ``None``."""
+    q: List[List[Optional[Fraction]]] = []
+    for a in range(mdp.n_actions):
+        mat = mdp.transition[a]
+        row: List[Optional[Fraction]] = []
+        for s in range(mdp.n_states):
+            if not mdp.available[a, s]:
+                row.append(None)
+                continue
+            lo, hi = mat.indptr[s], mat.indptr[s + 1]
+            acc = ZERO
+            for t, v in zip(mat.indices[lo:hi], mat.data[lo:hi]):
+                if v != 0.0:
+                    acc += Fraction(float(v)) * values[int(t)]
+            row.append(table[a][s] + discount * acc)
+        q.append(row)
+    return q
+
+
+def _greedy_improve(mdp: MDP, q: List[List[Optional[Fraction]]],
+                    policy: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """One exact improvement step, ties broken for the incumbent."""
+    new_policy = policy.copy()
+    changed = False
+    for s in range(mdp.n_states):
+        incumbent = q[int(policy[s])][s]
+        best_a, best_v = int(policy[s]), incumbent
+        for a in range(mdp.n_actions):
+            v = q[a][s]
+            if v is not None and v > best_v:
+                best_a, best_v = a, v
+        if best_v > incumbent:
+            new_policy[s] = best_a
+            changed = True
+    return new_policy, changed
+
+
+def exact_policy_iteration(mdp: MDP, reward,
+                           max_iter: int = 1000) -> ExactAverageSolution:
+    """Howard policy iteration with exact evaluation and comparison.
+
+    Terminates (finitely many policies, exact strict improvement) with
+    the *exactly* optimal gain of a unichain average-reward MDP -- the
+    certificate every float average-reward solver is checked against.
+    """
+    table = _reward_table(mdp, reward)
+    policy = _default_policy(mdp)
+    for it in range(1, max_iter + 1):
+        gain, bias = exact_gain_bias(mdp, policy, table)
+        q = _exact_q(mdp, table, bias, ONE)
+        policy, changed = _greedy_improve(mdp, q, policy)
+        if not changed:
+            return ExactAverageSolution(gain=gain, bias=bias,
+                                        policy=policy, iterations=it)
+    raise SolverError(
+        f"exact policy iteration did not converge in {max_iter} "
+        "improvements")
+
+
+@dataclass
+class ExactDiscountedSolution:
+    """Exact analogue of
+    :class:`repro.mdp.value_iteration.DiscountedSolution`."""
+
+    values: List[Fraction]
+    policy: np.ndarray
+    iterations: int
+
+
+def _exact_discounted_values(mdp: MDP, table: List[List[Fraction]],
+                             policy: Sequence[int],
+                             discount: Fraction) -> List[Fraction]:
+    rows = _policy_rows(mdp, policy)
+    n = mdp.n_states
+    a = [[ZERO] * n for _ in range(n)]
+    b = [ZERO] * n
+    for s in range(n):
+        a[s][s] += ONE
+        for t, v in rows[s].items():
+            a[s][t] -= discount * v
+        b[s] = table[int(policy[s])][s]
+    return solve_linear_exact(a, b)
+
+
+def exact_discounted_solve(mdp: MDP, reward, discount,
+                           max_iter: int = 1000
+                           ) -> ExactDiscountedSolution:
+    """Exactly optimal discounted values/policy via policy iteration
+    over Fractions (``(I - gamma P_pi) v = r_pi`` solved exactly).
+    The reference for :func:`repro.mdp.value_iteration.value_iteration`."""
+    # Fraction(float) is exact, so a float discount is solved at the
+    # exact binary value the float solver used, not a prettier rational.
+    discount = Fraction(discount)
+    if not 0 < discount < 1:
+        raise SolverError("discount must lie in (0, 1)")
+    table = _reward_table(mdp, reward)
+    policy = _default_policy(mdp)
+    for it in range(1, max_iter + 1):
+        values = _exact_discounted_values(mdp, table, policy, discount)
+        q = _exact_q(mdp, table, values, discount)
+        policy, changed = _greedy_improve(mdp, q, policy)
+        if not changed:
+            return ExactDiscountedSolution(values=values, policy=policy,
+                                           iterations=it)
+    raise SolverError(
+        f"exact discounted solve did not converge in {max_iter} "
+        "improvements")
+
+
+# -- ratio objective --------------------------------------------------------
+
+@dataclass
+class ExactRatioSolution:
+    """Exact analogue of :class:`repro.mdp.ratio.RatioSolution`.
+
+    ``certificate`` is the exact optimal gain of the transformed
+    problem at ``value`` -- zero iff ``value`` is exactly optimal
+    (Dinkelbach's optimality condition ``f(rho*) == 0``).
+    """
+
+    value: Fraction
+    policy: np.ndarray
+    gain_num: Fraction
+    gain_den: Fraction
+    iterations: int
+    certificate: Fraction
+
+
+def exact_ratio(mdp: MDP, num: Mapping[str, float],
+                den: Mapping[str, float],
+                max_iter: int = 100) -> ExactRatioSolution:
+    """Exact Dinkelbach iteration for ``gain(num) / gain(den)``.
+
+    Every policy encountered must have a strictly positive denominator
+    rate (the generators in :mod:`repro.qa.generators` guarantee this
+    by keeping denominator rewards positive everywhere).  Terminates at
+    an exact fixed point: the returned ``certificate`` is
+    ``max_policy gain(num - value * den)`` and equals zero exactly.
+    """
+    num_frac = {c: Fraction(float(w)) for c, w in num.items()}
+    den_frac = {c: Fraction(float(w)) for c, w in den.items()}
+    num_table = combined_reward_frac(mdp, num_frac)
+    den_table = combined_reward_frac(mdp, den_frac)
+
+    def gains_of(policy: np.ndarray) -> Tuple[Fraction, Fraction]:
+        channels = set(num_frac) | set(den_frac)
+        g = exact_channel_gains(mdp, policy, channels)
+        g_num = sum((w * g[c] for c, w in num_frac.items()), ZERO)
+        g_den = sum((w * g[c] for c, w in den_frac.items()), ZERO)
+        return g_num, g_den
+
+    policy = _default_policy(mdp)
+    g_num, g_den = gains_of(policy)
+    if g_den == 0:
+        raise SolverError("exact ratio: start policy has zero "
+                          "denominator rate")
+    rho = g_num / g_den
+    a, n = mdp.n_actions, mdp.n_states
+    for it in range(1, max_iter + 1):
+        table = [[num_table[ai][s] - rho * den_table[ai][s]
+                  for s in range(n)] for ai in range(a)]
+        solution = exact_policy_iteration(mdp, table)
+        if solution.gain == 0:
+            return ExactRatioSolution(
+                value=rho, policy=policy, gain_num=g_num, gain_den=g_den,
+                iterations=it, certificate=solution.gain)
+        if solution.gain < 0:
+            raise SolverError(
+                "exact ratio: transformed gain went negative "
+                f"(f({rho}) = {solution.gain}); the iteration started "
+                "above the optimum")
+        policy = solution.policy
+        g_num, g_den = gains_of(policy)
+        if g_den == 0:
+            raise SolverError("exact ratio: encountered a policy with "
+                              "zero denominator rate")
+        rho = g_num / g_den
+    raise SolverError(
+        f"exact ratio did not reach a fixed point in {max_iter} "
+        "transformed solves")

@@ -34,7 +34,7 @@ from repro.runtime import telemetry
 
 #: Task kinds understood by :func:`execute_task`.
 TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze",
-              "validate_seed")
+              "validate_seed", "qa_cell")
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,9 @@ def execute_task(task: SolveTask):
         from repro.analysis.validation import run_validation_seed
         return run_validation_seed(task.config, task.model,
                                    **dict(task.params))
+    if task.kind == "qa_cell":
+        from repro.qa.conformance import run_cell_payload
+        return run_cell_payload(**dict(task.params))
     raise ReproError(f"unknown task kind {task.kind!r}")
 
 

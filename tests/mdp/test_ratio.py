@@ -150,6 +150,53 @@ def test_strict_dinkelbach_flags_degenerate_policy():
                        strict=True)
 
 
+def tiny_denominator_mdp():
+    """Legitimately small denominator rates (1e-10-scale), far above
+    zero *relative to the channel's own scale*.  Ratios: ``a`` ->
+    1e10, ``b`` -> 1.5e10; optimum 1.5e10 via ``b``."""
+    b = MDPBuilder(actions=["a", "b"], channels=["num", "den"])
+    b.add(0, "a", 0, 1.0, num=1.0, den=1e-10)
+    b.add(0, "b", 0, 1.0, num=3.0, den=2e-10)
+    return b.build(start=0)
+
+
+def test_dinkelbach_accepts_small_scale_denominator():
+    """Regression: the degeneracy floor used to be absolute (1e-9), so
+    every policy of this model -- whose denominator rates are simply
+    small, not degenerate -- was misclassified and strict Dinkelbach
+    raised.  The floor is now relative to ``max|r_den|``."""
+    mdp = tiny_denominator_mdp()
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0},
+                         lo=0.0, hi=5e10, tol=1e-9,
+                         method="dinkelbach", strict=True)
+    assert sol.method == "dinkelbach"
+    assert sol.value == pytest.approx(1.5e10, rel=1e-9)
+    assert mdp.actions[sol.policy[0]] == "b"
+
+
+def test_dinkelbach_does_not_fall_back_on_small_scales():
+    """Regression: non-strict Dinkelbach used to silently bail out to
+    bisection on the same misclassification."""
+    mdp = tiny_denominator_mdp()
+    sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0},
+                         lo=0.0, hi=5e10, tol=1e-9)
+    assert sol.method == "dinkelbach"
+    assert sol.value == pytest.approx(1.5e10, rel=1e-9)
+
+
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+@pytest.mark.parametrize("factor", [1e-8, 1.0, 1e8])
+def test_ratio_scale_equivariance(method, factor):
+    """Scaling both channels by a common factor must leave the ratio
+    (and the chosen policy) unchanged; with absolute tolerances the
+    1e-8 case tripped the degeneracy floor."""
+    mdp = renewal_mdp()
+    sol = maximize_ratio(mdp, {"num": factor}, {"den": factor},
+                         lo=0.0, hi=5.0, tol=1e-9, method=method)
+    assert sol.value == pytest.approx(1.5, rel=1e-6)
+    assert mdp.actions[sol.policy[0]] == "long"
+
+
 def test_bisection_solves_always_wait_degeneracy():
     """The bisection fallback answers the same problem correctly even
     when warm-started on the always-wait policy: the optimum is

@@ -4,8 +4,19 @@ import numpy as np
 import pytest
 from scipy import sparse
 
+from repro.errors import SolverError
 from repro.mdp.stationary import policy_gains, stationary_distribution
 from tests.mdp.helpers import two_state_chain
+
+
+def two_recurrent_classes():
+    """Block-diagonal chain with two closed classes: {0, 1} and
+    {2, 3}, each a deterministic 2-cycle."""
+    block = np.array([[0.0, 1.0], [1.0, 0.0]])
+    p = np.zeros((4, 4))
+    p[:2, :2] = block
+    p[2:, 2:] = block
+    return sparse.csr_matrix(p)
 
 
 def test_two_state_stationary():
@@ -30,6 +41,60 @@ def test_uniform_cycle():
     p = sparse.csr_matrix((np.ones(n), (rows, cols)), shape=(n, n))
     pi = stationary_distribution(p)
     assert np.allclose(pi, 1 / n)
+
+
+def test_multichain_raises_instead_of_garbage():
+    """Regression: a reducible chain makes the stationary system
+    singular; the solve used to emit MatrixRankWarning and return
+    finite garbage that passed the old isfinite check."""
+    with pytest.raises(SolverError, match="singular|residual"):
+        stationary_distribution(two_recurrent_classes())
+
+
+def test_start_selects_recurrent_class():
+    """Regression: ``start`` used to be accepted and ignored.  On a
+    multichain matrix it must select the closed class the start state
+    reaches."""
+    p = two_recurrent_classes()
+    pi = stationary_distribution(p, start=2)
+    assert pi[:2] == pytest.approx([0.0, 0.0], abs=1e-12)
+    assert pi[2:] == pytest.approx([0.5, 0.5])
+    pi0 = stationary_distribution(p, start=0)
+    assert pi0[:2] == pytest.approx([0.5, 0.5])
+    assert pi0[2:] == pytest.approx([0.0, 0.0], abs=1e-12)
+
+
+def test_start_mass_zero_on_transient_states():
+    """A transient start state reaching a single closed class gets
+    zero stationary mass itself."""
+    p = sparse.csr_matrix(np.array([
+        [0.0, 0.5, 0.5],   # transient, drains into {1, 2}
+        [0.0, 0.0, 1.0],
+        [0.0, 1.0, 0.0],
+    ]))
+    pi = stationary_distribution(p, start=0)
+    assert pi[0] == pytest.approx(0.0, abs=1e-12)
+    assert pi[1:] == pytest.approx([0.5, 0.5])
+
+
+def test_start_reaching_two_classes_raises():
+    """When the start state can fall into either closed class the
+    long-run distribution is path-dependent; the solver must refuse
+    rather than pick one arbitrarily."""
+    p = np.zeros((5, 5))
+    p[0, 1] = p[0, 3] = 0.5       # transient start, either class
+    p[1:3, 1:3] = [[0.0, 1.0], [1.0, 0.0]]
+    p[3:, 3:] = [[0.0, 1.0], [1.0, 0.0]]
+    with pytest.raises(SolverError, match="closed"):
+        stationary_distribution(sparse.csr_matrix(p), start=0)
+
+
+def test_unichain_ignores_start():
+    """On an irreducible chain the distribution is start-independent
+    and the fast global solve answers for any start."""
+    p = sparse.csr_matrix(np.array([[0.7, 0.3], [1.0, 0.0]]))
+    assert stationary_distribution(p, start=1) == pytest.approx(
+        stationary_distribution(p))
 
 
 def test_policy_gains_match_manual_computation():

@@ -1,0 +1,122 @@
+"""Tests for the exact rational reference solvers.
+
+Every assertion here is an *equality* over :class:`fractions.Fraction`
+-- the point of the reference layer is that it produces certificates,
+not approximations.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.mdp.builder import MDPBuilder
+from repro.mdp.policy_iteration import policy_iteration
+from repro.qa.exact import (
+    ExactSingularError,
+    exact_channel_gains,
+    exact_discounted_solve,
+    exact_gain_bias,
+    exact_policy_iteration,
+    exact_ratio,
+    exact_stationary,
+    solve_linear_exact,
+)
+from tests.mdp.helpers import two_state_chain, work_or_rest
+
+ZERO = Fraction(0)
+
+
+def test_solve_linear_exact_identity():
+    a = [[Fraction(2), ZERO], [ZERO, Fraction(4)]]
+    b = [Fraction(1), Fraction(1)]
+    assert solve_linear_exact(a, b) == [Fraction(1, 2), Fraction(1, 4)]
+
+
+def test_solve_linear_exact_certifies_singularity():
+    a = [[Fraction(1), Fraction(2)], [Fraction(2), Fraction(4)]]
+    with pytest.raises(ExactSingularError):
+        solve_linear_exact(a, [ZERO, ZERO])
+
+
+def test_exact_stationary_two_state():
+    p = np.array([[0.75, 0.25], [1.0, 0.0]])
+    from scipy import sparse
+    pi = exact_stationary(sparse.csr_matrix(p))
+    assert pi == [Fraction(4, 5), Fraction(1, 5)]
+
+
+def test_exact_stationary_multichain_needs_start():
+    from scipy import sparse
+    p = sparse.csr_matrix(np.array([
+        [0.0, 1.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 1.0],
+        [0.0, 0.0, 1.0, 0.0],
+    ]))
+    with pytest.raises(SolverError):
+        exact_stationary(p)
+    pi = exact_stationary(p, start=2)
+    assert pi == [ZERO, ZERO, Fraction(1, 2), Fraction(1, 2)]
+
+
+def test_exact_gain_matches_closed_form():
+    # Gain of the two-state chain is p/(1+p) for the *exact rational*
+    # represented by the float 0.3 -- certified, not approximated.
+    mdp = two_state_chain()
+    gain, _bias = exact_gain_bias(mdp, np.zeros(2, dtype=int), "r")
+    p = Fraction(0.3)
+    assert gain == p / (1 + p)
+
+
+def test_exact_gain_bias_flags_multichain_policy():
+    b = MDPBuilder(actions=["stay"], channels=["r"])
+    b.add(0, "stay", 0, 1.0, r=1.0)
+    b.add(1, "stay", 1, 1.0)
+    mdp = b.build(start=0)
+    with pytest.raises(ExactSingularError):
+        exact_gain_bias(mdp, np.zeros(2, dtype=int), "r")
+
+
+def test_exact_policy_iteration_optimal():
+    sol = exact_policy_iteration(work_or_rest(), "r")
+    assert sol.gain == Fraction(1, 2)
+    assert list(sol.policy) == [0, 0]  # alternate work/work
+
+
+def test_exact_channel_gains_match_gain_bias():
+    # Dyadic p keeps the float matrix *exactly* stochastic, so the
+    # stationary-based and evaluation-based gains agree as rationals.
+    mdp = two_state_chain(p_advance=0.25)
+    policy = np.zeros(2, dtype=int)
+    gain, _ = exact_gain_bias(mdp, policy, "r")
+    assert exact_channel_gains(mdp, policy)["r"] == gain
+
+
+def test_exact_ratio_renewal():
+    b = MDPBuilder(actions=["short", "long"], channels=["num", "den"])
+    b.add(0, "short", 0, 1.0, num=1.0, den=1.0)
+    b.add(0, "long", 0, 1.0, num=3.0, den=2.0)
+    mdp = b.build(start=0)
+    sol = exact_ratio(mdp, {"num": 1.0}, {"den": 1.0})
+    assert sol.value == Fraction(3, 2)
+    assert sol.certificate == ZERO
+    assert mdp.actions[sol.policy[0]] == "long"
+
+
+def test_exact_discounted_agrees_with_float_vi():
+    from repro.mdp.value_iteration import value_iteration
+    mdp = work_or_rest()
+    exact = exact_discounted_solve(mdp, "r", 0.9)
+    sol = value_iteration(mdp, mdp.combined_reward({"r": 1.0}), 0.9)
+    ev = np.array([float(v) for v in exact.values])
+    assert np.abs(sol.values - ev).max() < 1e-6
+    assert list(sol.policy) == list(exact.policy)
+
+
+def test_exact_agrees_with_float_policy_iteration():
+    mdp = work_or_rest()
+    exact = exact_policy_iteration(mdp, "r")
+    sol = policy_iteration(mdp, mdp.combined_reward({"r": 1.0}))
+    assert sol.gain == pytest.approx(float(exact.gain), abs=1e-12)

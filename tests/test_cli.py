@@ -108,6 +108,30 @@ def test_report_command(capsys, tmp_path):
     assert "table2" in target.read_text()
 
 
+def test_qa_command(capsys, tmp_path):
+    report = tmp_path / "qa.json"
+    code = main(["qa", "--classes", "unichain", "--checks", "pi", "lp",
+                 "--seeds", "0", "--report", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "unichain" in out and "0 failures" in out
+    assert '"all_passed": true' in report.read_text()
+
+
+def test_qa_command_reports_failure(capsys, monkeypatch):
+    from repro.qa import conformance
+
+    def boom(_inst):
+        raise RuntimeError("injected")
+
+    monkeypatch.setitem(conformance._CHECK_FNS, "pi", boom)
+    code = main(["qa", "--classes", "unichain", "--checks", "pi",
+                 "--seeds", "0"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL pi on unichain" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
