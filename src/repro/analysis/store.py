@@ -25,7 +25,7 @@ from repro.analysis.tables import TableResult
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import AttackAnalysis
-from repro.errors import ReproError
+from repro.errors import ArtifactCorruptError, ReproError
 from repro.runtime.journal import atomic_write_text
 
 PathLike = Union[str, Path]
@@ -57,17 +57,60 @@ def analysis_to_payload(analysis: AttackAnalysis) -> Dict:
     }
 
 
+def _load_json(path: PathLike) -> Dict:
+    """Read and parse one JSON artifact, raising the typed
+    :class:`~repro.errors.ArtifactCorruptError` (path + reason) on
+    malformed content instead of a raw :class:`json.JSONDecodeError`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptError(path, f"malformed JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptError(
+            path, f"expected a JSON object, got {type(payload).__name__}")
+    return payload
+
+
 def _decode_payload(payload: Dict, source: str = "payload") -> Dict:
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptError(
+            source, f"expected a JSON object, got {type(payload).__name__}")
     if payload.get("kind") != "attack-analysis":
-        raise ReproError(f"{source} does not contain an attack analysis")
+        raise ArtifactCorruptError(
+            source, f"does not contain an attack analysis "
+                    f"(kind={payload.get('kind')!r})")
     if payload.get("schema") != SCHEMA_VERSION:
-        raise ReproError(f"unsupported schema {payload.get('schema')}")
+        raise ArtifactCorruptError(
+            source, f"unsupported schema {payload.get('schema')!r} "
+                    f"(expected {SCHEMA_VERSION})")
     decoded = dict(payload)
-    decoded["policy"] = {_text_to_state(k): v
-                         for k, v in payload["policy"].items()}
-    decoded["config"] = AttackConfig(**payload["config"])
-    decoded["model"] = IncentiveModel(payload["model"])
+    try:
+        decoded["policy"] = {_text_to_state(k): v
+                             for k, v in payload["policy"].items()}
+        decoded["config"] = AttackConfig(**payload["config"])
+        decoded["model"] = IncentiveModel(payload["model"])
+    except ArtifactCorruptError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError,
+            ReproError) as exc:
+        # Missing fields, wrong field types, unknown config knobs or
+        # model names: one typed error instead of a leaked KeyError.
+        raise ArtifactCorruptError(
+            source, f"schema mismatch: {exc!r}") from exc
     return decoded
+
+
+def validate_analysis_payload(payload: Dict,
+                              source: str = "payload") -> Dict:
+    """Validate an analysis payload and return its decoded summary
+    (config/model/policy rebuilt as live objects).
+
+    Raises the typed :class:`~repro.errors.ArtifactCorruptError` --
+    carrying ``source`` and a reason -- on any structural problem, so
+    callers holding untrusted payloads (the policy atlas, the serving
+    layer) get one catchable error instead of raw ``KeyError``\\ s.
+    """
+    return _decode_payload(payload, source=source)
 
 
 def analysis_from_payload(payload: Dict) -> AttackAnalysis:
@@ -102,7 +145,7 @@ def load_analysis_summary(path: PathLike) -> Dict:
     :class:`Policy` should rebuild the MDP from the stored config and
     match actions by state key (see :func:`policy_from_summary`).
     """
-    payload = json.loads(Path(path).read_text())
+    payload = _load_json(path)
     return _decode_payload(payload, source=str(path))
 
 
@@ -142,16 +185,29 @@ def save_table(result: TableResult, path: PathLike) -> None:
 
 
 def load_table(path: PathLike) -> TableResult:
-    """Load a persisted table."""
-    payload = json.loads(Path(path).read_text())
+    """Load a persisted table.
+
+    Raises
+    ------
+    ArtifactCorruptError
+        On malformed JSON, wrong kind/schema, or missing fields.
+    """
+    payload = _load_json(path)
     if payload.get("kind") != "table":
-        raise ReproError(f"{path} does not contain a table")
+        raise ArtifactCorruptError(
+            path, f"does not contain a table (kind={payload.get('kind')!r})")
     if payload.get("schema") != SCHEMA_VERSION:
-        raise ReproError(f"unsupported schema {payload.get('schema')}")
-    return TableResult(
-        name=payload["name"],
-        row_labels=payload["row_labels"],
-        col_labels=payload["col_labels"],
-        cells={tuple(k): v for k, v in payload["cells"]},
-        paper={tuple(k): v for k, v in payload["paper"]},
-    )
+        raise ArtifactCorruptError(
+            path, f"unsupported schema {payload.get('schema')!r} "
+                  f"(expected {SCHEMA_VERSION})")
+    try:
+        return TableResult(
+            name=payload["name"],
+            row_labels=payload["row_labels"],
+            col_labels=payload["col_labels"],
+            cells={tuple(k): v for k, v in payload["cells"]},
+            paper={tuple(k): v for k, v in payload["paper"]},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptError(
+            path, f"schema mismatch: {exc!r}") from exc

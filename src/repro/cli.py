@@ -12,13 +12,17 @@ Commands
 ``race``      per-race statistics of one fork (absorbing-chain exact)
 ``deadline``  price a time-limited attack (finite horizon)
 ``report``    regenerate the paper-vs-measured markdown comparison
-``chaos``     run the network simulation under an injected fault plan
+``serve``     answer solve requests from the policy atlas (batch JSON
+              or a JSON-lines TCP front-end; see docs/robustness.md)
+``chaos``     run the network simulation under an injected fault plan,
+              or (``--serve``) the solver-service chaos harness
 ``bench``     run the pipeline benchmarks, emit BENCH_<name>.json
 ``qa``        run the cross-solver conformance matrix against the
               exact rational reference (see docs/correctness.md)
 ``trace``     summarize a JSONL trace captured with ``--trace``
 
-``attack``, ``tables``, ``validate``, ``bench`` and ``qa`` accept
+``attack``, ``tables``, ``validate``, ``serve``, ``chaos``, ``bench``
+and ``qa`` accept
 ``--trace FILE``: the run executes with telemetry enabled and writes
 the span/counter/gauge registry as JSONL to FILE on the way out (see
 :mod:`repro.runtime.telemetry` and docs/observability.md).
@@ -191,7 +195,98 @@ def cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.atlas import PolicyAtlas
+    from repro.serve.service import (
+        RetryPolicy,
+        SolverService,
+        serve_batch,
+        serve_tcp,
+    )
+
+    async def run() -> int:
+        atlas = PolicyAtlas(args.atlas)
+        service = SolverService(
+            atlas,
+            max_concurrency=args.workers,
+            max_pending=args.max_pending,
+            default_deadline_s=args.deadline,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            seed=args.seed)
+        try:
+            if args.requests is not None:
+                if args.requests == "-":
+                    lines = sys.stdin.read().splitlines()
+                else:
+                    with open(args.requests) as fh:
+                        lines = fh.read().splitlines()
+                objs = [json.loads(line) for line in lines
+                        if line.strip()]
+                for result in await serve_batch(service, objs):
+                    print(json.dumps(result))
+            else:
+                server = await serve_tcp(service, args.host, args.port)
+                print(f"serving on {args.host}:{args.port} "
+                      f"(atlas: {args.atlas}, {len(atlas)} entries); "
+                      f"Ctrl-C to stop", file=sys.stderr)
+                async with server:
+                    await server.serve_forever()
+        finally:
+            await service.close()
+            stats = service.stats
+            print(f"requests: {stats.requests}, "
+                  f"atlas hits: {stats.atlas_hits}, "
+                  f"solves: {stats.solves}, "
+                  f"coalesced: {stats.coalesced} "
+                  f"(hit-rate {stats.coalesce_hit_rate():.2%}), "
+                  f"degraded: {stats.degraded}, "
+                  f"overloads: {stats.overloads}", file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.faults import ServiceFaultPlan
+    from repro.serve.chaos import (
+        check_service_invariants,
+        run_chaos_scenario,
+    )
+    plan = ServiceFaultPlan(hang_rate=args.hang,
+                            hang_seconds=args.hang_seconds,
+                            crash_rate=args.crash,
+                            corrupt_rate=args.corrupt,
+                            clock_skew_s=args.skew, seed=args.seed)
+    if args.atlas is None:
+        import tempfile
+        scratch = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        args.atlas = scratch.name
+    report = run_chaos_scenario(plan, args.atlas,
+                                requests=args.steps, seed=args.seed)
+    summary = report.summary()
+    print(f"requests answered: {summary['answered']} "
+          f"(by source: {summary['by_source']})")
+    print(f"typed errors: {summary['typed_errors']}")
+    print(f"solve attempts: {summary['solve_attempts']}, "
+          f"faults injected: {summary['injected']}")
+    violations = check_service_invariants(report, args.atlas)
+    if violations:
+        for violation in violations:
+            print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+        return 1
+    print("invariants: ok")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _cmd_chaos_serve(args)
     from repro.protocol.params import BUParams
     from repro.runtime import FaultPlan
     from repro.sim.network import NetworkMiner, NetworkSimulation
@@ -364,6 +459,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="-")
     report.set_defaults(func=cmd_report)
 
+    serve = sub.add_parser("serve",
+                           help="answer solve requests from the "
+                                "policy atlas")
+    serve.add_argument("--atlas", required=True, metavar="DIR",
+                       help="policy atlas directory (created on "
+                            "demand)")
+    serve.add_argument("--requests", default=None, metavar="FILE",
+                       help="answer a batch of JSON-lines requests "
+                            "from FILE ('-' for stdin) and exit; "
+                            "omit to run the TCP front-end")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent solves")
+    serve.add_argument("--max-pending", type=int, default=16,
+                       help="admission-control bound on in-flight "
+                            "solves (excess requests get a typed 429)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline (seconds)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="retries after a transient solve failure")
+    serve.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(serve)
+    serve.set_defaults(func=cmd_serve)
+
     chaos = sub.add_parser("chaos",
                            help="fault-injected network simulation")
     chaos.add_argument("--miners", type=int, default=4)
@@ -375,6 +495,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash", type=float, default=0.01)
     chaos.add_argument("--recovery", type=float, default=0.5)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--serve", action="store_true",
+                       help="chaos-test the solver service instead of "
+                            "the network simulation")
+    chaos.add_argument("--atlas", default=None, metavar="DIR",
+                       help="atlas directory for --serve (default: a "
+                            "scratch directory)")
+    chaos.add_argument("--hang", type=float, default=0.2,
+                       help="--serve: per-attempt solver hang rate")
+    chaos.add_argument("--hang-seconds", type=float, default=5.0,
+                       help="--serve: injected hang duration")
+    chaos.add_argument("--corrupt", type=float, default=0.2,
+                       help="--serve: per-write artifact corruption "
+                            "rate")
+    chaos.add_argument("--skew", type=float, default=0.5,
+                       help="--serve: service clock skew (seconds)")
+    _add_trace_flag(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     bench = sub.add_parser("bench",

@@ -65,6 +65,16 @@ class SolverBudgetExceededError(SolverError):
     before converging."""
 
 
+class SolveDeadlineError(SolverBudgetExceededError):
+    """A solve missed its caller-imposed wall-clock deadline.
+
+    Subclass of :class:`SolverBudgetExceededError` so fallback chains
+    treat it as non-recoverable: a different algorithm cannot refund
+    spent time.  Raised by :meth:`repro.core.deadline.Deadline.budget`
+    when the deadline expired before the solve could even start, and by
+    the serving layer when an in-flight solve overruns it."""
+
+
 class FallbackExhaustedError(SolverError):
     """Every stage of a solver fallback chain failed; carries the
     per-stage diagnostics in :attr:`diagnostics`."""
@@ -95,3 +105,34 @@ class FaultInjectionError(SimulationError):
 class CheckpointError(ReproError):
     """A checkpoint journal is corrupt or belongs to a different sweep
     or schema version."""
+
+
+class ArtifactCorruptError(ReproError):
+    """A persisted artifact (analysis file, table, atlas entry) failed
+    to load: malformed JSON, wrong kind/schema, missing fields, or a
+    checksum mismatch.
+
+    Carries the offending path and a human-readable reason so serving
+    layers can quarantine the file instead of crashing."""
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        #: Location of the corrupt artifact.
+        self.path = str(path)
+        #: Why the artifact was rejected.
+        self.reason = reason
+
+
+class ServeError(ReproError):
+    """Base class for solver-as-a-service errors."""
+
+
+class ServiceOverloadError(ServeError):
+    """The service's admission controller rejected a request because
+    the pending-solve queue is full (the 429 of this system).  Clients
+    should back off and retry; the request was never enqueued."""
+
+
+class ServiceShutdownError(ServeError):
+    """The service is draining or closed; the request was either never
+    admitted or its in-flight solve was cancelled by shutdown."""

@@ -52,6 +52,9 @@ _EXPORTS = {
     "FaultStats": "repro.runtime.faults",
     "CrashWindow": "repro.runtime.faults",
     "PartitionWindow": "repro.runtime.faults",
+    "ServiceFaultPlan": "repro.runtime.faults",
+    "ServiceFaultInjector": "repro.runtime.faults",
+    "ServiceFaultStats": "repro.runtime.faults",
     "Tracer": "repro.runtime.telemetry",
     "enable_tracing": "repro.runtime.telemetry",
     "disable_tracing": "repro.runtime.telemetry",

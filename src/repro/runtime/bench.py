@@ -230,6 +230,94 @@ def bench_sim_validate(fast: bool) -> Dict:
                         "total_steps": report.steps}}
 
 
+def bench_serve_smoke(fast: bool) -> Dict:
+    """Serving-layer smoke: atlas-hit latency and coalescing.
+
+    Pre-solves one setting-1 cell into a scratch atlas, then drives
+    the :class:`~repro.serve.service.SolverService` through two
+    phases: a sequential atlas-hit loop (recording p50/p99 per-request
+    latency -- the common path a deployed service must keep fast) and
+    a concurrent burst of identical cold requests against a slow
+    backend (recording the coalescing hit-rate, which must collapse
+    the burst into one solve).  The gated wall time is the atlas-hit
+    phase; the recorded ``utility`` is the exact solved utility
+    (deterministic, drift-gated).
+    """
+    import asyncio
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.config import AttackConfig
+    from repro.core.incentives import IncentiveModel
+    from repro.core.solve import analyze
+    from repro.serve.atlas import PolicyAtlas, atlas_key
+    from repro.serve.service import SolveRequest, SolverService
+
+    config = AttackConfig.from_ratio(0.25, (2, 3), setting=1,
+                                     ad=2 if fast else 6)
+    model = IncentiveModel.COMPLIANT_PROFIT
+    analysis = analyze(config, model)
+    hits = 200 if fast else 1000
+    burst = 32 if fast else 128
+
+    async def drive(atlas: PolicyAtlas):
+        async def slow_solve(request, deadline):
+            import dataclasses as dc
+
+            from repro.analysis.store import analysis_to_payload
+            await asyncio.sleep(0.02)
+            payload = analysis_to_payload(analysis)
+            payload["config"] = dc.asdict(request.config)
+            return payload
+
+        service = SolverService(atlas, solve_fn=slow_solve)
+        request = SolveRequest(config=config, model=model)
+        latencies = []
+        start = time.perf_counter()
+        for _ in range(hits):
+            t0 = time.perf_counter()
+            response = await service.submit(request)
+            latencies.append(time.perf_counter() - t0)
+            if response.source != "atlas":
+                raise ReproError(
+                    f"expected an atlas hit, got {response.source!r}")
+        hit_wall = time.perf_counter() - start
+
+        import dataclasses
+        cold = SolveRequest(
+            config=dataclasses.replace(config, alpha=config.alpha,
+                                       include_wait=True),
+            model=model)
+        responses = await asyncio.gather(
+            *(service.submit(cold) for _ in range(burst)))
+        await service.close()
+        return service, latencies, hit_wall, responses
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        atlas = PolicyAtlas(root)
+        atlas.put_analysis(analysis)
+        service, latencies, hit_wall, responses = \
+            asyncio.run(drive(atlas))
+
+    coalesced = sum(1 for r in responses if r.coalesced)
+    if coalesced != burst - 1:
+        raise ReproError(
+            f"coalescing broke: {burst} identical requests produced "
+            f"{burst - coalesced} solves (expected 1)")
+    percentiles = np.percentile(np.asarray(latencies) * 1e3,
+                                [50, 99])
+    return {"wall_time_s": hit_wall,
+            "metrics": {"utility": analysis.utility,
+                        "n_states": analysis.policy.mdp.n_states,
+                        "atlas_hits": hits,
+                        "hit_p50_ms": round(float(percentiles[0]), 4),
+                        "hit_p99_ms": round(float(percentiles[1]), 4),
+                        "burst_requests": burst,
+                        "coalesce_hit_rate":
+                            round(coalesced / burst, 4)}}
+
+
 #: name -> benchmark callable; each returns {"wall_time_s", "metrics"}.
 BENCHMARKS: Dict[str, Callable[[bool], Dict]] = {
     "attack-build": bench_attack_build,
@@ -238,6 +326,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict]] = {
     "reward-rebuild": bench_reward_rebuild,
     "sim-rollout": bench_sim_rollout,
     "sim-validate": bench_sim_validate,
+    "serve-smoke": bench_serve_smoke,
 }
 
 

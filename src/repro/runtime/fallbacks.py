@@ -236,6 +236,11 @@ def run_chain(chain: Sequence[Tuple[str, Callable]], request,
                 stage=name, status="failed",
                 elapsed=time.monotonic() - started,
                 error=str(exc), error_type=type(exc).__name__))
+            # Non-recoverable aborts still carry the per-stage record
+            # (earlier failed stages plus the one cancelled mid-flight)
+            # so the supervisor can log *which* chain step the budget
+            # or deadline cut off.
+            exc.diagnostics = diagnostics
             raise
         except SolverError as exc:
             counter_add(f"fallback/{name}/failed")

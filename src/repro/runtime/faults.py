@@ -27,6 +27,14 @@ The plan is interpreted by a :class:`FaultInjector`, which owns its own
 RNG (``plan.seed``) so that enabling faults never perturbs the mining
 sequence drawn from the simulation's RNG -- a fault-free plan plus any
 seed reproduces the fault-free run exactly.
+
+A second plan/injector pair targets the *serving* layer rather than
+the simulated network: a :class:`ServiceFaultPlan` declares solver
+hangs, worker crashes, artifact corruption and clock skew, and a
+:class:`ServiceFaultInjector` draws per-event decisions from its own
+seeded RNG.  :mod:`repro.serve.chaos` wires the injector into a
+running :class:`~repro.serve.service.SolverService` and checks the
+service's resilience invariants under it.
 """
 
 from __future__ import annotations
@@ -241,3 +249,110 @@ class FaultInjector:
             schedule.append(due + 1)
             self.stats.duplicated += 1
         return schedule
+
+
+# -- service-level faults ----------------------------------------------
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Declarative faults for the solver-as-a-service layer.
+
+    All rates are per-solve-attempt (hang, crash) or per-artifact-write
+    (corrupt) probabilities:
+
+    - **hangs**: with ``hang_rate`` a solve attempt blocks for
+      ``hang_seconds`` instead of computing -- the service must cancel
+      it at the deadline, not leak it;
+    - **crashes**: with ``crash_rate`` a solve attempt dies with a
+      worker-crash error -- retryable, unlike an input error;
+    - **corruption**: with ``corrupt_rate`` a freshly written atlas
+      artifact is truncated or bit-flipped on disk -- the next load
+      must quarantine it, never serve garbage;
+    - **clock skew**: the service's deadline clock runs
+      ``clock_skew_s`` ahead of (positive) or behind (negative) the
+      true monotonic clock -- deadlines shift but every request must
+      still terminate with a typed outcome.
+
+    ``seed`` feeds the injector's private RNG so a chaos run is
+    reproducible.
+    """
+
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    crash_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    clock_skew_s: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("hang_rate", "crash_rate", "corrupt_rate"):
+            _check_rate(name, getattr(self, name))
+        if self.hang_rate > 0 and self.hang_seconds <= 0:
+            raise FaultInjectionError(
+                f"hang_seconds must be positive when hang_rate > 0, "
+                f"got {self.hang_seconds!r}")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this plan can produce any fault at all."""
+        return bool(self.hang_rate or self.crash_rate
+                    or self.corrupt_rate or self.clock_skew_s)
+
+
+@dataclass
+class ServiceFaultStats:
+    """Counters of injected service faults over one chaos run."""
+
+    hangs: int = 0
+    crashes: int = 0
+    corruptions: int = 0
+
+    def total_disruptions(self) -> int:
+        """Total individual fault events injected."""
+        return self.hangs + self.crashes + self.corruptions
+
+
+class ServiceFaultInjector:
+    """Stateful interpreter of a :class:`ServiceFaultPlan`.
+
+    Owns a private RNG and the fault counters; the chaos harness
+    queries it per solve attempt and per artifact write.  Decisions
+    are drawn in a fixed order per query so a given plan + seed
+    produces a reproducible fault sequence.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.plan = plan
+        self.rng = rng if rng is not None else np.random.default_rng(
+            plan.seed)
+        self.stats = ServiceFaultStats()
+
+    def draw_hang(self) -> Optional[float]:
+        """Seconds this solve attempt should hang, or ``None``."""
+        if self.plan.hang_rate and self.rng.random() < self.plan.hang_rate:
+            self.stats.hangs += 1
+            return self.plan.hang_seconds
+        return None
+
+    def draw_crash(self) -> bool:
+        """Whether this solve attempt dies with a worker crash."""
+        if self.plan.crash_rate and self.rng.random() < self.plan.crash_rate:
+            self.stats.crashes += 1
+            return True
+        return False
+
+    def draw_corruption(self) -> bool:
+        """Whether this artifact write gets corrupted on disk."""
+        if self.plan.corrupt_rate and \
+                self.rng.random() < self.plan.corrupt_rate:
+            self.stats.corruptions += 1
+            return True
+        return False
+
+    def skewed_clock(self, clock=None):
+        """A monotonic clock shifted by the plan's ``clock_skew_s``."""
+        import time as _time
+        base = clock if clock is not None else _time.monotonic
+        skew = self.plan.clock_skew_s
+        return lambda: base() + skew

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -124,6 +125,10 @@ class Journal:
 
     def _load(self) -> None:
         text = self.path.read_text()
+        # A record append always ends with a newline, so a final line
+        # without one can only be the torn tail of a crash mid-append;
+        # a *newline-terminated* unparsable line is genuine corruption.
+        torn_tail_possible = not text.endswith("\n")
         lines = text.split("\n")
         if lines and lines[-1] == "":
             lines.pop()
@@ -148,8 +153,14 @@ class Journal:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                if lineno == len(lines):
-                    # Torn tail from a crash mid-append: discard.
+                if lineno == len(lines) and torn_tail_possible:
+                    # Torn tail from a crash mid-append: discard the
+                    # partial record, keep everything before it.
+                    warnings.warn(
+                        f"{self.path}:{lineno}: discarding truncated "
+                        f"final journal line (crash mid-append); "
+                        f"{len(self._records)} records recovered",
+                        RuntimeWarning, stacklevel=2)
                     break
                 raise CheckpointError(
                     f"{self.path}:{lineno} is corrupt (not a torn tail)")

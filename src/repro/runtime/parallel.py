@@ -61,7 +61,10 @@ class SolveTask:
     params:
         Extra keyword arguments (``"selfish_ds"``: ``alpha``, ``tie``,
         ``max_len``; ``"validate_seed"``: ``seed``, ``steps``,
-        ``trajectories``, ``engine``, ``policy``).
+        ``trajectories``, ``engine``, ``policy``; ``"analyze"``:
+        optional ``wall_clock`` / ``max_ticks`` running the solve
+        under a supervised budget -- how the serving layer propagates
+        request deadlines into worker processes).
     """
 
     kind: str
@@ -96,7 +99,22 @@ def execute_task(task: SolveTask):
     if task.kind == "analyze":
         from repro.analysis.store import analysis_to_payload
         from repro.core.solve import analyze
-        return analysis_to_payload(analyze(task.config, task.model))
+        params = dict(task.params)
+        wall_clock = params.get("wall_clock")
+        supervisor = None
+        if wall_clock is not None:
+            # Deadline propagation across the task boundary: the
+            # serving layer ships the *remaining* request time as a
+            # wall-clock budget, so a solve running in a worker is cut
+            # off by the same typed error path as an in-process one
+            # (supervised fallback chain included).
+            from repro.runtime.budget import Budget
+            from repro.runtime.supervisor import SolverSupervisor
+            supervisor = SolverSupervisor(
+                budget=Budget(wall_clock=wall_clock,
+                              max_ticks=params.get("max_ticks")))
+        return analysis_to_payload(
+            analyze(task.config, task.model, supervisor=supervisor))
     if task.kind == "validate_seed":
         from repro.analysis.validation import run_validation_seed
         return run_validation_seed(task.config, task.model,

@@ -25,7 +25,12 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SolverDivergedError, SolverError, SolverInputError
+from repro.errors import (
+    SolverBudgetExceededError,
+    SolverDivergedError,
+    SolverError,
+    SolverInputError,
+)
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution
 from repro.mdp.ratio import RatioSolution
@@ -57,22 +62,35 @@ class SolverSupervisor:
         Toggle the pre-/post-solve checks (both on by default; input
         validation re-runs the MDP's structural validator, which is
         linear in the number of transitions).
+    deadline:
+        Optional :class:`repro.core.deadline.Deadline`.  Each solve's
+        effective wall-clock budget becomes ``min(budget.wall_clock,
+        deadline.remaining())``, so the same supervisor instance can be
+        handed down a request path and every nested solve sees only the
+        time that is actually left; an already-expired deadline raises
+        :class:`~repro.errors.SolveDeadlineError` before the solve
+        starts.
     """
 
     def __init__(self, budget: Optional[Budget] = None,
                  ratio_chain: Sequence[Tuple] = RATIO_CHAIN,
                  average_chain: Sequence[Tuple] = AVERAGE_CHAIN,
                  validate_inputs: bool = True,
-                 validate_outputs: bool = True) -> None:
+                 validate_outputs: bool = True,
+                 deadline=None) -> None:
         self.budget = budget if budget is not None else Budget()
         self.ratio_chain = tuple(ratio_chain)
         self.average_chain = tuple(average_chain)
         self.validate_inputs = validate_inputs
         self.validate_outputs = validate_outputs
+        self.deadline = deadline
         #: Diagnostics of every stage attempted, across all solves.
         self.diagnostics: List[StageDiagnostics] = []
         #: Name of the stage that produced the last successful solve.
         self.last_stage: Optional[str] = None
+        #: Name of the fallback-chain stage a budget/deadline abort
+        #: cut off mid-flight (``None`` until a solve is cancelled).
+        self.cancelled_stage: Optional[str] = None
 
     # -- validation ----------------------------------------------------
 
@@ -163,11 +181,22 @@ class SolverSupervisor:
 
     # -- internals -----------------------------------------------------
 
+    def _effective_budget(self) -> Budget:
+        """The declarative budget narrowed by the deadline's remaining
+        time (raises the typed deadline error when already expired)."""
+        if self.deadline is None:
+            return self.budget
+        narrowed = self.deadline.budget(max_ticks=self.budget.max_ticks)
+        wall = narrowed.wall_clock
+        if self.budget.wall_clock is not None:
+            wall = min(wall, self.budget.wall_clock)
+        return Budget(wall_clock=wall, max_ticks=self.budget.max_ticks)
+
     def _run(self, chain, request):
         clock: Optional[BudgetClock] = None
-        if self.budget.wall_clock is not None or \
-                self.budget.max_ticks is not None:
-            clock = self.budget.start()
+        budget = self._effective_budget()
+        if budget.wall_clock is not None or budget.max_ticks is not None:
+            clock = budget.start()
         counter_add("supervisor/solves")
         try:
             with span("supervised-solve"):
@@ -176,6 +205,13 @@ class SolverSupervisor:
             failed = getattr(exc, "diagnostics", None)
             if failed:
                 self.diagnostics.extend(failed)
+                if isinstance(exc, SolverBudgetExceededError):
+                    # Record which chain step the budget/deadline cut
+                    # off -- post-mortems need the stage, not just the
+                    # fact of the timeout.
+                    self.cancelled_stage = failed[-1].stage
+                    counter_add(
+                        f"supervisor/cancelled/{failed[-1].stage}")
             raise
         self.diagnostics.extend(outcome.diagnostics)
         self.last_stage = outcome.stage

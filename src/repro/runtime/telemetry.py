@@ -244,6 +244,22 @@ def gauge_set(name: str, value: Number) -> None:
         tracer.set(name, value)
 
 
+def event(type_: str, **fields) -> None:
+    """Append one structured event record to the active trace; free
+    when tracing is disabled.
+
+    Events land in the trace's chronological event stream next to span
+    completions and worker-cell records.  Field values must be
+    JSON-compatible.  The serving layer uses this for per-request
+    records (``serve-request`` events carrying source, degradation and
+    latency), which :func:`load_trace` returns verbatim for offline
+    latency analysis.
+    """
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.events.append({"type": type_, **fields})
+
+
 # -- trace files: loading and summarizing ------------------------------
 
 def load_trace(path: PathLike) -> Dict:

@@ -1,0 +1,40 @@
+"""Solver-as-a-service: the resilient serving layer.
+
+``repro serve`` answers policy/utility queries for arbitrary
+``(incentive model, MG/EB/AD, alpha, gamma, lookahead)`` configurations
+from a persistent, content-addressed policy atlas, with a full
+resilience layer in front of the solvers:
+
+- :mod:`repro.serve.atlas` -- :class:`PolicyAtlas`, the crash-safe
+  artifact store (per-entry SHA-256 checksums, schema validation on
+  load, quarantine-and-resolve for corrupt entries);
+- :mod:`repro.serve.service` -- :class:`SolverService`, the asyncio
+  service: single-flight request coalescing, admission control with
+  explicit backpressure, deadline propagation with jittered
+  exponential-backoff retries, and graceful degradation (flagged
+  nearest-neighbor atlas entries or reduced-lookahead solves);
+- :mod:`repro.serve.chaos` -- the chaos harness injecting solver
+  hangs, worker crashes, artifact corruption and clock skew into a
+  running service, plus the resilience invariant checks.
+
+See ``docs/robustness.md`` ("Serving and degraded modes") for the
+semantics and the README for a quickstart.
+"""
+
+from repro.serve.atlas import PolicyAtlas, atlas_key, key_digest
+from repro.serve.service import (
+    RetryPolicy,
+    ServeResponse,
+    SolveRequest,
+    SolverService,
+)
+
+__all__ = [
+    "PolicyAtlas",
+    "RetryPolicy",
+    "ServeResponse",
+    "SolveRequest",
+    "SolverService",
+    "atlas_key",
+    "key_digest",
+]

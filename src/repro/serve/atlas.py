@@ -1,0 +1,306 @@
+"""The persistent policy atlas: a crash-safe, content-addressed store
+of solved analyses.
+
+Solving a setting-2 cell takes seconds to minutes; serving millions of
+queries means most traffic must hit precomputed artifacts (following
+the cache-the-solved-ratios lesson of Bar-Zur, Eyal & Tamar,
+arXiv:2007.05614).  The atlas is that artifact store, hardened for a
+long-running service:
+
+- **content-addressed**: an entry's filename is the SHA-256 digest of
+  its canonical key (config + incentive model), so lookups are one
+  ``stat`` and two processes backfilling the same cell converge on the
+  same file (writes are atomic ``os.replace``\\ s of identical
+  content);
+- **checksummed**: every entry embeds the SHA-256 of its canonical
+  ``key`` + ``body`` JSON; a flipped bit or a truncated write is
+  detected on load, never served;
+- **validated**: bodies are checked against the
+  :mod:`repro.analysis.store` analysis schema on load, so a
+  wrong-schema or hand-edited file surfaces as the typed
+  :class:`~repro.errors.ArtifactCorruptError`;
+- **quarantine-and-resolve**: a corrupt entry is moved into
+  ``quarantine/`` (with a ``.reason`` sidecar) and reported as a miss,
+  so the service re-solves and backfills instead of crashing -- a
+  kill-and-restart therefore resumes serving with zero corrupt
+  entries loaded.
+
+The atlas also answers *nearest-neighbor* queries (same model/setting,
+closest power split) used by the service's degraded mode when an exact
+solve misses its deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.errors import ArtifactCorruptError
+from repro.runtime.journal import atomic_write_text
+from repro.runtime.telemetry import counter_add
+
+PathLike = Union[str, Path]
+
+#: Format version of atlas entry files; bump on breaking changes.
+ATLAS_SCHEMA = 1
+
+#: Continuous config fields the nearest-neighbor distance may vary
+#: over; every other key field must match exactly.
+_NEAREST_FIELDS = ("alpha", "beta", "gamma")
+
+
+def canonical_json(obj) -> str:
+    """Canonical (sorted, compact) JSON text of ``obj``."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def atlas_key(config: AttackConfig, model: IncentiveModel) -> Dict:
+    """The canonical JSON-compatible identity of one solved cell."""
+    return {"config": dataclasses.asdict(config), "model": model.value}
+
+
+def key_digest(key: Dict) -> str:
+    """SHA-256 hex digest of a canonical atlas key."""
+    return hashlib.sha256(canonical_json(key).encode()).hexdigest()
+
+
+def _entry_checksum(key: Dict, body: Dict) -> str:
+    """Checksum covering both the key and the body of one entry."""
+    return hashlib.sha256(
+        canonical_json({"key": key, "body": body}).encode()).hexdigest()
+
+
+@dataclass
+class AtlasStats:
+    """Counters over one :class:`PolicyAtlas` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+
+
+class PolicyAtlas:
+    """Content-addressed, checksummed store of solved analyses.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``entries/`` and ``quarantine/`` (created on
+        demand).
+    validate_bodies:
+        When true (the default), loaded bodies are additionally run
+        through the :mod:`repro.analysis.store` schema decoder; a body
+        that is valid JSON with a valid checksum but the wrong shape
+        is still quarantined.
+    """
+
+    def __init__(self, root: PathLike,
+                 validate_bodies: bool = True) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.quarantine_dir = self.root / "quarantine"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.validate_bodies = validate_bodies
+        self.stats = AtlasStats()
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        """On-disk location of the entry with ``digest``."""
+        return self.entries_dir / f"{digest}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries_dir.glob("*.json"))
+
+    # -- writing -------------------------------------------------------
+
+    def put(self, key: Dict, body: Dict) -> Path:
+        """Store ``body`` under ``key``; returns the entry path.
+
+        The write is atomic and durable (temp file + ``os.replace`` +
+        directory fsync via :func:`atomic_write_text`), so a crash
+        mid-backfill can never leave a truncated entry -- only the old
+        content, the new content, or no file.
+        """
+        digest = key_digest(key)
+        entry = {"schema": ATLAS_SCHEMA, "kind": "atlas-entry",
+                 "key": key, "body": body,
+                 "sha256": _entry_checksum(key, body)}
+        path = self.path_for(digest)
+        atomic_write_text(path, json.dumps(entry, indent=1))
+        self.stats.writes += 1
+        counter_add("atlas/writes")
+        return path
+
+    def put_analysis(self, analysis) -> Path:
+        """Store one solved :class:`~repro.core.solve.AttackAnalysis`."""
+        from repro.analysis.store import analysis_to_payload
+        return self.put(atlas_key(analysis.config, analysis.model),
+                        analysis_to_payload(analysis))
+
+    # -- loading -------------------------------------------------------
+
+    def _load_entry(self, path: Path) -> Tuple[Dict, Dict]:
+        """Load and fully validate one entry file.
+
+        Returns ``(key, body)``; raises
+        :class:`~repro.errors.ArtifactCorruptError` on malformed JSON,
+        wrong kind/schema, missing fields, checksum mismatch, or (with
+        ``validate_bodies``) a body violating the analysis schema.
+        """
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactCorruptError(
+                path, f"malformed JSON: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise ArtifactCorruptError(
+                path, f"not valid UTF-8: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ArtifactCorruptError(
+                path, f"expected a JSON object, got {type(raw).__name__}")
+        if raw.get("kind") != "atlas-entry":
+            raise ArtifactCorruptError(
+                path, f"not an atlas entry (kind={raw.get('kind')!r})")
+        if raw.get("schema") != ATLAS_SCHEMA:
+            raise ArtifactCorruptError(
+                path, f"unsupported schema {raw.get('schema')!r} "
+                      f"(expected {ATLAS_SCHEMA})")
+        key, body = raw.get("key"), raw.get("body")
+        if not isinstance(key, dict) or not isinstance(body, dict):
+            raise ArtifactCorruptError(path, "missing key or body")
+        recorded = raw.get("sha256")
+        actual = _entry_checksum(key, body)
+        if recorded != actual:
+            raise ArtifactCorruptError(
+                path, f"checksum mismatch (recorded {recorded!r}, "
+                      f"actual {actual!r})")
+        expected = f"{key_digest(key)}.json"
+        if path.name != expected:
+            raise ArtifactCorruptError(
+                path, f"content address mismatch (key hashes to "
+                      f"{expected!r})")
+        if self.validate_bodies:
+            from repro.analysis.store import validate_analysis_payload
+            validate_analysis_payload(body, source=str(path))
+            for field_name in ("config", "model"):
+                if body.get(field_name) != key.get(field_name):
+                    raise ArtifactCorruptError(
+                        path, f"body {field_name} does not match the "
+                              f"entry key (an answer stored under the "
+                              f"wrong cell)")
+        return key, body
+
+    def quarantine(self, path: Path, reason: str) -> Path:
+        """Move a corrupt entry aside (with a ``.reason`` sidecar) and
+        return its quarantine location.  Never raises on a lost race
+        -- another process may have quarantined the file first."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            return target
+        atomic_write_text(target.with_suffix(".reason"), reason + "\n")
+        self.stats.quarantined += 1
+        counter_add("atlas/quarantined")
+        return target
+
+    def get(self, key: Dict) -> Optional[Dict]:
+        """The stored body for ``key``, or ``None`` on a miss.
+
+        A corrupt entry is quarantined and reported as a miss -- the
+        resolve half of quarantine-and-resolve is the caller's solve
+        path backfilling via :meth:`put`.
+        """
+        path = self.path_for(key_digest(key))
+        if not path.exists():
+            self.stats.misses += 1
+            counter_add("atlas/misses")
+            return None
+        try:
+            _key, body = self._load_entry(path)
+        except ArtifactCorruptError as exc:
+            self.quarantine(path, exc.reason)
+            self.stats.misses += 1
+            counter_add("atlas/misses")
+            return None
+        self.stats.hits += 1
+        counter_add("atlas/hits")
+        return body
+
+    def __contains__(self, key: Dict) -> bool:
+        return self.path_for(key_digest(key)).exists()
+
+    # -- scanning and nearest-neighbor queries -------------------------
+
+    def scan(self) -> Dict[str, Dict]:
+        """Load every entry, quarantining corrupt ones.
+
+        Returns ``digest -> key`` for the entries that survived -- what
+        a restarted service resumes from.  After a scan, every
+        remaining entry on disk has passed checksum and schema
+        validation (the "zero corrupt entries loaded" guarantee).
+        """
+        index: Dict[str, Dict] = {}
+        for path in sorted(self.entries_dir.glob("*.json")):
+            try:
+                key, _body = self._load_entry(path)
+            except ArtifactCorruptError as exc:
+                self.quarantine(path, exc.reason)
+                continue
+            index[path.stem] = key
+        return index
+
+    def iter_entries(self) -> Iterator[Tuple[Dict, Dict]]:
+        """Iterate ``(key, body)`` over valid entries, quarantining
+        corrupt ones as they are encountered."""
+        for path in sorted(self.entries_dir.glob("*.json")):
+            try:
+                yield self._load_entry(path)
+            except ArtifactCorruptError as exc:
+                self.quarantine(path, exc.reason)
+
+    def nearest(self, key: Dict,
+                max_distance: float = float("inf")
+                ) -> Optional[Tuple[Dict, Dict, float]]:
+        """The closest stored entry usable as a degraded substitute.
+
+        Candidates must match ``key`` exactly on every config field
+        except the continuous power split (``alpha``/``beta``/
+        ``gamma``) and on the incentive model; distance is the L1
+        distance over the power split.  Returns ``(key, body,
+        distance)`` or ``None`` when nothing qualifies within
+        ``max_distance``.
+        """
+        want_config = dict(key.get("config", {}))
+        want_model = key.get("model")
+        want_discrete = {k: v for k, v in want_config.items()
+                         if k not in _NEAREST_FIELDS}
+        best: Optional[Tuple[Dict, Dict, float]] = None
+        for cand_key, body in self.iter_entries():
+            if cand_key.get("model") != want_model:
+                continue
+            cand_config = dict(cand_key.get("config", {}))
+            discrete = {k: v for k, v in cand_config.items()
+                        if k not in _NEAREST_FIELDS}
+            if discrete != want_discrete:
+                continue
+            try:
+                distance = sum(
+                    abs(float(cand_config[f]) - float(want_config[f]))
+                    for f in _NEAREST_FIELDS)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if distance <= max_distance and \
+                    (best is None or distance < best[2]):
+                best = (cand_key, body, distance)
+        return best

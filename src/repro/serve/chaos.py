@@ -1,0 +1,290 @@
+"""Chaos harness for the solver service.
+
+Runs a :class:`~repro.serve.service.SolverService` under injected
+faults -- solver hangs, worker crashes, on-disk artifact corruption,
+and clock-skewed deadlines (all drawn from a seeded
+:class:`~repro.runtime.faults.ServiceFaultInjector`) -- while recording
+every outcome, then checks the resilience invariants the service
+guarantees:
+
+- **typed errors only**: every failed request raised a
+  :class:`~repro.errors.ReproError` subclass (429s, shutdowns,
+  deadline misses) -- never a raw ``KeyError`` or garbage payload;
+- **no stale without a flag**: every response whose payload does not
+  answer the exact requested config carries ``degraded: true`` plus a
+  reason;
+- **no duplicate concurrent solves**: at no point did two solves for
+  the same config-hash run concurrently (single-flight held under
+  fault-induced retries);
+- **no lost in-flight requests on shutdown**: every request submitted
+  before :meth:`~repro.serve.service.SolverService.close` got an
+  answer or the typed shutdown error;
+- **clean restart**: re-opening the atlas after the chaos run loads
+  zero corrupt entries (corrupted writes were quarantined, not
+  served).
+
+``repro chaos --serve`` drives this harness from the CLI; the chaos
+test tier runs it with aggressive rates on every commit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.errors import ReproError, SolverError
+from repro.runtime.faults import ServiceFaultInjector, ServiceFaultPlan
+from repro.serve.atlas import PolicyAtlas, key_digest
+from repro.serve.service import (
+    ServeResponse,
+    SolveRequest,
+    SolverService,
+    atlas_key,
+)
+
+
+class InjectedCrashError(SolverError):
+    """A worker crash injected by the chaos harness (transient, so the
+    service's retry path is exercised)."""
+
+
+class CorruptingAtlas(PolicyAtlas):
+    """A :class:`PolicyAtlas` whose writes are sometimes corrupted.
+
+    After a normal (atomic, durable) :meth:`put`, the injector may
+    flip the file's tail bytes -- simulating bit rot or a hostile
+    editor rather than a torn write, which the atomic write path
+    already rules out.  The service must never serve such an entry.
+    """
+
+    def __init__(self, root, injector: ServiceFaultInjector,
+                 **kwargs) -> None:
+        super().__init__(root, **kwargs)
+        self.injector = injector
+
+    def put(self, key: Dict, body: Dict):
+        path = super().put(key, body)
+        if self.injector.draw_corruption():
+            data = path.read_bytes()
+            path.write_bytes(data[:-16] + b"\xffGARBAGE-BYTES\xff\xff")
+        return path
+
+
+@dataclass
+class SingleFlightProbe:
+    """Records solve-attempt concurrency per config digest.
+
+    The chaos solve backend calls :meth:`enter` / :meth:`leave` around
+    every attempt; two concurrent attempts for one digest is a
+    single-flight violation and is recorded (never raised -- the
+    invariant check reports it after the run).
+    """
+
+    active: Set[str] = field(default_factory=set)
+    violations: List[str] = field(default_factory=list)
+    attempts: int = 0
+
+    def enter(self, digest: str) -> None:
+        self.attempts += 1
+        if digest in self.active:
+            self.violations.append(digest)
+        self.active.add(digest)
+
+    def leave(self, digest: str) -> None:
+        self.active.discard(digest)
+
+
+def chaos_solve_fn(injector: ServiceFaultInjector,
+                   probe: SingleFlightProbe,
+                   utilities: Optional[Dict[str, float]] = None):
+    """An async solve backend with injected hangs and crashes.
+
+    Healthy attempts return a schema-valid analysis payload whose
+    utility is deterministic in the config digest, so a response served
+    from a *different* cell's payload (a would-be stale-data bug) is
+    detectable.  Hangs honour cancellation (``asyncio.sleep``), so the
+    service's deadline enforcement -- not the hang ending -- must be
+    what unblocks the request.
+    """
+    from repro.analysis.store import SCHEMA_VERSION
+
+    async def solve(request: SolveRequest, deadline) -> Dict:
+        digest = key_digest(atlas_key(request.config, request.model))
+        probe.enter(digest)
+        try:
+            hang = injector.draw_hang()
+            if hang is not None:
+                await asyncio.sleep(hang)
+            if injector.draw_crash():
+                raise InjectedCrashError(
+                    f"injected worker crash (digest {digest[:12]})")
+            await asyncio.sleep(0.001)
+            utility = (utilities or {}).get(
+                digest, int(digest[:8], 16) / 0xFFFFFFFF)
+            return {"schema": SCHEMA_VERSION, "kind": "attack-analysis",
+                    "config": dataclasses.asdict(request.config),
+                    "model": request.model.value,
+                    "utility": utility, "honest_utility": 0.0,
+                    "rates": {}, "policy": {}}
+        finally:
+            probe.leave(digest)
+
+    return solve
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run, consumed by the invariant checks."""
+
+    responses: List[ServeResponse] = field(default_factory=list)
+    typed_errors: List[ReproError] = field(default_factory=list)
+    untyped_errors: List[BaseException] = field(default_factory=list)
+    unanswered: int = 0
+    probe: SingleFlightProbe = field(default_factory=SingleFlightProbe)
+    injected: Dict[str, int] = field(default_factory=dict)
+    stats: Optional[object] = None  # the service's ServiceStats
+
+    def summary(self) -> Dict:
+        """JSON-compatible run summary (the CLI prints this)."""
+        by_source: Dict[str, int] = {}
+        for response in self.responses:
+            by_source[response.source] = \
+                by_source.get(response.source, 0) + 1
+        by_error: Dict[str, int] = {}
+        for exc in self.typed_errors:
+            name = type(exc).__name__
+            by_error[name] = by_error.get(name, 0) + 1
+        return {"answered": len(self.responses),
+                "by_source": by_source,
+                "typed_errors": by_error,
+                "untyped_errors": len(self.untyped_errors),
+                "unanswered": self.unanswered,
+                "solve_attempts": self.probe.attempts,
+                "single_flight_violations": len(self.probe.violations),
+                "injected": dict(self.injected)}
+
+
+def check_service_invariants(report: ChaosReport,
+                             atlas_root) -> List[str]:
+    """Check the resilience invariants; returns violation messages
+    (empty list = chaos run passed)."""
+    violations: List[str] = []
+    if report.untyped_errors:
+        kinds = sorted({type(e).__name__
+                        for e in report.untyped_errors})
+        violations.append(
+            f"{len(report.untyped_errors)} request(s) failed with "
+            f"untyped errors: {kinds}")
+    if report.unanswered:
+        violations.append(
+            f"{report.unanswered} in-flight request(s) lost on "
+            f"shutdown (neither answered nor given a typed error)")
+    if report.probe.violations:
+        violations.append(
+            f"duplicate concurrent solves for digest(s) "
+            f"{sorted(set(report.probe.violations))}")
+    for response in report.responses:
+        if response.source.startswith("degraded") and \
+                not response.degraded:
+            violations.append(
+                f"stale data served without flag: source="
+                f"{response.source} but degraded is false")
+        if response.degraded and not response.degraded_reason:
+            violations.append(
+                "degraded response carries no degraded_reason")
+    # Kill-and-restart: a fresh atlas over the same directory must
+    # load with zero corrupt entries (corrupt ones quarantined).
+    fresh = PolicyAtlas(atlas_root)
+    fresh.scan()
+    for path in fresh.entries_dir.glob("*.json"):
+        try:
+            fresh._load_entry(path)
+        except ReproError as exc:
+            violations.append(
+                f"corrupt entry survived restart scan: {exc}")
+    return violations
+
+
+async def run_chaos(plan: ServiceFaultPlan, atlas_root,
+                    requests: int = 60, configs: int = 4,
+                    deadline_s: float = 0.25,
+                    max_concurrency: int = 4, max_pending: int = 8,
+                    seed: int = 0,
+                    kill_midway: bool = True) -> ChaosReport:
+    """Run one chaos scenario and return its :class:`ChaosReport`.
+
+    ``requests`` queries are drawn (with heavy repetition, to exercise
+    coalescing) over ``configs`` distinct setting-1 configs and fired
+    concurrently at a service whose clock is skewed and whose solve
+    backend hangs/crashes per ``plan``.  With ``kill_midway``, the
+    service is closed while the second half of the workload is still
+    in flight -- those requests must resolve with the typed shutdown
+    error, not vanish.
+    """
+    import numpy as np
+
+    injector = ServiceFaultInjector(plan)
+    probe = SingleFlightProbe()
+    atlas = CorruptingAtlas(atlas_root, injector)
+    rng = np.random.default_rng(seed)
+    pool = [AttackConfig(alpha=0.2 + 0.05 * i,
+                         beta=0.5 - 0.05 * i, gamma=0.3, setting=1)
+            for i in range(configs)]
+    report = ChaosReport(probe=probe)
+    service = SolverService(
+        atlas, solve_fn=chaos_solve_fn(injector, probe),
+        max_concurrency=max_concurrency, max_pending=max_pending,
+        default_deadline_s=deadline_s,
+        nearest_max_distance=1.0,
+        clock=injector.skewed_clock(), seed=seed)
+
+    async def one(config: AttackConfig) -> None:
+        try:
+            response = await service.submit(SolveRequest(
+                config=config, model=IncentiveModel.COMPLIANT_PROFIT))
+            report.responses.append(response)
+        except ReproError as exc:
+            report.typed_errors.append(exc)
+        except asyncio.CancelledError:
+            report.unanswered += 1
+        except BaseException as exc:
+            report.untyped_errors.append(exc)
+
+    first = [asyncio.ensure_future(one(pool[rng.integers(len(pool))]))
+             for _ in range(requests // 2)]
+    await asyncio.gather(*first)
+    second = [asyncio.ensure_future(one(pool[rng.integers(len(pool))]))
+              for _ in range(requests - requests // 2)]
+    await asyncio.sleep(0.01)
+    if kill_midway:
+        await service.close()
+    await asyncio.gather(*second)
+    if not kill_midway:
+        await service.close()
+    report.stats = service.stats
+    report.injected = {"hangs": injector.stats.hangs,
+                       "crashes": injector.stats.crashes,
+                       "corruptions": injector.stats.corruptions}
+    return report
+
+
+def run_chaos_scenario(plan: ServiceFaultPlan, atlas_root,
+                       **kwargs) -> ChaosReport:
+    """Synchronous wrapper around :func:`run_chaos` (CLI + tests)."""
+    return asyncio.run(run_chaos(plan, atlas_root, **kwargs))
+
+
+__all__ = [
+    "ChaosReport",
+    "CorruptingAtlas",
+    "InjectedCrashError",
+    "SingleFlightProbe",
+    "chaos_solve_fn",
+    "check_service_invariants",
+    "run_chaos",
+    "run_chaos_scenario",
+]

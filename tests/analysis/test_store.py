@@ -1,6 +1,7 @@
 """Tests for result persistence."""
 
 import dataclasses
+import json
 
 import pytest
 
@@ -12,11 +13,12 @@ from repro.analysis.store import (
     policy_from_summary,
     save_analysis,
     save_table,
+    validate_analysis_payload,
 )
 from repro.analysis.tables import TableResult
 from repro.core.config import AttackConfig
 from repro.core.solve import solve_relative_revenue, utility_of_policy
-from repro.errors import ReproError
+from repro.errors import ArtifactCorruptError, ReproError
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +92,69 @@ def test_policy_from_summary_rejects_config_mismatch(tmp_path, analysis):
     summary["config"] = dataclasses.replace(summary["config"], ad=8)
     with pytest.raises(ReproError, match="config mismatch"):
         policy_from_summary(summary)
+
+
+def test_malformed_json_raises_typed_error(tmp_path):
+    """Load paths surface a half-written or hand-mangled file as the
+    typed ArtifactCorruptError carrying path and reason -- not a raw
+    json.JSONDecodeError."""
+    path = tmp_path / "analysis.json"
+    path.write_text('{"schema": 1, "kind": "attack-ana')
+    with pytest.raises(ArtifactCorruptError, match="malformed JSON") \
+            as info:
+        load_analysis_summary(path)
+    assert info.value.path == str(path)
+    assert "malformed JSON" in info.value.reason
+
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ArtifactCorruptError, match="JSON object"):
+        load_analysis_summary(path)
+    with pytest.raises(ArtifactCorruptError, match="malformed JSON"):
+        path.write_text("not json at all")
+        load_table(path)
+
+
+def test_missing_fields_raise_typed_error(tmp_path, analysis):
+    """A schema-valid-looking payload with fields missing or of the
+    wrong type fails with a typed error, not a KeyError."""
+    path = tmp_path / "analysis.json"
+    save_analysis(analysis, path)
+    payload = json.loads(path.read_text())
+    del payload["policy"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactCorruptError, match="schema mismatch"):
+        load_analysis_summary(path)
+
+    save_analysis(analysis, path)
+    payload = json.loads(path.read_text())
+    payload["model"] = "no-such-model"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactCorruptError, match="schema mismatch"):
+        load_analysis_summary(path)
+
+    table_path = tmp_path / "table.json"
+    save_table(TableResult(name="t", row_labels=[], col_labels=[]),
+               table_path)
+    payload = json.loads(table_path.read_text())
+    del payload["cells"]
+    table_path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactCorruptError, match="schema mismatch"):
+        load_table(table_path)
+
+
+def test_validate_analysis_payload(analysis):
+    payload = analysis_to_payload(analysis)
+    decoded = validate_analysis_payload(payload)
+    assert decoded["config"] == analysis.config
+    assert decoded["model"] is analysis.model
+
+    with pytest.raises(ArtifactCorruptError, match="JSON object"):
+        validate_analysis_payload(["not", "a", "dict"])
+    broken = dict(payload, config={"alpha": "NaN-ish"})
+    with pytest.raises(ArtifactCorruptError, match="schema mismatch") \
+            as info:
+        validate_analysis_payload(broken, source="unit-test")
+    assert info.value.path == "unit-test"
 
 
 def test_saves_are_atomic(tmp_path, analysis):

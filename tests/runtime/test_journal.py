@@ -114,6 +114,35 @@ def test_journal_tolerates_torn_tail(tmp_path):
     assert ["torn"] not in recovered
 
 
+def test_torn_tail_recovery_warns(tmp_path):
+    """Discarding a truncated final line is loud: the operator learns
+    a crash happened and how many records survived."""
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["done"], 1.0)
+    with open(path, "a") as handle:
+        handle.write('{"key": ["torn"], "val')
+
+    with pytest.warns(RuntimeWarning,
+                      match="truncated final journal line"):
+        recovered = Journal(path, sweep="demo")
+    assert len(recovered) == 1
+
+
+def test_newline_terminated_corrupt_tail_is_not_torn(tmp_path):
+    """A final line that parsed far enough to be written *with* its
+    newline is real corruption, not a torn append -- refusing to load
+    beats silently dropping a record that fsync promised was durable."""
+    path = tmp_path / "sweep.journal"
+    journal = Journal(path, sweep="demo")
+    journal.record(["done"], 1.0)
+    with open(path, "a") as handle:
+        handle.write('{"key": ["zapped"], "val\n')  # note the newline
+
+    with pytest.raises(CheckpointError, match="corrupt"):
+        Journal(path, sweep="demo")
+
+
 def test_journal_rejects_mid_file_corruption(tmp_path):
     path = tmp_path / "sweep.journal"
     journal = Journal(path, sweep="demo")

@@ -94,6 +94,84 @@ def test_budget_aborts_solve():
                                lo=0.0, hi=5.0)
 
 
+def test_budget_abort_records_cancelled_stage():
+    """When a budget (or propagated deadline) cuts a solve off, the
+    supervisor records *which* fallback-chain stage was cancelled --
+    the diagnostics trail the serving layer surfaces for hung solves."""
+    supervisor = SolverSupervisor(budget=Budget(max_ticks=1))
+    with pytest.raises(SolverBudgetExceededError) as info:
+        supervisor.solve_ratio(renewal_mdp(), {"num": 1.0}, {"den": 1.0},
+                               lo=0.0, hi=5.0)
+    assert supervisor.cancelled_stage == "dinkelbach"
+    diagnostics = getattr(info.value, "diagnostics", None)
+    assert diagnostics, "budget error must carry stage diagnostics"
+    assert diagnostics[-1].stage == "dinkelbach"
+    assert diagnostics[-1].status == "failed"
+    assert supervisor.diagnostics[-1].stage == "dinkelbach"
+
+
+def test_deadline_narrows_supervisor_budget():
+    """A caller-imposed wall-clock deadline propagates into the
+    effective solver budget (the tighter of deadline and own budget)."""
+    from repro.core.deadline import Deadline
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    deadline = Deadline.after(2.0, clock=clock)
+    supervisor = SolverSupervisor(budget=Budget(wall_clock=10.0,
+                                                max_ticks=500),
+                                  deadline=deadline)
+    effective = supervisor._effective_budget()
+    assert effective.wall_clock == pytest.approx(2.0)
+    assert effective.max_ticks == 500
+    # The supervisor's own budget wins when it is the tighter one.
+    supervisor = SolverSupervisor(budget=Budget(wall_clock=0.5),
+                                  deadline=deadline)
+    assert supervisor._effective_budget().wall_clock == \
+        pytest.approx(0.5)
+
+
+def test_expired_deadline_cancels_solve_with_typed_error():
+    """Fault injection: a clock skewed past the deadline makes the
+    supervised solve fail with the typed deadline error before any
+    stage runs -- and records the cancelled fallback step when a stage
+    was already in flight."""
+    from repro.core.deadline import Deadline
+    from repro.errors import SolveDeadlineError
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    clock.now = 5.0  # injected skew: deadline long gone
+    supervisor = SolverSupervisor(deadline=deadline)
+    with pytest.raises(SolveDeadlineError, match="expired"):
+        supervisor.solve_ratio(renewal_mdp(), {"num": 1.0},
+                               {"den": 1.0}, lo=0.0, hi=5.0)
+
+    # A deadline that expires *mid-solve* cancels the running stage
+    # and records it.  The frozen fake clock keeps remaining() at a
+    # tiny positive value, so admission passes but the wall-clock
+    # budget (measured on the real clock) expires on the first tick.
+    supervisor = SolverSupervisor(
+        deadline=Deadline.after(1e-9, clock=FakeClock()))
+    with pytest.raises(SolverBudgetExceededError):
+        supervisor.solve_ratio(renewal_mdp(), {"num": 1.0},
+                               {"den": 1.0}, lo=0.0, hi=5.0)
+    assert supervisor.cancelled_stage == "dinkelbach"
+
+
 def test_input_validation_rejects_nonfinite_rewards():
     b = MDPBuilder(actions=["a"], channels=["num", "den"])
     b.add(0, "a", 0, 1.0, num=np.inf, den=1.0)

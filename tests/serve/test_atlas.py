@@ -1,0 +1,147 @@
+"""Tests for the crash-safe content-addressed policy atlas."""
+
+import json
+
+import pytest
+
+from repro.analysis.store import analysis_to_payload
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.core.solve import analyze
+from repro.errors import ArtifactCorruptError
+from repro.serve.atlas import PolicyAtlas, atlas_key, key_digest
+
+
+@pytest.fixture(scope="module")
+def payload():
+    config = AttackConfig.from_ratio(0.10, (1, 1), setting=1)
+    return analysis_to_payload(
+        analyze(config, IncentiveModel.COMPLIANT_PROFIT))
+
+
+def make_key(alpha=0.10):
+    config = AttackConfig.from_ratio(alpha, (1, 1), setting=1)
+    return atlas_key(config, IncentiveModel.COMPLIANT_PROFIT)
+
+
+def test_put_get_roundtrip(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key = make_key()
+    assert atlas.get(key) is None
+    atlas.put(key, payload)
+    assert atlas.get(key) == payload
+    assert key in atlas
+    assert atlas.stats.hits == 1 and atlas.stats.misses == 1
+
+
+def test_entries_are_content_addressed(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key = make_key()
+    path = atlas.put(key, payload)
+    assert path.name == f"{key_digest(key)}.json"
+    # Same key written twice converges on the same file.
+    assert atlas.put(key, payload) == path
+    assert len(atlas) == 1
+
+
+def test_bitrot_is_quarantined_not_served(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key = make_key()
+    path = atlas.put(key, payload)
+    data = path.read_bytes()
+    path.write_bytes(data[:-20] + b"\xff" * 20)
+
+    assert atlas.get(key) is None  # a miss, never garbage
+    assert not path.exists()
+    assert (atlas.quarantine_dir / path.name).exists()
+    reason = (atlas.quarantine_dir / path.name) \
+        .with_suffix(".reason").read_text()
+    assert "UTF-8" in reason or "JSON" in reason
+    # Resolve half of quarantine-and-resolve: backfill works again.
+    atlas.put(key, payload)
+    assert atlas.get(key) == payload
+
+
+def test_checksum_mismatch_detected(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key = make_key()
+    path = atlas.put(key, payload)
+    entry = json.loads(path.read_text())
+    entry["body"]["utility"] = 999.0  # tampered, checksum stale
+    path.write_text(json.dumps(entry))
+    with pytest.raises(ArtifactCorruptError, match="checksum mismatch"):
+        atlas._load_entry(path)
+    assert atlas.get(key) is None
+
+
+def test_content_address_mismatch_detected(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    path = atlas.put(make_key(), payload)
+    moved = path.with_name(f"{'0' * 64}.json")
+    path.rename(moved)
+    with pytest.raises(ArtifactCorruptError, match="content address"):
+        atlas._load_entry(moved)
+
+
+def test_schema_invalid_body_quarantined(tmp_path):
+    atlas = PolicyAtlas(tmp_path)
+    key = make_key()
+    # Valid checksum, valid JSON -- but not an analysis payload.
+    atlas.put(key, {"nonsense": True})
+    assert atlas.get(key) is None
+    assert atlas.stats.quarantined == 1
+
+
+def test_body_must_answer_its_own_key(tmp_path, payload):
+    """An answer stored under the wrong cell (body config differs from
+    the key's) is corruption -- served, it would be silent stale data."""
+    atlas = PolicyAtlas(tmp_path)
+    wrong_key = make_key(0.20)  # payload solved alpha = 0.10
+    path = atlas.put(wrong_key, payload)
+    with pytest.raises(ArtifactCorruptError, match="does not match"):
+        atlas._load_entry(path)
+    assert atlas.get(wrong_key) is None
+
+
+def test_scan_loads_zero_corrupt_entries(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    good_key = make_key(0.10)
+    atlas.put(good_key, payload)
+    bad = atlas.put(make_key(0.15), payload)
+    bad.write_text("{ not json")
+    (atlas.entries_dir / "stray.json").write_text('"just a string"')
+
+    index = PolicyAtlas(tmp_path).scan()  # the restart path
+    assert list(index.values()) == [good_key]
+    assert not (atlas.entries_dir / "stray.json").exists()
+    # After the scan every surviving entry revalidates cleanly.
+    fresh = PolicyAtlas(tmp_path)
+    for path in fresh.entries_dir.glob("*.json"):
+        fresh._load_entry(path)
+
+
+def test_nearest_matches_power_split_distance(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path, validate_bodies=False)
+    near = make_key(0.12)
+    far = make_key(0.30)
+    atlas.put(near, dict(payload, utility=0.12))
+    atlas.put(far, dict(payload, utility=0.30))
+
+    key, _body, distance = atlas.nearest(make_key(0.10))
+    assert key == near
+    assert distance == pytest.approx(0.04, abs=1e-12)
+    assert atlas.nearest(make_key(0.10), max_distance=0.01) is None
+
+
+def test_nearest_requires_exact_discrete_match(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path, validate_bodies=False)
+    config = AttackConfig.from_ratio(0.12, (1, 1), setting=1, ad=3)
+    atlas.put(atlas_key(config, IncentiveModel.COMPLIANT_PROFIT),
+              payload)
+    # Requested key has the default lookahead -> no candidate.
+    assert atlas.nearest(make_key(0.10)) is None
+    # Different incentive model -> no candidate either.
+    other = atlas_key(AttackConfig.from_ratio(0.12, (1, 1), setting=1,
+                                              ad=3),
+                      IncentiveModel.NON_PROFIT)
+    assert atlas.nearest(other) is None

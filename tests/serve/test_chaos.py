@@ -1,0 +1,101 @@
+"""Chaos tests for the solver service.
+
+Marked ``chaos`` like the network fault-injection tier; each scenario
+is still fast (fake solve backends, sub-second deadlines) so the tier
+runs on every commit.
+"""
+
+import pytest
+
+from repro.runtime.faults import ServiceFaultPlan
+from repro.serve.atlas import PolicyAtlas
+from repro.serve.chaos import (
+    SingleFlightProbe,
+    check_service_invariants,
+    run_chaos_scenario,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def run_plan(tmp_path, plan, **kwargs):
+    kwargs.setdefault("requests", 60)
+    kwargs.setdefault("seed", 7)
+    report = run_chaos_scenario(plan, tmp_path, **kwargs)
+    violations = check_service_invariants(report, tmp_path)
+    assert violations == []
+    return report
+
+
+def test_hang_storm_yields_typed_or_degraded_answers(tmp_path):
+    """Every answer under a solver-hang storm is an exact result, a
+    flagged degraded response, or a typed error -- never garbage."""
+    plan = ServiceFaultPlan(hang_rate=0.5, hang_seconds=30.0, seed=11)
+    report = run_plan(tmp_path, plan, deadline_s=0.1)
+    assert report.responses  # the service stayed available
+    assert report.injected["hangs"] > 0
+    degraded = [r for r in report.responses if r.degraded]
+    for response in degraded:
+        assert response.degraded_reason
+
+
+def test_crash_storm_is_retried_transparently(tmp_path):
+    plan = ServiceFaultPlan(crash_rate=0.4, seed=3)
+    report = run_plan(tmp_path, plan, deadline_s=2.0)
+    assert report.injected["crashes"] > 0
+    assert report.stats.retries > 0
+    # Retries stayed inside single-flight: no duplicate solves.
+    assert report.probe.violations == []
+
+
+def test_corrupt_writes_never_served_and_restart_is_clean(tmp_path):
+    plan = ServiceFaultPlan(corrupt_rate=0.6, seed=5)
+    report = run_plan(tmp_path, plan, deadline_s=2.0)
+    assert report.injected["corruptions"] > 0
+    # Kill-and-restart: the fresh scan quarantined every corrupt
+    # entry; whatever remains revalidates cleanly.
+    fresh = PolicyAtlas(tmp_path)
+    index = fresh.scan()
+    for path in fresh.entries_dir.glob("*.json"):
+        fresh._load_entry(path)
+    assert len(index) == len(list(fresh.entries_dir.glob("*.json")))
+
+
+def test_clock_skew_does_not_break_deadlines(tmp_path):
+    """A skewed service clock shifts deadlines but must not produce
+    unflagged stale data or untyped errors."""
+    plan = ServiceFaultPlan(hang_rate=0.3, hang_seconds=30.0,
+                            clock_skew_s=2.0, seed=9)
+    run_plan(tmp_path, plan, deadline_s=0.1)
+
+
+def test_combined_chaos_with_midway_kill(tmp_path):
+    """Everything at once -- hangs, crashes, corruption, skew, and a
+    service kill mid-workload -- still satisfies every invariant."""
+    plan = ServiceFaultPlan(hang_rate=0.3, hang_seconds=30.0,
+                            crash_rate=0.2, corrupt_rate=0.3,
+                            clock_skew_s=0.5, seed=13)
+    report = run_plan(tmp_path, plan, deadline_s=0.15,
+                      requests=80, kill_midway=True)
+    assert report.injected["hangs"] or report.injected["crashes"]
+    # The answered + typed-error count accounts for every request.
+    assert len(report.responses) + len(report.typed_errors) == 80
+
+
+def test_single_flight_probe_detects_violations():
+    """The probe itself must be able to see a violation (guards
+    against a vacuously-green invariant check)."""
+    probe = SingleFlightProbe()
+    probe.enter("digest-a")
+    probe.enter("digest-a")
+    assert probe.violations == ["digest-a"]
+    probe.leave("digest-a")
+
+
+def test_no_faults_means_no_degradation(tmp_path):
+    report = run_plan(tmp_path, ServiceFaultPlan(), deadline_s=2.0,
+                      kill_midway=False)
+    assert report.injected == {"hangs": 0, "crashes": 0,
+                               "corruptions": 0}
+    assert all(not r.degraded for r in report.responses)
+    assert not report.typed_errors

@@ -132,6 +132,59 @@ def test_qa_command_reports_failure(capsys, monkeypatch):
     assert "FAIL pi on unichain" in out
 
 
+def test_serve_command_batch(capsys, tmp_path):
+    """Batch serving: first run solves and backfills the atlas, the
+    second answers the same request from it."""
+    import json
+
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        '{"alpha": 0.25, "ratio": "2:3", "model": "relative"}\n'
+        '{"alpha": 0.25, "ratio": "2:3", "model": "relative"}\n')
+    atlas = tmp_path / "atlas"
+
+    code = main(["serve", "--atlas", str(atlas),
+                 "--requests", str(requests)])
+    captured = capsys.readouterr()
+    assert code == 0
+    first = [json.loads(line) for line in
+             captured.out.strip().splitlines()]
+    assert [r["ok"] for r in first] == [True, True]
+    assert first[0]["utility"] == pytest.approx(first[1]["utility"])
+    assert {r["coalesced"] for r in first} == {True, False}
+    assert "coalesced: 1" in captured.err
+
+    code = main(["serve", "--atlas", str(atlas),
+                 "--requests", str(requests)])
+    captured = capsys.readouterr()
+    assert code == 0
+    again = [json.loads(line) for line in
+             captured.out.strip().splitlines()]
+    assert all(r["source"] == "atlas" for r in again)
+    assert again[0]["utility"] == pytest.approx(first[0]["utility"])
+
+
+def test_serve_command_types_bad_requests(capsys, tmp_path):
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text('{"alpha": 0.25, "ratio": "not-a-ratio"}\n')
+    code = main(["serve", "--atlas", str(tmp_path / "atlas"),
+                 "--requests", str(requests)])
+    import json
+    result = json.loads(capsys.readouterr().out.strip())
+    assert code == 0  # the *request* failed, not the service
+    assert result["ok"] is False
+    assert "ratio" in result["message"]
+
+
+def test_chaos_serve_command(capsys, tmp_path):
+    code = main(["chaos", "--serve", "--steps", "30",
+                 "--atlas", str(tmp_path / "atlas"), "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "invariants: ok" in out
+    assert "requests answered" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
