@@ -159,7 +159,9 @@ def _substrate_utility(model: IncentiveModel, accounting) -> float:
 
 def run_validation_seed(config: AttackConfig, model: IncentiveModel,
                         seed: int, steps: int, trajectories: int,
-                        engine: str, policy: Tuple[int, ...]) -> Dict:
+                        engine: str, policy: Tuple[int, ...],
+                        method: str = "cdf",
+                        tables_state: Optional[Dict] = None) -> Dict:
     """Sample one seed's utility estimates (one multi-seed cell).
 
     Runs in a worker process under parallel validation, so it accepts
@@ -167,6 +169,13 @@ def run_validation_seed(config: AttackConfig, model: IncentiveModel,
     action indices; the MDP is rebuilt from ``config`` against the
     process-local build cache) and returns a JSON-style payload:
     ``{"utilities": [...], "rates": {...}, "steps": total}``.
+
+    ``method`` selects the ``"rollout"`` engine's sampling method.
+    ``tables_state`` (a :meth:`~repro.mdp.simulate.PolicyTables.\
+state_dict`) ships the parent's prebuilt sampling tables across the
+    process boundary: every worker then skips the table build -- in
+    particular the O(states x width) Python alias construction, which
+    would otherwise repeat in each of ``workers`` processes.
     """
     if engine not in ENGINES:
         raise SimulationError(
@@ -178,9 +187,14 @@ def run_validation_seed(config: AttackConfig, model: IncentiveModel,
         mdp = build_attack_mdp(config)
         indices = np.asarray(policy, dtype=int)
         if engine == "rollout":
-            from repro.mdp.simulate import rollout_batch
+            from repro.mdp.simulate import PolicyTables, rollout_batch
+            tables = None
+            if tables_state is not None:
+                tables = PolicyTables.from_state(tables_state)
+                counter_add("validate/tables_shipped")
             batch = rollout_batch(mdp, indices, steps,
-                                  n_traj=trajectories, seed=seed)
+                                  n_traj=trajectories, seed=seed,
+                                  method=method, tables=tables)
             utilities = [
                 _utility_from_totals(
                     model, {name: float(vals[b])
@@ -213,19 +227,38 @@ def run_validation_seed(config: AttackConfig, model: IncentiveModel,
 def _multi_seed_report(analysis: AttackAnalysis, model: IncentiveModel,
                        steps: int, seeds: int, trajectories: int,
                        workers: int, engine: str, seed: int,
-                       ci_level: float) -> ValidationReport:
+                       ci_level: float,
+                       method: str = "cdf") -> ValidationReport:
     from repro.runtime.parallel import SolveTask, run_cells
     config = analysis.config
     policy = tuple(int(a) for a in analysis.policy.action_indices)
+    extra: Tuple = ()
+    key_extra: Tuple = ()
+    if engine == "rollout":
+        # Build the sampling tables once here and ship them to every
+        # worker (satisfying in particular the expensive alias-table
+        # construction exactly once per validation run).
+        from repro.mdp.simulate import PolicyTables
+        tables = PolicyTables(analysis.policy.mdp,
+                              np.asarray(policy, dtype=int))
+        if method == "alias":
+            tables.alias_tables()
+        extra = (("method", method),
+                 ("tables_state", tables.state_dict()))
+        if method != "cdf":
+            # Historical cdf journal keys stay valid; other methods
+            # sample different trajectories and journal separately.
+            key_extra = (method,)
     tasks = [
         SolveTask(kind="validate_seed",
                   key=("validate", model.value, config.alpha,
                        config.beta, config.setting, engine, steps,
-                       trajectories, seed + i),
+                       trajectories, seed + i) + key_extra,
                   config=config, model=model,
                   params=(("seed", seed + i), ("steps", steps),
                           ("trajectories", trajectories),
-                          ("engine", engine), ("policy", policy)))
+                          ("engine", engine), ("policy", policy))
+                  + extra)
         for i in range(seeds)]
     payloads = run_cells(tasks, workers=workers)
 
@@ -267,7 +300,8 @@ def validate_against_sim(config: AttackConfig, model: IncentiveModel,
                          seeds: int = 1, trajectories: int = 1,
                          workers: int = 1, engine: str = "substrate",
                          seed: int = 0,
-                         ci_level: float = CI_LEVEL) -> ValidationReport:
+                         ci_level: float = CI_LEVEL,
+                         method: str = "cdf") -> ValidationReport:
     """Solve ``model`` exactly, replay the optimal policy through a
     sampler, and report the agreement.
 
@@ -297,6 +331,11 @@ def validate_against_sim(config: AttackConfig, model: IncentiveModel,
         raise SimulationError(
             f"unknown validation engine {engine!r}; expected one of "
             f"{ENGINES}")
+    from repro.mdp.simulate import METHODS
+    if method not in METHODS:
+        raise SimulationError(
+            f"unknown sampling method {method!r}; expected one of "
+            f"{METHODS}")
     analysis = analyze(config, model)
     if seeds == 1 and trajectories == 1 and engine == "substrate":
         scenario = ThreeMinerScenario(
@@ -309,4 +348,4 @@ def validate_against_sim(config: AttackConfig, model: IncentiveModel,
             sim_utility=_substrate_utility(model, acc), steps=steps)
     return _multi_seed_report(analysis, model, steps, seeds,
                               trajectories, workers, engine, seed,
-                              ci_level)
+                              ci_level, method=method)

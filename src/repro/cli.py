@@ -26,6 +26,15 @@ and ``qa`` accept
 ``--trace FILE``: the run executes with telemetry enabled and writes
 the span/counter/gauge registry as JSONL to FILE on the way out (see
 :mod:`repro.runtime.telemetry` and docs/observability.md).
+
+``attack``, ``tables``, ``validate``, ``serve``, ``bench`` and ``qa``
+also accept ``--backend {numpy,numba,reference}``, selecting the
+compute backend for the Bellman/rollout hot loops (see
+:mod:`repro.mdp.backends` and docs/performance.md); the choice is
+exported through ``REPRO_BACKEND`` so spawned worker processes inherit
+it.  ``tables``, ``validate`` and ``qa`` accept ``--scheduler
+{serial,process,process:N,spec:FILE}``, overriding how sweep cells are
+fanned out (:mod:`repro.runtime.parallel`).
 """
 
 from __future__ import annotations
@@ -130,7 +139,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
         config, _MODELS[args.model], steps=args.steps,
         rng=np.random.default_rng(args.seed) if single else None,
         seeds=args.seeds, trajectories=args.trajectories,
-        workers=args.workers, engine=args.engine, seed=args.seed)
+        workers=args.workers, engine=args.engine, seed=args.seed,
+        method=args.method)
     print(f"exact utility:     {report.analysis.utility:.6f}")
     print(f"simulated utility: {report.sim_utility:.6f} "
           f"({report.steps} blocks)")
@@ -215,7 +225,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             default_deadline_s=args.deadline,
             retry=RetryPolicy(max_attempts=args.retries + 1),
-            seed=args.seed)
+            seed=args.seed,
+            backend=args.backend)
         try:
             if args.requests is not None:
                 if args.requests == "-":
@@ -362,6 +373,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.extend(["--baseline", args.baseline])
     argv.extend(["--max-regression", str(args.max_regression)])
     argv.extend(["--repeat", str(args.repeat)])
+    if args.backend is not None:
+        argv.extend(["--backend", args.backend])
+    if args.min_speedup is not None:
+        argv.extend(["--min-speedup", str(args.min_speedup)])
     return bench_main(argv)
 
 
@@ -384,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock budget in seconds (supervised "
                              "solve with fallback chain)")
     _add_trace_flag(attack)
+    _add_backend_flag(attack)
     attack.set_defaults(func=cmd_attack)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -396,6 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="checkpoint directory; an interrupted run "
                              "resumes from it without re-solving")
     _add_trace_flag(tables)
+    _add_backend_flag(tables)
+    _add_scheduler_flag(tables)
     tables.set_defaults(func=cmd_tables)
 
     figures = sub.add_parser("figures", help="replay Figures 1-3")
@@ -427,7 +445,15 @@ def build_parser() -> argparse.ArgumentParser:
                           default="substrate",
                           help="sampler: the BU substrate simulator or "
                                "the vectorized MDP rollout engine")
+    validate.add_argument("--method", choices=("cdf", "alias"),
+                          default="cdf",
+                          help="rollout-engine sampling method: 'cdf' "
+                               "(serial-identical) or 'alias' (O(1) "
+                               "Walker/Vose draws; tables are built "
+                               "once and shared across workers)")
     _add_trace_flag(validate)
+    _add_backend_flag(validate)
+    _add_scheduler_flag(validate)
     validate.set_defaults(func=cmd_validate)
 
     latency = sub.add_parser("latency", help="propagation-delay forks")
@@ -482,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retries after a transient solve failure")
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_flag(serve)
+    _add_backend_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
     chaos = sub.add_parser("chaos",
@@ -526,7 +553,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=2.0,
                        metavar="X")
     bench.add_argument("--repeat", type=int, default=1, metavar="N")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       metavar="X",
+                       help="with a non-numpy --backend: fail unless "
+                            "each benchmark beats the numpy baseline "
+                            "by a factor of X")
     _add_trace_flag(bench)
+    _add_backend_flag(bench)
     bench.set_defaults(func=cmd_bench)
 
     qa = sub.add_parser("qa",
@@ -546,6 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
     qa.add_argument("--report", default=None, metavar="FILE",
                     help="also write the full cell list as JSON")
     _add_trace_flag(qa)
+    _add_backend_flag(qa)
+    _add_scheduler_flag(qa)
     qa.set_defaults(func=cmd_qa)
 
     trace = sub.add_parser("trace",
@@ -561,9 +596,49 @@ def _add_trace_flag(sub: argparse.ArgumentParser) -> None:
                           "JSONL to FILE (inspect with 'repro trace')")
 
 
+def _add_backend_flag(sub: argparse.ArgumentParser) -> None:
+    from repro.mdp.backends import BACKEND_NAMES
+    sub.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                     help="compute backend for the Bellman/rollout "
+                          "kernels ('numba' degrades to numpy with a "
+                          "warning when unavailable)")
+
+
+def _add_scheduler_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scheduler", default=None, metavar="SPEC",
+                     help="cell execution strategy: 'serial', "
+                          "'process', 'process:N' or 'spec:FILE' "
+                          "(default: a local process pool sized by "
+                          "--workers)")
+
+
+def _apply_runtime_flags(args: argparse.Namespace) -> None:
+    """Install the ``--backend`` / ``--scheduler`` selections before
+    dispatching a subcommand.
+
+    The backend is both selected in-process and exported through
+    ``REPRO_BACKEND`` so worker processes started with the ``spawn``
+    method (which inherit no module globals) resolve to the same
+    choice.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        import os
+
+        from repro.mdp import backends
+        os.environ[backends.BACKEND_ENV] = backend
+        backends.set_backend(backend)
+    spec = getattr(args, "scheduler", None)
+    if spec is not None:
+        from repro.runtime.parallel import make_scheduler, \
+            set_default_scheduler
+        set_default_scheduler(make_scheduler(spec))
+
+
 def _run_traced(args: argparse.Namespace) -> int:
     """Dispatch ``args.func``, wrapping it in a telemetry session when
     the subcommand was given ``--trace FILE``."""
+    _apply_runtime_flags(args)
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
         return args.func(args)

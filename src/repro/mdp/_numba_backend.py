@@ -1,0 +1,75 @@
+"""Import-guarded numba JIT layer of the compiled compute backend.
+
+This module is the only place that imports numba, and the import is
+wrapped: machines without numba (the base CI jobs, minimal installs)
+still import everything else unchanged, and
+:func:`repro.mdp.backends.set_backend` degrades to the numpy backend
+with a warning instead of failing.
+
+:func:`load_kernels` compiles the reference kernels of
+:mod:`repro.mdp._kernel_ref` with ``numba.njit`` -- ``fastmath`` off
+and ``nogil`` on, so compiled results stay bit-identical to the numpy
+path while releasing the GIL inside the hot loops.  Compilation is
+lazy (first backend use) and cached per process; a compilation failure
+is reported as :class:`BackendUnavailable` so the caller can fall back
+gracefully rather than crash a sweep mid-flight.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    NUMBA_VERSION: Optional[str] = numba.__version__
+except ImportError:  # pragma: no cover - the default in bare installs
+    numba = None
+    NUMBA_VERSION = None
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when the numba backend cannot be constructed (numba
+    missing or JIT compilation failed); callers degrade to numpy."""
+
+
+_KERNELS: Optional[Dict[str, Callable]] = None
+_COMPILE_SECONDS: float = 0.0
+
+
+def numba_available() -> bool:
+    """Whether the numba package imported successfully."""
+    return numba is not None
+
+
+def compile_seconds() -> float:
+    """Wall time spent JIT-compiling kernels in this process."""
+    return _COMPILE_SECONDS
+
+
+def load_kernels() -> Dict[str, Callable]:
+    """Compile (once per process) and return the jitted kernels.
+
+    Returns a name -> callable mapping over
+    :data:`repro.mdp._kernel_ref.KERNEL_NAMES`.  Raises
+    :class:`BackendUnavailable` when numba is missing or ``njit``
+    rejects a kernel (e.g. an unsupported numba/numpy pairing).
+    """
+    global _KERNELS, _COMPILE_SECONDS
+    if _KERNELS is not None:
+        return _KERNELS
+    if numba is None:
+        raise BackendUnavailable(
+            "numba is not installed; install numba or use the numpy "
+            "backend")
+    from repro.mdp import _kernel_ref as ref
+    started = time.perf_counter()
+    try:
+        jit = numba.njit(cache=False, fastmath=False, nogil=True)
+        _KERNELS = {name: jit(getattr(ref, name))
+                    for name in ref.KERNEL_NAMES}
+    except Exception as exc:  # pragma: no cover - env-specific
+        raise BackendUnavailable(
+            f"numba JIT compilation failed: {exc}") from exc
+    _COMPILE_SECONDS = time.perf_counter() - started
+    return _KERNELS

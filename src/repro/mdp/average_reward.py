@@ -18,7 +18,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import SolverError
-from repro.mdp.kernels import greedy_policy_from_q, q_backup
+from repro.mdp.kernels import note_q_backups, q_backup_max
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution
 from repro.runtime.telemetry import counter_add, gauge_set, span
@@ -51,23 +51,28 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
     reward = np.asarray(reward, dtype=float)
     h = np.zeros(mdp.n_states)
     ref = mdp.start
-    with span("solve/average/rvi"):
-        for it in range(1, max_iter + 1):
-            if on_iter is not None:
-                on_iter(it)
-            q = q_backup(mdp, reward, h)
-            t_h = q.max(axis=0)
-            new_h = (1.0 - tau) * h + tau * t_h
-            diff = new_h - h
-            width = diff.max() - diff.min()
-            gain = diff[ref] / tau
-            h = new_h - new_h[ref]
-            if width < epsilon * tau:
-                policy = greedy_policy_from_q(q)
-                counter_add("solver/rvi/sweeps", it)
-                counter_add("solver/rvi/solves")
-                gauge_set("solver/rvi/final_span", float(width))
-                return AverageRewardSolution(gain=float(gain), bias=h,
-                                             policy=policy, iterations=it)
+    backups = 0
+    try:
+        with span("solve/average/rvi"):
+            for it in range(1, max_iter + 1):
+                if on_iter is not None:
+                    on_iter(it)
+                backups += 1
+                t_h, greedy = q_backup_max(mdp, reward, h)
+                new_h = (1.0 - tau) * h + tau * t_h
+                diff = new_h - h
+                width = diff.max() - diff.min()
+                gain = diff[ref] / tau
+                h = new_h - new_h[ref]
+                if width < epsilon * tau:
+                    policy = np.asarray(greedy, dtype=int)
+                    counter_add("solver/rvi/sweeps", it)
+                    counter_add("solver/rvi/solves")
+                    gauge_set("solver/rvi/final_span", float(width))
+                    return AverageRewardSolution(gain=float(gain),
+                                                 bias=h, policy=policy,
+                                                 iterations=it)
+    finally:
+        note_q_backups(backups)
     raise SolverError(
         f"relative value iteration did not converge in {max_iter} sweeps")

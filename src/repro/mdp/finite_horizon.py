@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverError
-from repro.mdp.kernels import q_backup
+from repro.mdp.kernels import note_q_backups, q_backup_max
 from repro.mdp.model import MDP
 
 
@@ -68,8 +68,9 @@ def backward_induction(mdp: MDP, reward: np.ndarray,
     values = np.zeros((horizon + 1, n))
     policies = np.zeros((horizon, n), dtype=int)
     for t in range(1, horizon + 1):
-        q = q_backup(mdp, reward, values[t - 1])
-        values[t] = q.max(axis=0)
-        policies[t - 1] = q.argmax(axis=0)
+        best, greedy = q_backup_max(mdp, reward, values[t - 1])
+        values[t] = best
+        policies[t - 1] = greedy
+    note_q_backups(horizon)
     return FiniteHorizonSolution(horizon=horizon, values=values,
                                  policies=policies, start_index=mdp.start)

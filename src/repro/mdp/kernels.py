@@ -55,6 +55,7 @@ from scipy import sparse
 from scipy.sparse import linalg as sla
 
 from repro.errors import MDPError, SolverError
+from repro.mdp import backends
 from repro.runtime.telemetry import counter_add
 
 #: Per-policy memo size for (reward -> gain/bias) results; Dinkelbach
@@ -85,14 +86,13 @@ class BellmanKernel:
                  discount: float = 1.0) -> np.ndarray:
         """Return the ``(A, N)`` action-value array
         ``q[a, s] = reward[a, s] + discount * P_a[s] . values`` with
-        unavailable (state, action) pairs masked to ``-inf``."""
-        q = self.stack.dot(values).reshape(self.n_actions, self.n_states)
-        if discount != 1.0:
-            q *= discount
-        q += reward
-        if not self._all_available:
-            q[~self.available] = -np.inf
-        return q
+        unavailable (state, action) pairs masked to ``-inf``.
+
+        Dispatches through the active compute backend
+        (:mod:`repro.mdp.backends`); every backend is bit-identical.
+        """
+        return backends.active().q_backup(self, reward, values,
+                                          discount)
 
     def policy_rows(self, policy: np.ndarray) -> np.ndarray:
         """Stack row indices selected by ``policy`` (one per state)."""
@@ -106,19 +106,59 @@ class BellmanKernel:
 
     def policy_matrix(self, policy: np.ndarray) -> sparse.csr_matrix:
         """The ``(N, N)`` transition matrix induced by ``policy``,
-        extracted by fancy row slicing of the stack."""
-        return self.stack[self.policy_rows(policy)]
+        extracted by row slicing of the stack (through the active
+        compute backend)."""
+        return backends.active().policy_matrix(
+            self, self.policy_rows(policy))
 
 
 def q_backup(mdp, reward: np.ndarray, values: np.ndarray,
              discount: float = 1.0) -> np.ndarray:
-    """Shared Q-backup used by every dynamic-programming solver."""
-    counter_add("kernel/q_backups")
+    """Shared Q-backup used by every dynamic-programming solver.
+
+    The ``kernel/q_backups`` telemetry counter is *not* bumped here:
+    solvers accumulate their backup count locally and flush it once
+    per solve via :func:`note_q_backups` (merged totals are identical
+    to per-call counting, without a registry dict lookup in the inner
+    loop).
+    """
     return mdp.kernel().q_values(reward, values, discount=discount)
 
 
+def q_backup_max(mdp, reward: np.ndarray, values: np.ndarray,
+                 discount: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused Q-backup returning ``(q.max(axis=0), q.argmax(axis=0))``
+    without materializing ``q`` on compiled backends -- the sweep shape
+    of value-style iterations (VI, RVI, backward induction)."""
+    return backends.active().q_backup_max(mdp.kernel(), reward, values,
+                                          discount)
+
+
+def q_backup_greedy(mdp, reward: np.ndarray, values: np.ndarray,
+                    discount: float = 1.0
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused Q-backup returning ``(q, best, greedy_policy)`` in one
+    kernel pass -- the improvement shape of Howard policy iteration,
+    which also needs the incumbent's action values."""
+    return backends.active().q_backup_greedy(mdp.kernel(), reward,
+                                             values, discount)
+
+
+def note_q_backups(count: int) -> None:
+    """Flush a solver's locally-accumulated backup count into the
+    ``kernel/q_backups`` counter (and the per-backend detail) once per
+    solve.  Counters stay worker-merge-safe and value-identical to the
+    historical per-call bumps."""
+    if count:
+        counter_add("kernel/q_backups", count)
+        counter_add(f"backend/{backends.active().name}/q_backups",
+                    count)
+
+
 def greedy_policy_from_q(q: np.ndarray) -> np.ndarray:
-    """Greedy action indices of a masked ``(A, N)`` Q array."""
+    """Greedy action indices of a masked ``(A, N)`` Q array (first
+    maximizer on ties -- the tie-break every backend's fused argmax
+    reproduces)."""
     return np.asarray(q.argmax(axis=0), dtype=int)
 
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.mdp import backends
 from repro.mdp.model import MDP
 from repro.runtime.telemetry import counter_add, gauge_set, span
 
@@ -144,6 +145,51 @@ class PolicyTables:
             self._alias = (accept, self.cols.copy(),
                            self.cols[rows, alias_slot])
         return self._alias
+
+    # -- worker shipping ----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to reconstruct these tables without the
+        MDP, as plain arrays.
+
+        Building tables is cheap; building *alias* tables is the O(N*K)
+        Python loop above.  A parent process that will fan a rollout
+        out to worker processes builds once, ships this dict through
+        the task payload, and every worker rehydrates via
+        :meth:`from_state` -- skipping both the model rebuild and the
+        alias construction.  Alias tables are included only when
+        already built (call :meth:`alias_tables` first to force them).
+        """
+        state = {
+            "policy": self.policy,
+            "n_states": self.n_states,
+            "width": self.width,
+            "nnz": self.nnz,
+            "cols": self.cols,
+            "probs": self.probs,
+            "cum": self.cum,
+            "cum_capped": self.cum_capped,
+            "alias": self._alias,
+            "channel_rewards": dict(self.channel_rewards),
+        }
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "PolicyTables":
+        """Rehydrate tables shipped by :meth:`state_dict` (bypasses
+        ``__init__`` -- no MDP, no validation, no rebuild)."""
+        tables = cls.__new__(cls)
+        tables.policy = state["policy"]
+        tables.n_states = state["n_states"]
+        tables.width = state["width"]
+        tables.nnz = state["nnz"]
+        tables.cols = state["cols"]
+        tables.probs = state["probs"]
+        tables.cum = state["cum"]
+        tables.cum_capped = state["cum_capped"]
+        tables._alias = state["alias"]
+        tables.channel_rewards = dict(state["channel_rewards"])
+        return tables
 
 
 def build_policy_tables(mdp: MDP, policy: np.ndarray) -> PolicyTables:
@@ -323,48 +369,27 @@ def _note_steps(total_steps: int, elapsed: float) -> None:
         gauge_set("sim/steps_per_s", total_steps / elapsed)
 
 
-def _advance_chunk_cdf(tables: PolicyTables, states: np.ndarray,
-                       uniforms: np.ndarray, history: np.ndarray,
-                       m: int) -> None:
-    """Advance all trajectories ``m`` steps in place (``"cdf"``
-    method), recording pre-transition states in ``history``.
-
-    This is :func:`advance_states` unrolled into preallocated buffers
-    and flat ``np.take`` gathers -- per-step Python overhead is what
-    bounds throughput, so the inner loop avoids every avoidable
-    allocation.  The sampled states are identical to repeated
-    :func:`advance_states` calls (tested).
-    """
-    n_traj = states.shape[0]
-    k = tables.width
-    cum = tables.cum_capped
-    cols_flat = tables.cols.reshape(-1)
-    rows = np.empty((n_traj, k), dtype=float)
-    below = np.empty((n_traj, k), dtype=bool)
-    j = np.empty(n_traj, dtype=np.intp)
-    idx = np.empty(n_traj, dtype=np.intp)
-    for i in range(m):
-        history[i] = states
-        np.take(cum, states, axis=0, out=rows)
-        np.less_equal(rows, uniforms[i].reshape(n_traj, 1), out=below)
-        below.sum(axis=1, dtype=np.intp, out=j)
-        np.multiply(states, k, out=idx)
-        np.add(idx, j, out=idx)
-        np.take(cols_flat, idx, out=states)
-
-
 def _advance_chunk(tables: PolicyTables, states: np.ndarray,
                    uniforms: np.ndarray, history: np.ndarray,
                    m: int, method: str) -> np.ndarray:
     """Advance all trajectories ``m`` steps, recording pre-transition
-    states; returns the (possibly replaced) state buffer."""
+    states; returns the (possibly replaced) state buffer.
+
+    Dispatches to the active compute backend
+    (:mod:`repro.mdp.backends`).  Every backend samples identical
+    states given identical uniforms -- chunking and backend choice
+    affect speed only, never the trajectories (tested against repeated
+    :func:`advance_states` calls).
+    """
+    backend = backends.active()
     if method == "cdf":
-        _advance_chunk_cdf(tables, states, uniforms, history, m)
-        return states
-    for i in range(m):
-        history[i] = states
-        states = advance_states(tables, states, uniforms[i], method)
-    return np.asarray(states, dtype=np.intp)
+        return backend.advance_chunk_cdf(tables, states, uniforms,
+                                         history, m)
+    if method == "alias":
+        return backend.advance_chunk_alias(tables, states, uniforms,
+                                           history, m)
+    raise SimulationError(
+        f"unknown sampling method {method!r}; expected one of {METHODS}")
 
 
 def _sample_visits(tables: PolicyTables, steps: int,

@@ -13,7 +13,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import SolverError
-from repro.mdp.kernels import greedy_policy_from_q, q_backup
+from repro.mdp.kernels import (
+    greedy_policy_from_q,
+    note_q_backups,
+    q_backup,
+    q_backup_max,
+)
 from repro.mdp.model import MDP
 
 
@@ -40,6 +45,7 @@ def greedy_policy(mdp: MDP, reward: np.ndarray,
                   values: np.ndarray) -> np.ndarray:
     """Return the greedy policy for ``values`` under ``reward``,
     respecting action availability."""
+    note_q_backups(1)
     return greedy_policy_from_q(q_backup(mdp, reward, values))
 
 
@@ -60,15 +66,22 @@ def value_iteration(mdp: MDP, reward: np.ndarray, discount: float,
     reward = np.asarray(reward, dtype=float)
     values = np.zeros(mdp.n_states)
     threshold = epsilon * (1.0 - discount) / (2.0 * discount)
-    for it in range(1, max_iter + 1):
-        if on_iter is not None:
-            on_iter(it)
-        q = q_backup(mdp, reward, values, discount=discount)
-        new_values = q.max(axis=0)
-        if np.abs(new_values - values).max() < threshold:
-            return DiscountedSolution(
-                values=new_values,
-                policy=greedy_policy_from_q(q),
-                iterations=it)
-        values = new_values
+    backups = 0
+    try:
+        for it in range(1, max_iter + 1):
+            if on_iter is not None:
+                on_iter(it)
+            backups += 1
+            new_values, greedy = q_backup_max(mdp, reward, values,
+                                              discount=discount)
+            if np.abs(new_values - values).max() < threshold:
+                return DiscountedSolution(
+                    values=new_values,
+                    policy=np.asarray(greedy, dtype=int),
+                    iterations=it)
+            values = new_values
+    finally:
+        # One flush per solve (value-identical to per-sweep counting),
+        # on success and on abort alike.
+        note_q_backups(backups)
     raise SolverError(f"value iteration did not converge in {max_iter} sweeps")

@@ -21,10 +21,11 @@ boundary is exact for both.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AttackConfig
@@ -65,6 +66,13 @@ class SolveTask:
         optional ``wall_clock`` / ``max_ticks`` running the solve
         under a supervised budget -- how the serving layer propagates
         request deadlines into worker processes).
+    backend:
+        Compute backend (:mod:`repro.mdp.backends`) the solving
+        process should select before touching a kernel, or ``None``
+        to leave the worker's own resolution (environment, then the
+        numpy default) alone.  Not part of the journal ``key``:
+        backends are bit-identical, so a cell solved under one
+        restores under any other.
     """
 
     kind: str
@@ -72,6 +80,23 @@ class SolveTask:
     config: Optional[AttackConfig] = None
     model: Optional[IncentiveModel] = None
     params: Tuple[Tuple[str, object], ...] = field(default=())
+    backend: Optional[str] = None
+
+
+def stamp_backend(tasks: Sequence[SolveTask]) -> List[SolveTask]:
+    """Return ``tasks`` with the parent's active compute backend
+    stamped onto each (where not already set).
+
+    The default numpy backend is not stamped: workers resolve to it on
+    their own, and leaving the field ``None`` keeps task pickles
+    byte-stable for the common case.
+    """
+    from repro.mdp import backends
+    name = backends.current_backend_name()
+    if name == "numpy":
+        return list(tasks)
+    return [task if task.backend is not None
+            else replace(task, backend=name) for task in tasks]
 
 
 def execute_task(task: SolveTask):
@@ -81,6 +106,11 @@ def execute_task(task: SolveTask):
     touch only picklable inputs and return picklable, JSON-encodable
     output (what the journal would store).
     """
+    if task.backend is not None:
+        # Re-selecting the already-requested backend is a no-op, so
+        # per-task stamping costs nothing after the first task.
+        from repro.mdp.backends import set_backend
+        set_backend(task.backend)
     if task.kind == "relative":
         from repro.core.solve import solve_relative_revenue
         return solve_relative_revenue(task.config).utility
@@ -161,8 +191,153 @@ Tracer` for the duration (a fork-started worker inherits the parent's
 ProgressFn = Optional[Callable[[SolveTask, object], None]]
 
 
+class Scheduler:
+    """Strategy for executing a batch of independent cells.
+
+    :func:`run_cells` historically hard-coded one strategy (an
+    in-process loop below a worker threshold, a
+    :class:`~concurrent.futures.ProcessPoolExecutor` above it).  A
+    scheduler makes that choice pluggable without touching the
+    checkpoint semantics, which stay in :func:`run_cells`: the
+    scheduler only answers "how many execution slots?" and "what
+    executor runs them?".
+
+    Implementations must be constructible in the parent process; their
+    executors receive already backend-stamped tasks (see
+    :func:`stamp_backend`), so backend selection survives the process
+    boundary regardless of start method.
+    """
+
+    name = "serial"
+
+    def slots(self, workers: int) -> int:
+        """Number of concurrent execution slots given the call site's
+        ``workers`` hint (1 means the serial in-process path)."""
+        return 1
+
+    def executor(self, slots: int):
+        """A started ``concurrent.futures`` executor with ``slots``
+        workers (only called when ``slots > 1``)."""
+        raise ReproError(f"scheduler {self.name!r} has no executor")
+
+
+class SerialScheduler(Scheduler):
+    """Always solve in-process, whatever ``workers`` says.  Useful for
+    debugging (breakpoints, profilers) and on platforms where process
+    pools misbehave."""
+
+    name = "serial"
+
+
+class ProcessScheduler(Scheduler):
+    """The default: a local
+    :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    ``workers=None`` defers to the call site's ``workers`` argument,
+    so ``--scheduler process`` changes nothing for existing sweeps;
+    ``ProcessScheduler(8)`` (or ``--scheduler process:8``) pins the
+    pool size regardless of what callers pass.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ReproError(
+                f"scheduler workers must be >= 1, got {workers!r}")
+        self.workers = workers
+
+    def slots(self, workers: int) -> int:
+        return self.workers if self.workers is not None else workers
+
+    def executor(self, slots: int):
+        return ProcessPoolExecutor(max_workers=slots)
+
+
+class SpecScheduler(ProcessScheduler):
+    """Scheduler described by a JSON spec file -- the seam where a
+    multi-node dispatch layer will plug in.
+
+    The spec is ``{"nodes": [{"host": ..., "slots": ...}, ...]}``.
+    Nodes with host ``"local"``/``"localhost"`` contribute their slots
+    to one local process pool; any other host is rejected with a typed
+    error today (remote dispatch is roadmap work), so a spec written
+    for a future cluster fails loudly instead of silently solving
+    everything on one machine.
+    """
+
+    name = "spec"
+
+    def __init__(self, spec: Dict) -> None:
+        nodes = spec.get("nodes")
+        if not nodes:
+            raise ReproError("scheduler spec has no nodes")
+        slots = 0
+        for node in nodes:
+            host = node.get("host", "local")
+            if host not in ("local", "localhost"):
+                raise ReproError(
+                    f"scheduler spec names remote host {host!r}; "
+                    "remote dispatch is not implemented yet")
+            n = int(node.get("slots", 1))
+            if n < 1:
+                raise ReproError(
+                    f"scheduler spec node has invalid slots {n!r}")
+            slots += n
+        super().__init__(slots)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SpecScheduler":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                spec = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read scheduler spec {path!r}: {exc}") from exc
+        return cls(spec)
+
+
+def make_scheduler(spec: str) -> Scheduler:
+    """Build a scheduler from a CLI-style spec string: ``"serial"``,
+    ``"process"``, ``"process:<N>"``, or ``"spec:<path.json>"``."""
+    if spec == "serial":
+        return SerialScheduler()
+    if spec == "process":
+        return ProcessScheduler()
+    if spec.startswith("process:"):
+        count = spec.split(":", 1)[1]
+        try:
+            return ProcessScheduler(int(count))
+        except ValueError:
+            raise ReproError(
+                f"invalid process scheduler worker count {count!r}")
+    if spec.startswith("spec:"):
+        return SpecScheduler.from_file(spec.split(":", 1)[1])
+    raise ReproError(
+        f"unknown scheduler spec {spec!r}; expected 'serial', "
+        "'process', 'process:<N>' or 'spec:<path.json>'")
+
+
+#: Process-global default used by :func:`run_cells` when no explicit
+#: scheduler is passed (how the CLI's ``--scheduler`` flag reaches
+#: sweeps, the qa matrix and the serve worker pool).
+_DEFAULT_SCHEDULER: Optional[Scheduler] = None
+
+
+def set_default_scheduler(scheduler: Optional[Scheduler]) -> None:
+    """Install (or with ``None`` clear) the process-global scheduler."""
+    global _DEFAULT_SCHEDULER
+    _DEFAULT_SCHEDULER = scheduler
+
+
+def default_scheduler() -> Optional[Scheduler]:
+    """The installed process-global scheduler, if any."""
+    return _DEFAULT_SCHEDULER
+
+
 def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
-              progress: ProgressFn = None) -> List:
+              progress: ProgressFn = None,
+              scheduler: Optional[Scheduler] = None) -> List:
     """Execute ``tasks`` and return their decoded values in input
     order.
 
@@ -183,6 +358,12 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         Optional callback invoked with ``(task, value)`` as each cell
         completes (input order when serial, completion order when
         parallel).
+    scheduler:
+        Execution strategy.  ``None`` uses the process-global default
+        (:func:`set_default_scheduler`) when one is installed, else
+        the historical behaviour (a local process pool sized by
+        ``workers``).  Schedulers change *where* cells run, never
+        their results or the journal semantics.
 
     With tracing enabled (:mod:`repro.runtime.telemetry`), worker
     cells run under worker-local tracers whose snapshots ship back
@@ -195,6 +376,11 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers!r}")
+    if scheduler is None:
+        scheduler = _DEFAULT_SCHEDULER
+    if scheduler is None:
+        scheduler = ProcessScheduler()
+    slots = scheduler.slots(workers)
     results: List = [None] * len(tasks)
     pending: List[Tuple[int, SolveTask]] = []
     for i, task in enumerate(tasks):
@@ -208,7 +394,7 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         else:
             pending.append((i, task))
 
-    if workers == 1 or len(pending) <= 1:
+    if slots == 1 or len(pending) <= 1:
         # Serial path: reuse SweepRunner.cell so checkpoint semantics
         # (fault_hook before each fresh solve, record after) match the
         # historical serial sweeps exactly.
@@ -247,7 +433,11 @@ def run_cells(tasks: Sequence[SolveTask], runner=None, workers: int = 1,
         telemetry.current_tracer().merge_snapshot(snapshot)
         return payload
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    # Stamp the parent's backend onto the outgoing tasks so spawned
+    # workers (which inherit no module globals) select it too.
+    pending = [(i, task) for (i, _), task in
+               zip(pending, stamp_backend([t for _, t in pending]))]
+    with scheduler.executor(slots) as pool:
         futures: Dict = {pool.submit(worker_fn, task): (i, task)
                          for i, task in pending}
         handled = set()

@@ -107,3 +107,52 @@ def test_run_validation_seed_payload_is_json_style():
     assert payload["steps"] == 6_000
     import json
     json.dumps(payload)  # journal/worker payloads must be JSON-safe
+
+
+def test_rollout_method_alias_report_is_sane():
+    report = validate_against_sim(
+        small_config(), IncentiveModel.COMPLIANT_PROFIT, steps=4000,
+        seeds=2, trajectories=4, engine="rollout", seed=0,
+        method="alias")
+    assert report.multi is not None
+    assert report.multi.n == 8
+    assert report.multi.contains_exact()
+    with pytest.raises(SimulationError):
+        validate_against_sim(small_config(),
+                             IncentiveModel.COMPLIANT_PROFIT,
+                             engine="rollout", method="roulette")
+
+
+def test_alias_validation_independent_of_worker_count():
+    kwargs = dict(steps=3000, seeds=3, trajectories=2,
+                  engine="rollout", seed=1, method="alias")
+    model = IncentiveModel.COMPLIANT_PROFIT
+    serial = validate_against_sim(small_config(), model, workers=1,
+                                  **kwargs)
+    parallel = validate_against_sim(small_config(), model, workers=2,
+                                    **kwargs)
+    assert parallel.multi.per_seed == serial.multi.per_seed
+    assert parallel.sim_utility == serial.sim_utility
+
+
+def test_shipped_tables_match_worker_rebuild():
+    """A worker fed a prebuilt tables_state samples exactly what a
+    worker that rebuilds the tables itself samples."""
+    from repro.core.attack_mdp import build_attack_mdp
+    from repro.core.solve import analyze
+    from repro.mdp.simulate import PolicyTables
+
+    config = small_config()
+    model = IncentiveModel.COMPLIANT_PROFIT
+    analysis = analyze(config, model)
+    policy = tuple(int(a) for a in analysis.policy.action_indices)
+    mdp = build_attack_mdp(config)
+    tables = PolicyTables(mdp, np.asarray(policy, dtype=int))
+    tables.alias_tables()
+    common = dict(seed=0, steps=2000, trajectories=3,
+                  engine="rollout", policy=policy, method="alias")
+    rebuilt = run_validation_seed(config, model, **common)
+    shipped = run_validation_seed(config, model,
+                                  tables_state=tables.state_dict(),
+                                  **common)
+    assert shipped == rebuilt

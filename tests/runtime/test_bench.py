@@ -113,3 +113,70 @@ def test_main_gate_fails_on_utility_drift(tmp_path):
     assert main(["attack-e2e", "--fast",
                  "--output-dir", str(tmp_path / "out2"),
                  "--baseline", str(out)]) == 1
+
+
+# -- backend variants and the environment fingerprint ------------------
+
+
+def test_bench_filename_backend_variants():
+    assert bench_filename("attack-solve") == "BENCH_attack-solve.json"
+    assert bench_filename("attack-solve", "numpy") == \
+        "BENCH_attack-solve.json"
+    assert bench_filename("attack-solve", "numba") == \
+        "BENCH_attack-solve@numba.json"
+
+
+def test_documents_embed_environment_fingerprint():
+    import numpy
+    import scipy
+
+    from repro.runtime.bench import environment_fingerprint
+    doc = run_benchmark("attack-build", fast=True)
+    env = doc["environment"]
+    assert doc["backend"] == "numpy"
+    assert env == environment_fingerprint()
+    assert env["numpy"] == numpy.__version__
+    assert env["scipy"] == scipy.__version__
+    assert "numba" in env  # None when not installed
+    assert env["cpu_count"] >= 1
+    assert env["python"]
+
+
+def test_compare_skips_backend_mismatch():
+    doc = dict(_doc(10.0), backend="numba")
+    baseline = dict(_doc(0.1), backend="numpy")
+    assert compare_to_baseline(doc, baseline, max_regression=2.0) == []
+    # Documents predating the field default to numpy and still gate.
+    old = _doc(10.0)
+    assert compare_to_baseline(old, _doc(0.1), max_regression=2.0)
+
+
+def test_check_speedup_gate():
+    from repro.runtime.bench import check_speedup
+    numpy_doc = _doc(1.0)
+    fast_doc = dict(_doc(0.2), backend="numba")
+    slow_doc = dict(_doc(0.9), backend="numba")
+    assert check_speedup(fast_doc, numpy_doc, min_speedup=2.0) == []
+    failures = check_speedup(slow_doc, numpy_doc, min_speedup=2.0)
+    assert failures and "not 2x faster" in failures[0]
+    # Mode mismatch and sub-floor baselines are skipped.
+    assert check_speedup(slow_doc, dict(_doc(1.0), fast=False),
+                         min_speedup=2.0) == []
+    assert check_speedup(slow_doc, _doc(0.01), min_speedup=2.0) == []
+
+
+def test_main_backend_flag_writes_variant_files(tmp_path):
+    from repro.mdp import backends
+    try:
+        code = main(["attack-build", "--fast", "--backend", "reference",
+                     "--output-dir", str(tmp_path)])
+    finally:
+        backends.reset_backend()
+        import os
+        os.environ.pop("REPRO_BACKEND", None)
+    assert code == 0
+    path = tmp_path / "BENCH_attack-build@reference.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["backend"] == "reference"
+    assert doc["environment"]["backend"] == "reference"
