@@ -43,8 +43,14 @@ def _text_to_state(text: str):
 
 
 def analysis_to_payload(analysis: AttackAnalysis) -> Dict:
-    """Encode a solved analysis as a JSON-compatible payload."""
-    return {
+    """Encode a solved analysis as a JSON-compatible payload.
+
+    The optional ``solver`` provenance (ratio method, iteration and
+    transformed-solve counts) rides along when present, so journaled
+    sweep cells record which method produced each answer and ``repro
+    trace`` can report per-method win rates from the journal alone.
+    """
+    payload = {
         "schema": SCHEMA_VERSION,
         "kind": "attack-analysis",
         "config": dataclasses.asdict(analysis.config),
@@ -55,6 +61,9 @@ def analysis_to_payload(analysis: AttackAnalysis) -> Dict:
         "policy": {_state_to_text(k): v
                    for k, v in analysis.policy.as_dict().items()},
     }
+    if analysis.solver is not None:
+        payload["solver"] = dict(analysis.solver)
+    return payload
 
 
 def _load_json(path: PathLike) -> Dict:
@@ -123,12 +132,14 @@ def analysis_from_payload(payload: Dict) -> AttackAnalysis:
     """
     summary = _decode_payload(payload)
     policy = policy_from_summary(summary)
+    solver = summary.get("solver")
     return AttackAnalysis(config=summary["config"],
                           model=summary["model"],
                           utility=summary["utility"],
                           honest_utility=summary["honest_utility"],
                           policy=policy,
-                          rates=dict(summary["rates"]))
+                          rates=dict(summary["rates"]),
+                          solver=None if solver is None else dict(solver))
 
 
 def save_analysis(analysis: AttackAnalysis, path: PathLike) -> None:

@@ -16,10 +16,13 @@ Two boundary curves matter in the paper's story:
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
+
+import numpy as np
 
 from repro.baselines.selfish import SelfishMiningConfig, \
     solve_selfish_mining
+from repro.core.attack_mdp import build_attack_mdp
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import analyze
@@ -33,18 +36,45 @@ PROFIT_EPS = 1e-5
 def _bisect_threshold(profitable: Callable[[float], bool],
                       lo: float, hi: float, tol: float) -> float:
     """Smallest x in [lo, hi] with profitable(x), assuming monotone
-    profitability; returns hi when nothing profits."""
+    profitability; returns hi when nothing profits.
+
+    The termination test is scale-relative (like the ratio solver's
+    bracket test): ``tol`` is interpreted against the bracket
+    magnitude, so thresholds over large-scale quantities (e.g. a
+    double-spend value of order 10) and over [0, 0.5] power shares
+    converge to the same *relative* accuracy.
+    """
     if profitable(lo):
         return lo
     if not profitable(hi):
         return hi
-    while hi - lo > tol:
+    while hi - lo > tol * max(1.0, abs(lo), abs(hi)):
         mid = 0.5 * (lo + hi)
         if profitable(mid):
             hi = mid
         else:
             lo = mid
     return hi
+
+
+class _WarmProbe:
+    """Carries the optimal policy from one bisection probe into the
+    next as a warm start, when the two probes' MDPs have the same state
+    space (adjacent probes differ only in transition probabilities or
+    reward values, so the previous optimum is usually one or two
+    improvement steps from the new one)."""
+
+    def __init__(self) -> None:
+        self.policy: Optional[np.ndarray] = None
+
+    def warm_for(self, n_states: int) -> Optional[np.ndarray]:
+        if self.policy is not None and self.policy.shape == (n_states,):
+            return self.policy
+        return None
+
+    def remember(self, analysis) -> None:
+        self.policy = np.asarray(analysis.policy.action_indices,
+                                 dtype=int)
 
 
 def selfish_mining_threshold(tie_power: float, tol: float = 1e-3,
@@ -70,12 +100,62 @@ def bu_attack_threshold(ratio: Tuple[int, int], model: IncentiveModel,
     probed miner profits (the Table 3 situation) and ``hi`` when no
     probed size does."""
 
+    warm = _WarmProbe()
+
     def profitable(alpha: float) -> bool:
         b, g = ratio
         rest = 1.0 - alpha
         config = AttackConfig(alpha=alpha, beta=rest * b / (b + g),
-                              gamma=rest * g / (b + g), setting=setting)
-        return analyze(config, model).advantage > PROFIT_EPS
+                              gamma=rest * g / (b + g), setting=setting,
+                              include_wait=model.uses_wait)
+        # Adjacent probes share the attack MDP's *structure* (alpha
+        # moves transition probabilities, not the state space), so the
+        # previous probe's optimal policy is a valid -- and nearly
+        # optimal -- warm start for this one.
+        mdp = build_attack_mdp(config)
+        analysis = analyze(config, model, mdp,
+                           initial_policy=warm.warm_for(mdp.n_states))
+        warm.remember(analysis)
+        return analysis.advantage > PROFIT_EPS
+
+    return _bisect_threshold(profitable, lo, hi, tol)
+
+
+def ds_value_threshold(alpha: float, ratio: Tuple[int, int],
+                       setting: int = 1, tol: float = 1e-3,
+                       lo: float = 0.0, hi: float = 40.0) -> float:
+    """Minimum double-spend value ``rds`` (in block rewards) at which
+    the non-compliant attack beats honest mining for an
+    ``alpha``-miner.  Returns ``lo`` when the attack profits even with
+    worthless double-spends and ``hi`` when no probed value does.
+
+    Every probe differs from the previous one *only* in the ``rds``
+    reward field, which is reward-only for the attack-MDP build cache
+    (:data:`repro.core.attack_mdp.REWARD_ONLY_FIELDS`): after the first
+    probe pays for the BFS + matrix assembly, each subsequent probe is
+    a ``reward_rebuilds`` cache hit that recomputes just the ``ds``
+    channel from the cached orphan histograms.  Combined with the
+    cross-probe policy warm start this makes the whole bisection cost
+    roughly one cold solve plus a handful of warm policy evaluations.
+    """
+    if not 0 < alpha < 0.5:
+        raise ReproError("alpha must lie in (0, 0.5)")
+    if lo < 0 or hi <= lo:
+        raise ReproError("rds bracket must satisfy 0 <= lo < hi")
+    b, g = ratio
+    rest = 1.0 - alpha
+    model = IncentiveModel.NONCOMPLIANT_PROFIT
+    warm = _WarmProbe()
+
+    def profitable(rds: float) -> bool:
+        config = AttackConfig(alpha=alpha, beta=rest * b / (b + g),
+                              gamma=rest * g / (b + g), setting=setting,
+                              rds=rds, include_wait=model.uses_wait)
+        mdp = build_attack_mdp(config)
+        analysis = analyze(config, model, mdp,
+                           initial_policy=warm.warm_for(mdp.n_states))
+        warm.remember(analysis)
+        return analysis.advantage > PROFIT_EPS
 
     return _bisect_threshold(profitable, lo, hi, tol)
 

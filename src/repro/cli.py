@@ -35,6 +35,13 @@ exported through ``REPRO_BACKEND`` so spawned worker processes inherit
 it.  ``tables``, ``validate`` and ``qa`` accept ``--scheduler
 {serial,process,process:N,spec:FILE}``, overriding how sweep cells are
 fanned out (:mod:`repro.runtime.parallel`).
+
+``attack``, ``tables``, ``bench`` and ``qa`` accept ``--ratio-method
+{dinkelbach,bisection,pto}``, selecting the ratio-objective method for
+every relative-revenue/orphan-rate solve (see
+:mod:`repro.mdp.ratio` and docs/mdp-methods.md); like ``--backend``
+the choice is exported through ``REPRO_RATIO_METHOD`` so spawned
+worker processes inherit it.
 """
 
 from __future__ import annotations
@@ -400,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "solve with fallback chain)")
     _add_trace_flag(attack)
     _add_backend_flag(attack)
+    _add_ratio_method_flag(attack)
     attack.set_defaults(func=cmd_attack)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -414,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(tables)
     _add_backend_flag(tables)
     _add_scheduler_flag(tables)
+    _add_ratio_method_flag(tables)
     tables.set_defaults(func=cmd_tables)
 
     figures = sub.add_parser("figures", help="replay Figures 1-3")
@@ -560,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "by a factor of X")
     _add_trace_flag(bench)
     _add_backend_flag(bench)
+    _add_ratio_method_flag(bench)
     bench.set_defaults(func=cmd_bench)
 
     qa = sub.add_parser("qa",
@@ -581,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(qa)
     _add_backend_flag(qa)
     _add_scheduler_flag(qa)
+    _add_ratio_method_flag(qa)
     qa.set_defaults(func=cmd_qa)
 
     trace = sub.add_parser("trace",
@@ -602,6 +613,16 @@ def _add_backend_flag(sub: argparse.ArgumentParser) -> None:
                      help="compute backend for the Bellman/rollout "
                           "kernels ('numba' degrades to numpy with a "
                           "warning when unavailable)")
+
+
+def _add_ratio_method_flag(sub: argparse.ArgumentParser) -> None:
+    from repro.mdp.ratio import RATIO_METHODS
+    sub.add_argument("--ratio-method", default=None,
+                     choices=RATIO_METHODS, dest="ratio_method",
+                     help="ratio-objective method for relative-revenue "
+                          "and orphan-rate solves (default: dinkelbach; "
+                          "'pto' uses the probabilistic-termination "
+                          "reduction)")
 
 
 def _add_scheduler_flag(sub: argparse.ArgumentParser) -> None:
@@ -628,6 +649,13 @@ def _apply_runtime_flags(args: argparse.Namespace) -> None:
         from repro.mdp import backends
         os.environ[backends.BACKEND_ENV] = backend
         backends.set_backend(backend)
+    ratio_method = getattr(args, "ratio_method", None)
+    if ratio_method is not None:
+        import os
+
+        from repro.mdp import ratio
+        os.environ[ratio.RATIO_METHOD_ENV] = ratio_method
+        ratio.set_ratio_method(ratio_method)
     spec = getattr(args, "scheduler", None)
     if spec is not None:
         from repro.runtime.parallel import make_scheduler, \

@@ -52,6 +52,11 @@ class AttackAnalysis:
     rates:
         Exact per-step rate of every reward channel under the optimal
         policy.
+    solver:
+        Provenance of the solve: ``{"method", "iterations",
+        "transformed_solves"}`` (the ratio method or average-reward
+        stage that produced the answer and what it cost).  ``None`` on
+        analyses loaded from artifacts that predate this field.
     """
 
     config: AttackConfig
@@ -60,6 +65,7 @@ class AttackAnalysis:
     honest_utility: float
     policy: Policy
     rates: Dict[str, float]
+    solver: Optional[Dict[str, object]] = None
 
     @property
     def advantage(self) -> float:
@@ -83,15 +89,28 @@ def _prepare(config: AttackConfig, model: IncentiveModel,
     return config, mdp
 
 
+def _ratio_solver_info(solution) -> Dict[str, object]:
+    return {"method": solution.method,
+            "iterations": solution.iterations,
+            "transformed_solves": solution.transformed_solves}
+
+
 def solve_relative_revenue(config: AttackConfig,
                            mdp: Optional[MDP] = None,
                            tol: float = 1e-7,
-                           supervisor=None) -> AttackAnalysis:
+                           supervisor=None,
+                           ratio_method: Optional[str] = None,
+                           initial_policy: Optional[np.ndarray] = None
+                           ) -> AttackAnalysis:
     """Maximize Alice's relative revenue u_A1 (Eq. 1).
 
     ``supervisor`` optionally routes the solve through a
     :class:`repro.runtime.supervisor.SolverSupervisor` (budgets,
-    validation and the fallback chain).
+    validation and the fallback chain).  ``ratio_method`` selects the
+    ratio-objective method for this solve (``None`` defers to the
+    process-global default); ``initial_policy`` warm-starts the first
+    transformed solve (e.g. with the optimum of an adjacent sweep
+    cell).
     """
     with span("solve/relative"):
         counter_add("solve/relative")
@@ -99,23 +118,28 @@ def solve_relative_revenue(config: AttackConfig,
                                mdp)
         num, den = IncentiveModel.COMPLIANT_PROFIT.utility_channels()
         if supervisor is not None:
-            solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
-                                              hi=1.0, tol=tol)
+            solution = supervisor.solve_ratio(
+                mdp, num, den, lo=0.0, hi=1.0, tol=tol,
+                initial_policy=initial_policy, method=ratio_method)
         else:
             solution = maximize_ratio(mdp, num, den, lo=0.0, hi=1.0,
-                                      tol=tol)
+                                      tol=tol, method=ratio_method,
+                                      initial_policy=initial_policy)
         policy = Policy(mdp, solution.policy)
         rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
                           model=IncentiveModel.COMPLIANT_PROFIT,
                           utility=solution.value,
                           honest_utility=config.alpha,
-                          policy=policy, rates=rates)
+                          policy=policy, rates=rates,
+                          solver=_ratio_solver_info(solution))
 
 
 def solve_absolute_reward(config: AttackConfig,
                           mdp: Optional[MDP] = None,
-                          supervisor=None) -> AttackAnalysis:
+                          supervisor=None,
+                          initial_policy: Optional[np.ndarray] = None
+                          ) -> AttackAnalysis:
     """Maximize Alice's absolute per-block reward u_A2 (Eq. 2).
 
     Each MDP step mines exactly one block, so ``t`` in Eq. 2 equals the
@@ -128,57 +152,80 @@ def solve_absolute_reward(config: AttackConfig,
         num, _den = IncentiveModel.NONCOMPLIANT_PROFIT.utility_channels()
         if supervisor is not None:
             solution = supervisor.solve_average(
-                mdp, mdp.combined_reward(dict(num)))
+                mdp, mdp.combined_reward(dict(num)),
+                initial_policy=initial_policy)
+            method = supervisor.last_stage or "policy-iteration"
         else:
             solution = policy_iteration(mdp,
-                                        mdp.combined_reward(dict(num)))
+                                        mdp.combined_reward(dict(num)),
+                                        initial_policy=initial_policy)
+            method = "policy-iteration"
         policy = Policy(mdp, solution.policy)
         rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config,
                           model=IncentiveModel.NONCOMPLIANT_PROFIT,
                           utility=solution.gain,
                           honest_utility=config.alpha,
-                          policy=policy, rates=rates)
+                          policy=policy, rates=rates,
+                          solver={"method": method,
+                                  "iterations": solution.iterations,
+                                  "transformed_solves": 0})
 
 
 def solve_orphan_rate(config: AttackConfig,
                       mdp: Optional[MDP] = None,
                       tol: float = 1e-6,
-                      supervisor=None) -> AttackAnalysis:
+                      supervisor=None,
+                      ratio_method: Optional[str] = None,
+                      initial_policy: Optional[np.ndarray] = None
+                      ) -> AttackAnalysis:
     """Maximize others' blocks orphaned per Alice block, u_A3 (Eq. 3)."""
     with span("solve/orphans"):
         counter_add("solve/orphans")
         config, mdp = _prepare(config, IncentiveModel.NON_PROFIT, mdp)
         num, den = IncentiveModel.NON_PROFIT.utility_channels()
         if supervisor is not None:
-            solution = supervisor.solve_ratio(mdp, num, den, lo=0.0,
-                                              hi=float(config.ad),
-                                              tol=tol)
+            solution = supervisor.solve_ratio(
+                mdp, num, den, lo=0.0, hi=float(config.ad), tol=tol,
+                initial_policy=initial_policy, method=ratio_method)
         else:
             solution = maximize_ratio(mdp, num, den, lo=0.0,
-                                      hi=float(config.ad), tol=tol)
+                                      hi=float(config.ad), tol=tol,
+                                      method=ratio_method,
+                                      initial_policy=initial_policy)
         policy = Policy(mdp, solution.policy)
         rates = policy_gains(mdp, solution.policy)
     return AttackAnalysis(config=config, model=IncentiveModel.NON_PROFIT,
                           utility=solution.value,
                           honest_utility=0.0,
-                          policy=policy, rates=rates)
+                          policy=policy, rates=rates,
+                          solver=_ratio_solver_info(solution))
 
 
 def analyze(config: AttackConfig, model: IncentiveModel,
-            mdp: Optional[MDP] = None, supervisor=None) -> AttackAnalysis:
+            mdp: Optional[MDP] = None, supervisor=None,
+            ratio_method: Optional[str] = None,
+            initial_policy: Optional[np.ndarray] = None
+            ) -> AttackAnalysis:
     """Dispatch to the solver matching ``model``.
 
     Passing a :class:`repro.runtime.supervisor.SolverSupervisor` as
     ``supervisor`` runs the solve under budgets, input/output
-    validation and the fallback chain.
+    validation and the fallback chain.  ``ratio_method`` selects the
+    ratio-objective method (ignored by the average-reward model);
+    ``initial_policy`` warm-starts the solve.
     """
     if model is IncentiveModel.COMPLIANT_PROFIT:
-        return solve_relative_revenue(config, mdp, supervisor=supervisor)
+        return solve_relative_revenue(config, mdp, supervisor=supervisor,
+                                      ratio_method=ratio_method,
+                                      initial_policy=initial_policy)
     if model is IncentiveModel.NONCOMPLIANT_PROFIT:
-        return solve_absolute_reward(config, mdp, supervisor=supervisor)
+        return solve_absolute_reward(config, mdp, supervisor=supervisor,
+                                     initial_policy=initial_policy)
     if model is IncentiveModel.NON_PROFIT:
-        return solve_orphan_rate(config, mdp, supervisor=supervisor)
+        return solve_orphan_rate(config, mdp, supervisor=supervisor,
+                                 ratio_method=ratio_method,
+                                 initial_policy=initial_policy)
     raise ReproError(f"unknown incentive model {model!r}")
 
 

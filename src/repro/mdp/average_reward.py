@@ -17,7 +17,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import SolverError, SolverInputError
 from repro.mdp.kernels import note_q_backups, q_backup_max
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution
@@ -28,7 +28,8 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
                              epsilon: float = 1e-9,
                              max_iter: int = 500_000,
                              tau: float = 0.9,
-                             on_iter: Optional[Callable[[int], None]] = None
+                             on_iter: Optional[Callable[[int], None]] = None,
+                             v0: Optional[np.ndarray] = None
                              ) -> AverageRewardSolution:
     """Solve an average-reward MDP by relative value iteration.
 
@@ -45,12 +46,26 @@ def relative_value_iteration(mdp: MDP, reward: np.ndarray,
         has gain ``tau * g``; the returned gain is rescaled.
     on_iter:
         Optional per-sweep hook for budget supervision.
+    v0:
+        Optional warm-start bias vector (e.g. the previous Dinkelbach
+        iterate's bias); it is re-pinned at the reference state, so any
+        additive offset is harmless.  Defaults to zeros.
     """
     if not 0 < tau <= 1:
         raise SolverError("tau must lie in (0, 1]")
     reward = np.asarray(reward, dtype=float)
-    h = np.zeros(mdp.n_states)
     ref = mdp.start
+    if v0 is None:
+        h = np.zeros(mdp.n_states)
+    else:
+        h = np.asarray(v0, dtype=float)
+        if h.shape != (mdp.n_states,):
+            raise SolverInputError(
+                f"v0 has shape {h.shape}, expected ({mdp.n_states},)")
+        if not np.all(np.isfinite(h)):
+            raise SolverInputError("v0 contains non-finite entries")
+        h = h - h[ref]
+        counter_add("solver/rvi/warm_starts")
     backups = 0
     try:
         with span("solve/average/rvi"):

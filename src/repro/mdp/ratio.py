@@ -10,7 +10,7 @@ Following Sapirshtein et al., the transformed reward
 average-reward problems whose optimal gain ``f(rho)`` is non-increasing
 in ``rho`` and crosses zero exactly at the optimal ratio.
 
-Two methods are provided:
+Three methods are provided:
 
 - **Dinkelbach iteration** (default): repeatedly set ``rho`` to the
   ratio of the current policy and re-solve; converges superlinearly
@@ -20,8 +20,27 @@ Two methods are provided:
   wait" policy of the non-profit-driven model, for which
   ``f(rho) = 0`` for all ``rho`` beyond the optimum); there the answer
   is the threshold ``sup { rho : f(rho) > 0 }``.
+- **PTO** (:mod:`repro.mdp.pto`): the probabilistic-termination
+  reduction of Bar-Zur, Eyal & Tamar -- the transformed problems
+  become *terminated* total-reward problems whose policy evaluations
+  are independent of ``rho``, so one factorization per distinct policy
+  serves every outer iteration.  Falls back to bisection on the same
+  degeneracies as Dinkelbach (zero-denominator policies make the
+  terminated system singular).
 
-With ``strict=True`` the Dinkelbach method raises a typed
+Every method threads the previous iterate's policy and bias vector
+into the next transformed solve as a :class:`WarmStart`, so successive
+solves start near their fixed point instead of from scratch (counter
+``solver/ratio/warm_start_hits``).
+
+The process-global default method mirrors the compute-backend
+registry: explicit :func:`set_ratio_method` wins over the
+``REPRO_RATIO_METHOD`` environment variable, which wins over
+``"dinkelbach"``.  ``maximize_ratio(method=None)`` resolves through
+:func:`current_ratio_method`, which is how the ``--ratio-method`` CLI
+flag reaches every solve, including in spawned sweep workers.
+
+With ``strict=True`` the Dinkelbach and PTO methods raise a typed
 :class:`~repro.errors.SolverError` on degeneracy or iteration
 exhaustion instead of silently switching method -- this is what the
 :class:`repro.runtime.supervisor.SolverSupervisor` fallback chain uses
@@ -30,6 +49,7 @@ to make each recovery step explicit and diagnosable.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
@@ -52,9 +72,60 @@ GAIN_TOL = 1e-10
 #: ``g_den / max|r_den|``, not to ``g_den`` itself.
 DEN_FLOOR = 1e-9
 
+#: Recognized ratio-objective methods, in fallback-chain order.
+RATIO_METHODS = ("dinkelbach", "bisection", "pto")
+
+#: Environment variable naming the default ratio method (same
+#: precedence scheme as ``REPRO_BACKEND``: explicit setter > env >
+#: built-in default).
+RATIO_METHOD_ENV = "REPRO_RATIO_METHOD"
+
+_ratio_method: Optional[str] = None
+
+
+def set_ratio_method(method: Optional[str]) -> None:
+    """Set the process-global default ratio method (``None`` resets to
+    the environment/default resolution order)."""
+    if method is not None and method not in RATIO_METHODS:
+        raise SolverInputError(
+            f"unknown ratio method {method!r}; expected one of "
+            f"{RATIO_METHODS}")
+    global _ratio_method
+    _ratio_method = method
+
+
+def current_ratio_method() -> str:
+    """The ratio method ``maximize_ratio(method=None)`` will use:
+    explicit :func:`set_ratio_method` > ``REPRO_RATIO_METHOD`` env >
+    ``"dinkelbach"``."""
+    if _ratio_method is not None:
+        return _ratio_method
+    env = os.environ.get(RATIO_METHOD_ENV, "").strip()
+    if env:
+        if env not in RATIO_METHODS:
+            raise SolverInputError(
+                f"{RATIO_METHOD_ENV}={env!r} names an unknown ratio "
+                f"method; expected one of {RATIO_METHODS}")
+        return env
+    return "dinkelbach"
+
+
+@dataclass
+class WarmStart:
+    """Starting point threaded between successive transformed solves.
+
+    ``policy`` seeds policy iteration (``initial_policy=``); ``bias``
+    seeds relative value iteration (``v0=``).  Solvers use whichever
+    component they understand and ignore the other.
+    """
+
+    policy: np.ndarray
+    bias: Optional[np.ndarray] = None
+
+
 #: An average-reward solver usable by :func:`maximize_ratio`: takes the
-#: MDP, a precombined reward array and an optional warm-start policy.
-AverageRewardSolver = Callable[[MDP, np.ndarray, Optional[np.ndarray]],
+#: MDP, a precombined reward array and an optional warm start.
+AverageRewardSolver = Callable[[MDP, np.ndarray, Optional[WarmStart]],
                                AverageRewardSolution]
 
 
@@ -71,10 +142,16 @@ class RatioSolution:
     gain_num, gain_den:
         The two channel rates under that policy.
     iterations:
-        Number of transformed-MDP solves performed.
+        Method rounds performed (transformed-MDP solves for
+        Dinkelbach/bisection; outer ``rho`` updates for PTO).
     method:
-        ``"dinkelbach"`` or ``"bisection"`` (which method produced the
-        final answer).
+        ``"dinkelbach"``, ``"bisection"`` or ``"pto"`` (which method
+        produced the final answer).
+    transformed_solves:
+        Number of transformed-problem solves actually paid for:
+        average-reward solves for Dinkelbach/bisection, terminated
+        policy evaluations (sparse LU factorizations) for PTO.  This is
+        the quantity the ``ratio-methods`` benchmark gates.
     """
 
     value: float
@@ -83,12 +160,13 @@ class RatioSolution:
     gain_den: float
     iterations: int
     method: str
+    transformed_solves: int = 0
 
 
 def _default_solver(mdp: MDP, reward: np.ndarray,
-                    initial_policy: Optional[np.ndarray]
-                    ) -> AverageRewardSolution:
-    return policy_iteration(mdp, reward, initial_policy=initial_policy)
+                    warm: Optional[WarmStart]) -> AverageRewardSolution:
+    initial = None if warm is None else warm.policy
+    return policy_iteration(mdp, reward, initial_policy=initial)
 
 
 def _channel_gains(mdp: MDP, policy: np.ndarray,
@@ -130,14 +208,14 @@ def _validate_inputs(num: Mapping[str, float], den: Mapping[str, float],
                                "finite")
     if hi <= lo:
         raise SolverError("ratio bracket must satisfy lo < hi")
-    if method not in ("dinkelbach", "bisection"):
+    if method not in RATIO_METHODS:
         raise SolverError(f"unknown method {method!r}")
 
 
 def maximize_ratio(mdp: MDP, num: Mapping[str, float],
                    den: Mapping[str, float], lo: float, hi: float,
                    tol: float = 1e-7, max_iter: int = 80,
-                   method: str = "dinkelbach",
+                   method: Optional[str] = None,
                    initial_policy: Optional[np.ndarray] = None,
                    strict: bool = False,
                    solver: Optional[AverageRewardSolver] = None,
@@ -154,12 +232,13 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
     tol:
         Absolute precision of the returned ratio.
     method:
-        ``"dinkelbach"`` (with automatic bisection fallback) or
-        ``"bisection"``.
+        ``"dinkelbach"`` or ``"pto"`` (each with automatic bisection
+        fallback unless ``strict``) or ``"bisection"``.  ``None``
+        (default) resolves via :func:`current_ratio_method`.
     initial_policy:
         Optional warm start.
     strict:
-        Dinkelbach only: raise :class:`~repro.errors.SolverError`
+        Dinkelbach/PTO only: raise :class:`~repro.errors.SolverError`
         when the iteration hits a zero-denominator policy or exhausts
         ``max_iter`` instead of silently falling back to bisection.
         Used by the supervised fallback chain, where each stage must
@@ -168,16 +247,21 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         Average-reward solver for the transformed problems; defaults
         to :func:`repro.mdp.policy_iteration.policy_iteration`.  The
         supervised fallback chain substitutes relative value iteration
-        or the occupation-measure LP here.
+        or the occupation-measure LP here.  (The PTO method performs
+        its own terminated evaluations and does not use this.)
     on_solve:
         Called with the running transformed-solve count after each
         solve -- a budget supervisor's tick hook.
     """
+    if method is None:
+        method = current_ratio_method()
     _validate_inputs(num, den, lo, hi, tol, max_iter, method)
     if solver is None:
         solver = _default_solver
     solves = 0
-    policy = initial_policy
+    warm: Optional[WarmStart] = None
+    if initial_policy is not None:
+        warm = WarmStart(policy=np.asarray(initial_policy, dtype=int))
 
     # Reward scales make every tolerance below scale-equivariant:
     # multiplying num and/or den by a common factor changes neither
@@ -188,8 +272,10 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
     den_floor = DEN_FLOOR * (den_scale if den_scale > 0 else 1.0)
 
     def run_solver(reward: np.ndarray,
-                   warm: Optional[np.ndarray]) -> AverageRewardSolution:
+                   warm: Optional[WarmStart]) -> AverageRewardSolution:
         nonlocal solves
+        if warm is not None:
+            counter_add("solver/ratio/warm_start_hits")
         solution = solver(mdp, reward, warm)
         solves += 1
         counter_add("solver/ratio/transformed_solves")
@@ -205,6 +291,24 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
         gauge_set("solver/ratio/final_residual", residual)
         return solution
 
+    if method == "pto":
+        from repro.mdp.pto import solve_pto  # deferred: pto imports us
+        try:
+            solution, residual = solve_pto(
+                mdp, num, den, lo, hi, tol=tol, max_iter=max_iter,
+                initial_policy=initial_policy, on_solve=on_solve)
+            return finish(solution, residual)
+        except SolverInputError:
+            raise  # malformed problem; no method can recover
+        except SolverError:
+            if strict:
+                raise
+            # Degenerate (zero-denominator) policies make the
+            # terminated evaluation singular -- the same cases that
+            # abort Dinkelbach.  Recover with bisection.
+            counter_add("solver/ratio/pto/fallbacks")
+        # fall through to bisection
+
     if method == "dinkelbach":
         with span("solve/ratio/dinkelbach"):
             rho = lo
@@ -212,7 +316,9 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
             for _ in range(max_iter):
                 counter_add("solver/ratio/dinkelbach_rounds")
                 solution = run_solver(_transformed(mdp, num, den, rho),
-                                      policy)
+                                      warm)
+                warm = WarmStart(policy=solution.policy,
+                                 bias=solution.bias)
                 policy = solution.policy
                 g_num, g_den = _channel_gains(mdp, policy, num, den,
                                               rho=rho)
@@ -229,7 +335,8 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
                 best = RatioSolution(value=new_rho, policy=policy,
                                      gain_num=g_num, gain_den=g_den,
                                      iterations=solves,
-                                     method="dinkelbach")
+                                     method="dinkelbach",
+                                     transformed_solves=solves)
                 # Scale-aware acceptance: the ratio step is measured
                 # relative to the ratio's own magnitude and the
                 # transformed-gain residual relative to the achieved
@@ -259,7 +366,8 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
     # Bisection on the profitability threshold.
     with span("solve/ratio/bisection"):
         lo_b, hi_b = lo, hi
-        best_policy = policy
+        best_warm = warm
+        best_policy = None if warm is None else warm.policy
         last_gain = float("nan")
         for _ in range(max_iter):
             if hi_b - lo_b <= tol * max(1.0, abs(lo_b), abs(hi_b)):
@@ -267,7 +375,7 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
             counter_add("solver/ratio/bisection_rounds")
             mid = 0.5 * (lo_b + hi_b)
             solution = run_solver(_transformed(mdp, num, den, mid),
-                                  best_policy)
+                                  best_warm)
             last_gain = abs(solution.gain)
             # Profitability is judged relative to the transformed
             # reward's scale: with both channels scaled by 1e-8, an
@@ -277,6 +385,8 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
             if solution.gain > GAIN_TOL * max(w_scale, 1e-300):
                 lo_b = mid
                 best_policy = solution.policy
+                best_warm = WarmStart(policy=solution.policy,
+                                      bias=solution.bias)
             else:
                 hi_b = mid
         if best_policy is None:
@@ -292,5 +402,6 @@ def maximize_ratio(mdp: MDP, num: Mapping[str, float],
                 f"(gain_num={g_num!r}, gain_den={g_den!r})")
         return finish(RatioSolution(value=float(value), policy=best_policy,
                                     gain_num=g_num, gain_den=g_den,
-                                    iterations=solves, method="bisection"),
+                                    iterations=solves, method="bisection",
+                                    transformed_solves=solves),
                       last_gain)

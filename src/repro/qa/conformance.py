@@ -14,6 +14,9 @@ tolerance, producing a per-(check, instance-class) matrix.  Checks:
 ``ratio-dinkelbach``      Dinkelbach ratio solve vs exact fixed point
                           (and: must not silently fall back)
 ``ratio-bisection``       bisection ratio solve vs exact fixed point
+``ratio-pto``             probabilistic-termination (PTO) ratio solve
+                          vs exact fixed point (and: must not silently
+                          fall back)
 ``mc``                    batched Monte-Carlo rollout of the exact
                           optimal policy (statistical check)
 ``meta-shift``            gain(r + c) == gain(r) + c
@@ -64,8 +67,8 @@ from repro.runtime.telemetry import counter_add, span
 
 #: All conformance checks, in display order.
 CHECKS = ("vi", "pi", "rvi", "lp", "ratio-dinkelbach",
-          "ratio-bisection", "mc", "meta-shift", "meta-scale",
-          "meta-permute", "meta-dup")
+          "ratio-bisection", "ratio-pto", "mc", "meta-shift",
+          "meta-scale", "meta-permute", "meta-dup")
 
 #: Certified relative tolerance per check (see docs/correctness.md for
 #: the derivations).  ``mc`` is statistical: its per-cell tolerance is
@@ -77,6 +80,7 @@ TOLERANCES: Dict[str, float] = {
     "lp": 1e-6,
     "ratio-dinkelbach": 1e-6,
     "ratio-bisection": 1e-5,
+    "ratio-pto": 1e-6,
     "meta-shift": 1e-9,
     "meta-scale": 1e-9,
     "meta-permute": 1e-9,
@@ -174,9 +178,11 @@ def _check_ratio(inst: QAInstance, method: str) -> Tuple[float, float, str]:
                          tol=1e-9, method=method)
     err = _rel_err(sol.value, float(exact.value))
     key = f"ratio-{method}"
-    if method == "dinkelbach" and sol.method != "dinkelbach":
+    if method in ("dinkelbach", "pto") and sol.method != method:
         # A fall-back on a non-degenerate instance means the
-        # denominator floor misclassified the problem's scale.
+        # denominator floor misclassified the problem's scale (for
+        # PTO: the terminated system was wrongly deemed singular or
+        # its start value fell below the degeneracy floor).
         return (float("inf"), TOLERANCES[key],
                 f"fell back to {sol.method}")
     return err, TOLERANCES[key], f"method={sol.method}"
@@ -249,6 +255,7 @@ _CHECK_FNS: Dict[str, Callable[[QAInstance], Tuple[float, float, str]]] = {
     "lp": _check_lp,
     "ratio-dinkelbach": lambda i: _check_ratio(i, "dinkelbach"),
     "ratio-bisection": lambda i: _check_ratio(i, "bisection"),
+    "ratio-pto": lambda i: _check_ratio(i, "pto"),
     "mc": _check_mc,
     "meta-shift": _check_meta_shift,
     "meta-scale": _check_meta_scale,

@@ -329,12 +329,93 @@ def bench_serve_smoke(fast: bool) -> Dict:
                             round(coalesced / burst, 4)}}
 
 
+def bench_ratio_methods(fast: bool) -> Dict:
+    """Per-method cost of the relative-revenue ratio solve.
+
+    Runs the setting-2 acceptance cell through each ratio-objective
+    method (Dinkelbach, bisection, PTO) from a cold cache and records
+    per-method wall time, transformed average-reward solve counts
+    (``solver/ratio/transformed_solves``), PT evaluation counts
+    (``solver/ratio/pto/transformed_solves``) and warm-start hits.
+
+    Two correctness gates fail the benchmark outright, independent of
+    timing: every method must agree on the utility within 1e-6, and
+    PTO must answer as PTO (no silent fallback) while performing at
+    least 5x fewer transformed average-reward solves than Dinkelbach
+    -- the PTO reduction's entire point is replacing those solves with
+    rho-independent terminated evaluations, so it performs zero.  The
+    gated wall time and drift-gated ``utility`` are PTO's.
+    """
+    from repro.core.attack_mdp import build_attack_mdp, \
+        clear_attack_mdp_cache
+    from repro.core.solve import solve_relative_revenue
+
+    config = _set2_config(fast)
+    per_method: Dict[str, Dict] = {}
+    for method in ("dinkelbach", "bisection", "pto"):
+        clear_attack_mdp_cache()
+        mdp = build_attack_mdp(config)
+
+        def run(method=method, mdp=mdp):
+            start = time.perf_counter()
+            analysis = solve_relative_revenue(config, mdp,
+                                              ratio_method=method)
+            return analysis, time.perf_counter() - start
+
+        (analysis, wall), counters = _counters_during(run)
+        per_method[method] = {
+            "wall_s": wall,
+            "value": analysis.utility,
+            "method_used": analysis.solver["method"],
+            "avg_solves":
+                counters.get("solver/ratio/transformed_solves", 0),
+            "pt_solves":
+                counters.get("solver/ratio/pto/transformed_solves", 0),
+            "warm_start_hits":
+                counters.get("solver/ratio/warm_start_hits", 0)
+                + counters.get("solver/ratio/pto/warm_start_hits", 0),
+            "factorizations": mdp.eval_cache().stats.factorizations,
+        }
+
+    dink, pto = per_method["dinkelbach"], per_method["pto"]
+    if pto["method_used"] != "pto":
+        raise ReproError(
+            f"PTO fell back to {pto['method_used']!r} on the "
+            "acceptance cell; the reduction is not earning its keep")
+    for method, record in per_method.items():
+        drift = abs(record["value"] - dink["value"])
+        if drift > 1e-6 * max(1.0, abs(dink["value"])):
+            raise ReproError(
+                f"ratio methods disagree: {method} utility "
+                f"{record['value']!r} vs dinkelbach {dink['value']!r}")
+    if pto["avg_solves"] * 5 > dink["avg_solves"]:
+        raise ReproError(
+            f"PTO used {pto['avg_solves']} transformed average-reward "
+            f"solves vs Dinkelbach's {dink['avg_solves']}; expected "
+            ">= 5x fewer")
+    return {"wall_time_s": pto["wall_s"],
+            "metrics": {"n_states": mdp.n_states,
+                        "utility": pto["value"],
+                        "dinkelbach_avg_solves": dink["avg_solves"],
+                        "dinkelbach_wall_s":
+                            round(dink["wall_s"], 4),
+                        "bisection_avg_solves":
+                            per_method["bisection"]["avg_solves"],
+                        "bisection_wall_s":
+                            round(per_method["bisection"]["wall_s"], 4),
+                        "pto_avg_solves": pto["avg_solves"],
+                        "pto_pt_solves": pto["pt_solves"],
+                        "pto_warm_start_hits": pto["warm_start_hits"],
+                        "pto_wall_s": round(pto["wall_s"], 4)}}
+
+
 #: name -> benchmark callable; each returns {"wall_time_s", "metrics"}.
 BENCHMARKS: Dict[str, Callable[[bool], Dict]] = {
     "attack-build": bench_attack_build,
     "attack-solve": bench_attack_solve,
     "attack-e2e": bench_attack_e2e,
     "reward-rebuild": bench_reward_rebuild,
+    "ratio-methods": bench_ratio_methods,
     "sim-rollout": bench_sim_rollout,
     "sim-validate": bench_sim_validate,
     "serve-smoke": bench_serve_smoke,

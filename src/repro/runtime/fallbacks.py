@@ -14,7 +14,10 @@ run in bulk:
 
 - **ratio maximization** (:class:`RatioRequest`), default chain
   Dinkelbach -> bisection -> bisection over relative value iteration
-  -> bisection over the occupation-measure LP;
+  -> bisection over the occupation-measure LP; selecting the PTO
+  method (:func:`ratio_chain_for`) prepends a strict PTO stage, so a
+  PTO failure (e.g. a zero-denominator policy making the terminated
+  system singular) falls back to the full default chain;
 - **average-reward maximization** (:class:`AverageRequest`), default
   chain policy iteration -> relative value iteration -> LP.
 
@@ -42,7 +45,12 @@ from repro.mdp.average_reward import relative_value_iteration
 from repro.mdp.linear_programming import lp_average_reward
 from repro.mdp.model import MDP
 from repro.mdp.policy_iteration import AverageRewardSolution, policy_iteration
-from repro.mdp.ratio import RatioSolution, maximize_ratio
+from repro.mdp.ratio import (
+    RatioSolution,
+    WarmStart,
+    current_ratio_method,
+    maximize_ratio,
+)
 from repro.runtime.budget import BudgetClock
 from repro.runtime.telemetry import counter_add, span
 
@@ -106,30 +114,32 @@ def _tick(clock: Optional[BudgetClock]) -> Optional[Callable[[int], None]]:
 
 def _pi_solver(clock: Optional[BudgetClock]):
     def solve(mdp: MDP, reward: np.ndarray,
-              initial_policy: Optional[np.ndarray]) -> AverageRewardSolution:
-        return policy_iteration(mdp, reward, initial_policy=initial_policy,
+              warm: Optional[WarmStart]) -> AverageRewardSolution:
+        initial = None if warm is None else warm.policy
+        return policy_iteration(mdp, reward, initial_policy=initial,
                                 on_iter=_tick(clock))
     return solve
 
 
 def _rvi_solver(clock: Optional[BudgetClock]):
     def solve(mdp: MDP, reward: np.ndarray,
-              _initial_policy: Optional[np.ndarray]) -> AverageRewardSolution:
-        # Relative value iteration takes no warm start; tick the budget
-        # every 100 sweeps to keep the hook overhead negligible.
+              warm: Optional[WarmStart]) -> AverageRewardSolution:
+        # Warm-start from the previous iterate's bias vector; tick the
+        # budget every 100 sweeps to keep the hook overhead negligible.
         on_iter = None
         if clock is not None:
             def on_iter(it: int) -> None:
                 if it % 100 == 0:
                     clock.tick(100)
+        v0 = None if warm is None else warm.bias
         return relative_value_iteration(mdp, reward, epsilon=1e-10,
-                                        on_iter=on_iter)
+                                        on_iter=on_iter, v0=v0)
     return solve
 
 
 def _lp_solver(clock: Optional[BudgetClock]):
     def solve(mdp: MDP, reward: np.ndarray,
-              _initial_policy: Optional[np.ndarray]) -> AverageRewardSolution:
+              _warm: Optional[WarmStart]) -> AverageRewardSolution:
         if clock is not None:
             clock.tick()
         gain, policy = lp_average_reward(mdp, reward)
@@ -150,6 +160,19 @@ def _ratio_dinkelbach(request: RatioRequest,
                           strict=True, solver=_pi_solver(clock))
 
 
+def _ratio_pto(request: RatioRequest,
+               clock: Optional[BudgetClock]) -> RatioSolution:
+    on_solve = None
+    if clock is not None:
+        def on_solve(_n: int) -> None:
+            clock.tick()
+    return maximize_ratio(request.mdp, request.num, request.den,
+                          lo=request.lo, hi=request.hi, tol=request.tol,
+                          max_iter=request.max_iter, method="pto",
+                          initial_policy=request.initial_policy,
+                          strict=True, on_solve=on_solve)
+
+
 def _ratio_bisection(solver_factory):
     def stage(request: RatioRequest,
               clock: Optional[BudgetClock]) -> RatioSolution:
@@ -168,6 +191,27 @@ RATIO_CHAIN: Tuple[Tuple[str, Callable], ...] = (
     ("value-iteration", _ratio_bisection(_rvi_solver)),
     ("lp", _ratio_bisection(_lp_solver)),
 )
+
+
+def ratio_chain_for(method: Optional[str] = None
+                    ) -> Tuple[Tuple[str, Callable], ...]:
+    """The ratio fallback chain for a selected method (``None``
+    resolves via :func:`repro.mdp.ratio.current_ratio_method`).
+
+    ``"pto"`` prepends a strict PTO stage to the full default chain;
+    ``"bisection"`` skips the Dinkelbach stage; ``"dinkelbach"`` is the
+    default chain unchanged.
+    """
+    if method is None:
+        method = current_ratio_method()
+    if method == "pto":
+        return (("pto", _ratio_pto),) + RATIO_CHAIN
+    if method == "bisection":
+        return RATIO_CHAIN[1:]
+    if method == "dinkelbach":
+        return RATIO_CHAIN
+    raise SolverInputError(
+        f"unknown ratio method {method!r} for fallback chain selection")
 
 
 # -- average-reward stages ---------------------------------------------

@@ -39,9 +39,9 @@ from repro.runtime.telemetry import counter_add, span
 from repro.runtime.fallbacks import (
     AVERAGE_CHAIN,
     AverageRequest,
-    RATIO_CHAIN,
     RatioRequest,
     StageDiagnostics,
+    ratio_chain_for,
     run_chain,
 )
 
@@ -56,8 +56,13 @@ class SolverSupervisor:
         within one :meth:`clock` scope (each top-level call starts a
         fresh clock over the same declarative budget).
     ratio_chain, average_chain:
-        Fallback chains as ``(name, stage)`` sequences; default to the
-        module-level chains of :mod:`repro.runtime.fallbacks`.
+        Fallback chains as ``(name, stage)`` sequences.  The ratio
+        chain defaults to ``None``, meaning it is re-resolved per solve
+        via :func:`repro.runtime.fallbacks.ratio_chain_for` (so the
+        process-global ``--ratio-method`` selection takes effect even
+        on supervisors built before the flag was applied); the average
+        chain defaults to the module-level chain of
+        :mod:`repro.runtime.fallbacks`.
     validate_inputs, validate_outputs:
         Toggle the pre-/post-solve checks (both on by default; input
         validation re-runs the MDP's structural validator, which is
@@ -73,13 +78,14 @@ class SolverSupervisor:
     """
 
     def __init__(self, budget: Optional[Budget] = None,
-                 ratio_chain: Sequence[Tuple] = RATIO_CHAIN,
+                 ratio_chain: Optional[Sequence[Tuple]] = None,
                  average_chain: Sequence[Tuple] = AVERAGE_CHAIN,
                  validate_inputs: bool = True,
                  validate_outputs: bool = True,
                  deadline=None) -> None:
         self.budget = budget if budget is not None else Budget()
-        self.ratio_chain = tuple(ratio_chain)
+        self.ratio_chain = (None if ratio_chain is None
+                            else tuple(ratio_chain))
         self.average_chain = tuple(average_chain)
         self.validate_inputs = validate_inputs
         self.validate_outputs = validate_outputs
@@ -119,14 +125,21 @@ class SolverSupervisor:
     def solve_ratio(self, mdp: MDP, num: Mapping[str, float],
                     den: Mapping[str, float], lo: float, hi: float,
                     tol: float = 1e-7, max_iter: int = 80,
-                    initial_policy: Optional[np.ndarray] = None
-                    ) -> RatioSolution:
-        """Maximize ``gain(num)/gain(den)`` through the fallback chain."""
+                    initial_policy: Optional[np.ndarray] = None,
+                    method: Optional[str] = None) -> RatioSolution:
+        """Maximize ``gain(num)/gain(den)`` through the fallback chain.
+
+        ``method`` overrides the chain selection for this solve (it is
+        ignored when the supervisor was constructed with an explicit
+        ``ratio_chain``).
+        """
         self._check_mdp(mdp)
         request = RatioRequest(mdp=mdp, num=num, den=den, lo=lo, hi=hi,
                                tol=tol, max_iter=max_iter,
                                initial_policy=initial_policy)
-        outcome = self._run(self.ratio_chain, request)
+        chain = (self.ratio_chain if self.ratio_chain is not None
+                 else ratio_chain_for(method))
+        outcome = self._run(chain, request)
         solution: RatioSolution = outcome.result
         if self.validate_outputs and not np.isfinite(solution.value):
             raise SolverDivergedError(

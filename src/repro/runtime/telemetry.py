@@ -344,6 +344,20 @@ def summarize_trace(trace: Dict) -> str:
                 for name, value in sorted(trace["counters"].items())]
         sections.append(format_table(["counter", "total"], rows,
                                      title="counters"))
+    wins = {name[len("solver/ratio/"):-len("_wins")]: value
+            for name, value in trace["counters"].items()
+            if name.startswith("solver/ratio/")
+            and name.endswith("_wins") and "/" not in
+            name[len("solver/ratio/"):-len("_wins")]}
+    if wins:
+        total = sum(wins.values())
+        rows = [[method, value,
+                 100.0 * value / total if total else 0.0]
+                for method, value in sorted(wins.items(),
+                                            key=lambda kv: -kv[1])]
+        sections.append(format_table(
+            ["method", "solves won", "share %"], rows,
+            title="ratio method wins", precision=1))
     if trace["gauges"]:
         rows = [[name, value]
                 for name, value in sorted(trace["gauges"].items())]

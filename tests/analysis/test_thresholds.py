@@ -3,7 +3,9 @@
 import pytest
 
 from repro.analysis.thresholds import (
+    _bisect_threshold,
     bu_attack_threshold,
+    ds_value_threshold,
     relative_revenue_boundary,
     selfish_mining_threshold,
 )
@@ -75,3 +77,56 @@ def test_validation():
         selfish_mining_threshold(1.5)
     with pytest.raises(ReproError):
         relative_revenue_boundary(0.7)
+    with pytest.raises(ReproError):
+        ds_value_threshold(0.7, (1, 1))
+    with pytest.raises(ReproError):
+        ds_value_threshold(0.1, (1, 1), lo=5.0, hi=5.0)
+
+
+def test_bisect_tolerance_is_scale_relative():
+    """Over a large-magnitude bracket the bisection must stop at the
+    requested *relative* accuracy instead of grinding toward an
+    absolute one: ~10 probes resolve 1e-3 relative on [0, 1000]."""
+    probes = []
+
+    def profitable(x):
+        probes.append(x)
+        return x >= 700.0
+
+    result = _bisect_threshold(profitable, 0.0, 1000.0, tol=1e-3)
+    assert result == pytest.approx(700.0, rel=2e-3)
+    assert len(probes) <= 14  # absolute 1e-3 would need ~20 halvings
+
+
+def test_ds_value_threshold_reuses_build_cache():
+    """Every rds probe after the first must be a reward-only rebuild
+    of the cached attack MDP, never a cold BFS + assembly."""
+    from repro.core.attack_mdp import (
+        attack_mdp_cache_stats,
+        clear_attack_mdp_cache,
+    )
+    clear_attack_mdp_cache()
+    threshold = ds_value_threshold(0.1, (1, 1), tol=5e-2)
+    stats = attack_mdp_cache_stats()
+    assert 0.0 <= threshold <= 40.0
+    assert stats.misses == 1
+    assert stats.reward_rebuilds >= 2
+
+
+def test_bu_threshold_warm_start_matches_cold_probes():
+    """The warm-started threshold bisection must land on the same
+    threshold as independently solved (cold) probes -- the warm start
+    only accelerates, never changes, each probe's optimum."""
+    from repro.core.config import AttackConfig
+    from repro.core.solve import analyze
+    model = IncentiveModel.COMPLIANT_PROFIT
+    threshold = bu_attack_threshold((1, 1), model, tol=5e-3)
+
+    def cold_advantage(alpha):
+        config = AttackConfig.from_ratio(alpha, (1, 1), setting=1)
+        return analyze(config, model).advantage
+
+    # Just below the threshold the attack must not profit; just above
+    # it must (cold solves, no warm start involved).
+    assert cold_advantage(threshold - 0.01) <= 1e-5
+    assert cold_advantage(threshold + 0.01) > 1e-5

@@ -29,7 +29,7 @@ def ratio_vs_rate_mdp():
     return b.build(start=0)
 
 
-@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection", "pto"])
 def test_simple_ratio(method):
     mdp = renewal_mdp()
     sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
@@ -38,7 +38,7 @@ def test_simple_ratio(method):
     assert mdp.actions[sol.policy[0]] == "long"
 
 
-@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection", "pto"])
 def test_ratio_differs_from_rate(method):
     mdp = ratio_vs_rate_mdp()
     sol = maximize_ratio(mdp, {"num": 1.0}, {"den": 1.0}, lo=0.0, hi=5.0,
@@ -184,7 +184,7 @@ def test_dinkelbach_does_not_fall_back_on_small_scales():
     assert sol.value == pytest.approx(1.5e10, rel=1e-9)
 
 
-@pytest.mark.parametrize("method", ["dinkelbach", "bisection"])
+@pytest.mark.parametrize("method", ["dinkelbach", "bisection", "pto"])
 @pytest.mark.parametrize("factor", [1e-8, 1.0, 1e8])
 def test_ratio_scale_equivariance(method, factor):
     """Scaling both channels by a common factor must leave the ratio

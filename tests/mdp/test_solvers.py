@@ -82,3 +82,27 @@ def test_rvi_tau_validation():
     mdp = work_or_rest()
     with pytest.raises(SolverError):
         relative_value_iteration(mdp, mdp.channel_reward("r"), tau=0.0)
+
+
+def test_rvi_warm_start_matches_cold():
+    """Warm-starting RVI from a converged bias vector must reproduce
+    the cold answer (and converge in essentially one sweep)."""
+    mdp = work_or_rest()
+    cold = relative_value_iteration(mdp, mdp.channel_reward("r"),
+                                    epsilon=1e-12)
+    warm = relative_value_iteration(mdp, mdp.channel_reward("r"),
+                                    epsilon=1e-12, v0=cold.bias)
+    assert warm.gain == pytest.approx(cold.gain, abs=1e-12)
+    assert (warm.policy == cold.policy).all()
+    assert warm.iterations <= cold.iterations
+
+
+def test_rvi_v0_validation():
+    from repro.errors import SolverInputError
+    mdp = work_or_rest()
+    with pytest.raises(SolverInputError, match="v0"):
+        relative_value_iteration(mdp, mdp.channel_reward("r"),
+                                 v0=np.zeros(3))
+    with pytest.raises(SolverInputError, match="v0"):
+        relative_value_iteration(mdp, mdp.channel_reward("r"),
+                                 v0=np.array([0.0, np.nan]))

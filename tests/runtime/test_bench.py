@@ -18,8 +18,8 @@ from repro.runtime.bench import (
 def test_registry_names_are_stable():
     assert set(BENCHMARKS) == {"attack-build", "attack-solve",
                                "attack-e2e", "reward-rebuild",
-                               "sim-rollout", "sim-validate",
-                               "serve-smoke"}
+                               "ratio-methods", "sim-rollout",
+                               "sim-validate", "serve-smoke"}
 
 
 def test_unknown_benchmark_raises():
@@ -163,6 +163,20 @@ def test_check_speedup_gate():
     assert check_speedup(slow_doc, dict(_doc(1.0), fast=False),
                          min_speedup=2.0) == []
     assert check_speedup(slow_doc, _doc(0.01), min_speedup=2.0) == []
+
+
+def test_ratio_methods_bench_reports_per_method_counts():
+    """The ratio-methods benchmark must carry per-method solve counts
+    and enforce its own >=5x transformed-solve gate (the document only
+    exists if the gate held)."""
+    doc = run_benchmark("ratio-methods", fast=True)
+    metrics = doc["metrics"]
+    for key in ("dinkelbach_avg_solves", "bisection_avg_solves",
+                "pto_avg_solves", "pto_pt_solves", "utility"):
+        assert key in metrics
+    assert metrics["pto_avg_solves"] * 5 <= metrics["dinkelbach_avg_solves"]
+    assert metrics["bisection_avg_solves"] >= \
+        metrics["dinkelbach_avg_solves"]
 
 
 def test_main_backend_flag_writes_variant_files(tmp_path):
