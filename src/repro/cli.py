@@ -12,8 +12,11 @@ Commands
 ``race``      per-race statistics of one fork (absorbing-chain exact)
 ``deadline``  price a time-limited attack (finite horizon)
 ``report``    regenerate the paper-vs-measured markdown comparison
-``serve``     answer solve requests from the policy atlas (batch JSON
-              or a JSON-lines TCP front-end; see docs/robustness.md)
+``serve``     answer solve requests from the policy atlas (batch JSON,
+              a JSON-lines TCP front-end or an HTTP front-end; with
+              ``--warm`` precompute the paper grids into the atlas,
+              with ``--processes N`` fan batches over worker
+              processes; see docs/robustness.md)
 ``chaos``     run the network simulation under an injected fault plan,
               or (``--serve``) the solver-service chaos harness
 ``bench``     run the pipeline benchmarks, emit BENCH_<name>.json
@@ -32,11 +35,12 @@ also accept ``--backend {numpy,numba,reference}``, selecting the
 compute backend for the Bellman/rollout hot loops (see
 :mod:`repro.mdp.backends` and docs/performance.md); the choice is
 exported through ``REPRO_BACKEND`` so spawned worker processes inherit
-it.  ``tables``, ``validate`` and ``qa`` accept ``--scheduler
-{serial,process,process:N,spec:FILE}``, overriding how sweep cells are
-fanned out (:mod:`repro.runtime.parallel`).
+it.  ``tables``, ``validate``, ``serve`` and ``qa`` accept
+``--scheduler {serial,process,process:N,spec:FILE}``, overriding how
+sweep cells are fanned out (:mod:`repro.runtime.parallel`).
 
-``attack``, ``tables``, ``bench`` and ``qa`` accept ``--ratio-method
+``attack``, ``tables``, ``serve``, ``bench`` and ``qa`` accept
+``--ratio-method
 {dinkelbach,bisection,pto}``, selecting the ratio-objective method for
 every relative-revenue/orphan-rate solve (see
 :mod:`repro.mdp.ratio` and docs/mdp-methods.md); like ``--backend``
@@ -63,6 +67,11 @@ _MODELS = {
     "absolute": IncentiveModel.NONCOMPLIANT_PROFIT,
     "orphans": IncentiveModel.NON_PROFIT,
 }
+
+#: Mirror of :data:`repro.serve.warm.WARM_GRIDS` -- duplicated so the
+#: parser builds without importing the (heavy) analysis stack; pinned
+#: equal by a unit test.
+_WARM_GRIDS = ("paper", "table2", "table3", "table4", "smoke")
 
 
 def _parse_ratio(text: str) -> Tuple[int, int]:
@@ -212,6 +221,16 @@ def cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_request_objs(source: str) -> List:
+    import json
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(source) as fh:
+            lines = fh.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -221,11 +240,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
         RetryPolicy,
         SolverService,
         serve_batch,
+        serve_batch_multiprocess,
         serve_tcp,
     )
 
+    atlas = PolicyAtlas(args.atlas, cache_entries=args.cache_entries)
+    # Startup scan: rebuild the in-memory index to exactly the on-disk
+    # survivors (quarantining corrupt leftovers), so a kill-and-restart
+    # resumes with nearest() queries index-only from the first request.
+    atlas.scan()
+
+    if args.warm is not None:
+        from repro.serve.warm import warm_atlas
+        report = warm_atlas(
+            atlas, grid=args.warm, fast=args.fast,
+            workers=args.processes,
+            progress=lambda message: print(message, file=sys.stderr))
+        print(f"warm[{report.grid}]: {report.cells} cells -> "
+              f"{report.solved} solved, {report.restored} restored "
+              f"from journal, {report.skipped} already present; "
+              f"atlas now holds {report.entries} entries",
+              file=sys.stderr)
+        if args.requests is None and args.http is None:
+            return 0
+
+    if args.requests is not None and args.processes > 1:
+        objs = _read_request_objs(args.requests)
+        results = serve_batch_multiprocess(
+            args.atlas, objs, args.processes,
+            max_concurrency=args.workers,
+            max_pending=args.max_pending,
+            default_deadline_s=args.deadline,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            seed=args.seed, backend=args.backend)
+        for result in results:
+            print(json.dumps(result))
+        return 0
+
     async def run() -> int:
-        atlas = PolicyAtlas(args.atlas)
         service = SolverService(
             atlas,
             max_concurrency=args.workers,
@@ -236,15 +288,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend)
         try:
             if args.requests is not None:
-                if args.requests == "-":
-                    lines = sys.stdin.read().splitlines()
-                else:
-                    with open(args.requests) as fh:
-                        lines = fh.read().splitlines()
-                objs = [json.loads(line) for line in lines
-                        if line.strip()]
+                objs = _read_request_objs(args.requests)
                 for result in await serve_batch(service, objs):
                     print(json.dumps(result))
+            elif args.http is not None:
+                from repro.serve.http import serve_http
+                server = await serve_http(service, args.host, args.http)
+                print(f"HTTP front-end on {args.host}:{args.http} "
+                      f"(POST /solve, GET /health; atlas: {args.atlas}, "
+                      f"{len(atlas)} entries); Ctrl-C to stop",
+                      file=sys.stderr)
+                async with server:
+                    await server.serve_forever()
             else:
                 server = await serve_tcp(service, args.host, args.port)
                 print(f"serving on {args.host}:{args.port} "
@@ -255,13 +310,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         finally:
             await service.close()
             stats = service.stats
+            cache = atlas.stats
             print(f"requests: {stats.requests}, "
                   f"atlas hits: {stats.atlas_hits}, "
                   f"solves: {stats.solves}, "
                   f"coalesced: {stats.coalesced} "
                   f"(hit-rate {stats.coalesce_hit_rate():.2%}), "
                   f"degraded: {stats.degraded}, "
-                  f"overloads: {stats.overloads}", file=sys.stderr)
+                  f"overloads: {stats.overloads}; "
+                  f"cache hit-rate {cache.cache_hit_rate():.2%} "
+                  f"({cache.disk_reads} disk reads)", file=sys.stderr)
         return 0
 
     try:
@@ -271,8 +329,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.runtime.faults import ServiceFaultPlan
     from repro.serve.chaos import (
+        check_cache_invariants,
         check_service_invariants,
         run_chaos_scenario,
     )
@@ -294,11 +355,16 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
     print(f"solve attempts: {summary['solve_attempts']}, "
           f"faults injected: {summary['injected']}")
     violations = check_service_invariants(report, args.atlas)
+    # Cache-coherence suite in a sibling directory (it asserts exact
+    # ownership of its atlas, so it must not mix with the chaos run's
+    # entries).
+    violations += check_cache_invariants(
+        os.path.join(args.atlas, "cache-invariants"), seed=args.seed)
     if violations:
         for violation in violations:
             print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
         return 1
-    print("invariants: ok")
+    print("invariants: ok (service + cache coherence)")
     return 0
 
 
@@ -506,8 +572,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "omit to run the TCP front-end")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="run the HTTP front-end on PORT instead of "
+                            "the JSON-lines TCP front-end (POST /solve, "
+                            "GET /health)")
+    serve.add_argument("--warm", nargs="?", const="paper", default=None,
+                       choices=_WARM_GRIDS, metavar="GRID",
+                       help="precompute a paper parameter grid into "
+                            "the atlas first (journal-resumable; one "
+                            f"of {', '.join(_WARM_GRIDS)}; default "
+                            "'paper'), then exit unless --requests or "
+                            "--http is also given")
+    serve.add_argument("--fast", action="store_true",
+                       help="with --warm: shrink the grid to "
+                            "development/CI size")
+    serve.add_argument("--processes", type=int, default=1, metavar="N",
+                       help="worker processes sharing the atlas "
+                            "directory (fans out --warm solves and "
+                            "--requests batches; telemetry merges "
+                            "worker-count independent)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent solves")
+                       help="concurrent solves (per process)")
     serve.add_argument("--max-pending", type=int, default=16,
                        help="admission-control bound on in-flight "
                             "solves (excess requests get a typed 429)")
@@ -515,9 +600,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline (seconds)")
     serve.add_argument("--retries", type=int, default=2,
                        help="retries after a transient solve failure")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       metavar="N",
+                       help="bound on the in-memory LRU cache of hot "
+                            "policy bodies (0 disables body caching)")
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_flag(serve)
     _add_backend_flag(serve)
+    _add_scheduler_flag(serve)
+    _add_ratio_method_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
     chaos = sub.add_parser("chaos",

@@ -136,3 +136,18 @@ class ServiceOverloadError(ServeError):
 class ServiceShutdownError(ServeError):
     """The service is draining or closed; the request was either never
     admitted or its in-flight solve was cancelled by shutdown."""
+
+
+class RequestTooLargeError(ServeError):
+    """A front-end request exceeded the configured size limit (the 413
+    of this system).  The connection is answered with a typed error
+    object -- never silently dropped -- and then closed, because the
+    stream position past an oversized frame is unrecoverable."""
+
+
+class AtlasQuarantineError(ServeError):
+    """Moving a corrupt atlas entry into ``quarantine/`` failed for a
+    real reason (permissions, a cross-device quarantine directory, ...)
+    rather than a lost race with another process.  The corrupt entry is
+    still in place; serving must surface this instead of silently
+    retrying the same poisoned file forever."""

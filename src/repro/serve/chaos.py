@@ -21,7 +21,13 @@ guarantees:
   answer or the typed shutdown error;
 - **clean restart**: re-opening the atlas after the chaos run loads
   zero corrupt entries (corrupted writes were quarantined, not
-  served).
+  served), and the rebuilt in-memory index is exactly the on-disk
+  survivor set;
+- **cache coherence** (:func:`check_cache_invariants`): the LRU bound
+  is enforced, no stale cached body is served after its entry is
+  quarantined, membership and ``get`` agree on quarantined entries,
+  and a kill-and-restart rebuilds the index to exactly the on-disk
+  survivors with survivor bodies byte-identical.
 
 ``repro chaos --serve`` drives this harness from the CLI; the chaos
 test tier runs it with aggressive rates on every commit.
@@ -197,15 +203,130 @@ def check_service_invariants(report: ChaosReport,
             violations.append(
                 "degraded response carries no degraded_reason")
     # Kill-and-restart: a fresh atlas over the same directory must
-    # load with zero corrupt entries (corrupt ones quarantined).
+    # load with zero corrupt entries (corrupt ones quarantined), and
+    # its rebuilt index must be exactly the on-disk survivor set.
     fresh = PolicyAtlas(atlas_root)
-    fresh.scan()
+    index = fresh.scan()
+    on_disk = {p.stem for p in fresh.entries_dir.glob("*.json")}
+    if set(index) != on_disk:
+        violations.append(
+            f"restart index does not match on-disk survivors "
+            f"(index {len(index)}, on disk {len(on_disk)})")
     for path in fresh.entries_dir.glob("*.json"):
         try:
             fresh._load_entry(path)
         except ReproError as exc:
             violations.append(
                 f"corrupt entry survived restart scan: {exc}")
+    return violations
+
+
+def _cell_payload(config: AttackConfig, model: IncentiveModel,
+                  utility: float) -> Dict:
+    """A minimal schema-valid analysis payload for one cell."""
+    from repro.analysis.store import SCHEMA_VERSION
+    return {"schema": SCHEMA_VERSION, "kind": "attack-analysis",
+            "config": dataclasses.asdict(config), "model": model.value,
+            "utility": utility, "honest_utility": 0.0,
+            "rates": {}, "policy": {}}
+
+
+def check_cache_invariants(atlas_root, entries: int = 12,
+                           cache_entries: int = 8,
+                           seed: int = 0) -> List[str]:
+    """Deterministic cache-coherence scenario over one atlas directory.
+
+    Builds ``entries`` valid entries (more than the ``cache_entries``
+    LRU bound, so eviction is exercised), reads them all hot, corrupts
+    a seeded subset on disk, rescans, and checks:
+
+    - the LRU bound was enforced (evictions happened);
+    - no stale cached body is served after its entry was quarantined
+      by the rescan, and membership agrees with ``get`` on it;
+    - survivors still serve their original bodies;
+    - a kill-and-restart (fresh instance) rebuilds the index to
+      exactly the on-disk survivor set -- which is exactly the
+      non-corrupted entries -- with byte-identical bodies.
+
+    Returns violation messages (empty list = invariants hold).
+    """
+    import numpy as np
+
+    violations: List[str] = []
+    atlas = PolicyAtlas(atlas_root, cache_entries=cache_entries)
+    model = IncentiveModel.COMPLIANT_PROFIT
+    keys: List[Dict] = []
+    for i in range(entries):
+        alpha = round(0.05 + 0.40 * i / max(entries - 1, 1), 4)
+        config = AttackConfig.from_ratio(alpha, (1, 1), setting=1, ad=2)
+        key = atlas_key(config, model)
+        atlas.put(key, _cell_payload(config, model,
+                                     utility=i / max(entries, 1)))
+        keys.append(key)
+    bodies = {key_digest(key): atlas.get(key) for key in keys}
+    if entries > cache_entries and atlas.stats.cache_evictions == 0:
+        violations.append(
+            f"LRU bound not enforced: {entries} entries read through "
+            f"a {cache_entries}-entry cache with zero evictions")
+
+    rng = np.random.default_rng(seed)
+    digests = sorted(bodies)
+    corrupt = {str(d) for d in rng.choice(
+        digests, size=max(1, entries // 3), replace=False)}
+    for digest in corrupt:
+        path = atlas.path_for(digest)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16] + b"\xffGARBAGE-BYTES\xff\xff")
+
+    # The rescan must quarantine every corrupt entry *and* invalidate
+    # any cached body for it: no stale body served after quarantine.
+    index = atlas.scan()
+    for key in keys:
+        digest = key_digest(key)
+        if digest in corrupt:
+            if digest in index:
+                violations.append(
+                    f"rescan index still lists quarantined entry "
+                    f"{digest[:12]}")
+            if atlas.get(key) is not None:
+                violations.append(
+                    f"stale body served after quarantine of "
+                    f"{digest[:12]}")
+            if key in atlas:
+                violations.append(
+                    f"membership true for quarantined entry "
+                    f"{digest[:12]}")
+        else:
+            if atlas.get(key) != bodies[digest]:
+                violations.append(
+                    f"survivor body changed after rescan "
+                    f"({digest[:12]})")
+
+    # Kill-and-restart: the rebuilt index is exactly the on-disk
+    # survivor set, which is exactly the non-corrupted entries.
+    fresh = PolicyAtlas(atlas_root, cache_entries=cache_entries)
+    rebuilt = fresh.scan()
+    on_disk = {p.stem for p in fresh.entries_dir.glob("*.json")}
+    if set(rebuilt) != on_disk:
+        violations.append(
+            f"restart index does not match on-disk survivors "
+            f"(index {len(rebuilt)}, on disk {len(on_disk)})")
+    expected = set(bodies) - corrupt
+    if set(rebuilt) != expected:
+        violations.append(
+            f"restart index is not the non-corrupt entry set "
+            f"(got {len(rebuilt)}, expected {len(expected)})")
+    for key in keys:
+        digest = key_digest(key)
+        got = fresh.get(key)
+        if digest in corrupt and got is not None:
+            violations.append(
+                f"quarantined entry {digest[:12]} served after "
+                f"restart")
+        if digest not in corrupt and got != bodies[digest]:
+            violations.append(
+                f"survivor {digest[:12]} not byte-identical after "
+                f"restart")
     return violations
 
 
@@ -284,6 +405,7 @@ __all__ = [
     "InjectedCrashError",
     "SingleFlightProbe",
     "chaos_solve_fn",
+    "check_cache_invariants",
     "check_service_invariants",
     "run_chaos",
     "run_chaos_scenario",

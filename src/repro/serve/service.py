@@ -44,7 +44,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
@@ -54,6 +54,7 @@ from repro.core.deadline import Deadline
 from repro.core.incentives import IncentiveModel
 from repro.errors import (
     ReproError,
+    RequestTooLargeError,
     ServiceOverloadError,
     ServiceShutdownError,
     SolveDeadlineError,
@@ -624,14 +625,30 @@ async def serve_batch(service: SolverService,
         *(answer_json(service, obj) for obj in requests)))
 
 
-async def serve_tcp(service: SolverService, host: str,
-                    port: int) -> asyncio.AbstractServer:
+#: Default byte limit on one front-end request frame (a TCP request
+#: line, or an HTTP body in :mod:`repro.serve.http`).  Far above any
+#: legitimate request, far below a memory hazard.
+MAX_REQUEST_BYTES = 1 << 20
+
+
+async def serve_tcp(service: SolverService, host: str, port: int,
+                    limit: int = MAX_REQUEST_BYTES
+                    ) -> asyncio.AbstractServer:
     """Start a JSON-lines TCP front-end.
 
     One request object per line in, one response object per line out;
     malformed JSON gets an ``{"ok": false}`` response rather than a
     dropped connection.  Returns the started server (caller owns its
     lifetime).
+
+    A request line longer than ``limit`` bytes is answered with a
+    typed :class:`~repro.errors.RequestTooLargeError` JSON object and
+    the connection is then closed -- the stream position past an
+    overrun line is unrecoverable, but the "typed error objects, never
+    dropped connections" contract still holds.  (The previous
+    implementation let the StreamReader's default 64 KiB limit raise
+    straight through ``readline()``, dropping the connection with no
+    response at all.)
     """
     import json
 
@@ -639,7 +656,24 @@ async def serve_tcp(service: SolverService, host: str,
                      writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except asyncio.IncompleteReadError as exc:
+                    # EOF mid-line: answer what arrived (defensive --
+                    # readline() normally folds this into a return).
+                    line = exc.partial
+                except (asyncio.LimitOverrunError, ValueError) as exc:
+                    # StreamReader.readline re-raises LimitOverrunError
+                    # as ValueError; either spelling means the line
+                    # exceeded ``limit``.
+                    error = RequestTooLargeError(
+                        f"request line exceeds the {limit}-byte limit; "
+                        f"split or shrink the request")
+                    result = {"ok": False, "error": type(error).__name__,
+                              "message": f"{error} ({exc})"}
+                    writer.write((json.dumps(result) + "\n").encode())
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 try:
@@ -654,4 +688,78 @@ async def serve_tcp(service: SolverService, host: str,
         finally:
             writer.close()
 
-    return await asyncio.start_server(handle, host, port)
+    return await asyncio.start_server(handle, host, port, limit=limit)
+
+
+# -- multi-process workers ---------------------------------------------
+
+def _serve_worker(atlas_root: str, requests: List[Dict],
+                  service_kwargs: Dict, traced: bool):
+    """Worker-process entry point for :func:`serve_batch_multiprocess`.
+
+    Builds a private :class:`~repro.serve.atlas.PolicyAtlas` handle and
+    :class:`SolverService` over the shared atlas directory, answers its
+    slice of the batch under a worker-local tracer, and ships the
+    telemetry snapshot back for the parent to merge -- the same
+    worker-count-independent scheme sweep cells use
+    (:func:`repro.runtime.parallel.execute_task_traced`).
+    """
+    async def run() -> List[Dict]:
+        service = SolverService(PolicyAtlas(atlas_root), **service_kwargs)
+        try:
+            return await serve_batch(service, requests)
+        finally:
+            await service.close()
+
+    if not traced:
+        return asyncio.run(run()), None
+    tracer = telemetry.Tracer()
+    with telemetry.use_tracer(tracer):
+        results = asyncio.run(run())
+    return results, tracer.snapshot()
+
+
+def serve_batch_multiprocess(atlas_root, requests: List[Dict],
+                             processes: int,
+                             **service_kwargs) -> List[Dict]:
+    """Answer a batch of JSON requests across worker processes sharing
+    one atlas directory, preserving input order.
+
+    Each worker owns a full :class:`SolverService` (its own event loop,
+    admission control and single-flight table); the shared state is the
+    atlas directory, which is multi-writer-safe by construction
+    (content-addressed filenames + atomic same-content writes), so two
+    workers cold-solving the same cell converge on one entry.  Against
+    a warmed atlas the merged ``serve/*`` and ``atlas/*`` counters are
+    worker-count independent; on cold overlapping requests duplicate
+    solves *across* processes are possible (single-flight is
+    per-process) and only cost time, never consistency.
+
+    ``service_kwargs`` are forwarded to each worker's
+    :class:`SolverService` and must be picklable (no ``solve_fn`` /
+    ``clock`` injection here -- workers use the default backend).
+    """
+    if processes < 1:
+        raise ReproError(f"processes must be >= 1, got {processes!r}")
+    root = str(atlas_root)
+    if processes == 1:
+        return _serve_worker(root, requests, service_kwargs,
+                             traced=False)[0]
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    traced = telemetry.tracing_enabled()
+    results: List[Optional[Dict]] = [None] * len(requests)
+    slices = {i: requests[i::processes] for i in range(processes)}
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        futures = {
+            pool.submit(_serve_worker, root, chunk, service_kwargs,
+                        traced): i
+            for i, chunk in slices.items() if chunk}
+        for future in as_completed(futures):
+            offset = futures[future]
+            worker_results, snapshot = future.result()
+            if snapshot is not None and telemetry.tracing_enabled():
+                telemetry.current_tracer().merge_snapshot(snapshot)
+            for j, result in zip(range(offset, len(requests), processes),
+                                 worker_results):
+                results[j] = result
+    return results  # type: ignore[return-value]

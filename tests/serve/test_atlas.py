@@ -1,5 +1,6 @@
 """Tests for the crash-safe content-addressed policy atlas."""
 
+import dataclasses
 import json
 
 import pytest
@@ -8,7 +9,7 @@ from repro.analysis.store import analysis_to_payload
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
 from repro.core.solve import analyze
-from repro.errors import ArtifactCorruptError
+from repro.errors import ArtifactCorruptError, AtlasQuarantineError
 from repro.serve.atlas import PolicyAtlas, atlas_key, key_digest
 
 
@@ -22,6 +23,17 @@ def payload():
 def make_key(alpha=0.10):
     config = AttackConfig.from_ratio(alpha, (1, 1), setting=1)
     return atlas_key(config, IncentiveModel.COMPLIANT_PROFIT)
+
+
+def put_cell(atlas, payload, alpha):
+    """Store ``payload`` re-keyed to ``alpha`` so the body answers its
+    own key (passes full validation on load)."""
+    config = AttackConfig.from_ratio(alpha, (1, 1), setting=1)
+    key = atlas_key(config, IncentiveModel.COMPLIANT_PROFIT)
+    body = dict(payload)
+    body["config"] = dataclasses.asdict(config)
+    atlas.put(key, body)
+    return key, body
 
 
 def test_put_get_roundtrip(tmp_path, payload):
@@ -145,3 +157,191 @@ def test_nearest_requires_exact_discrete_match(tmp_path, payload):
                                               ad=3),
                       IncentiveModel.NON_PROFIT)
     assert atlas.nearest(other) is None
+
+
+# -- the in-memory index and LRU cache ---------------------------------
+
+
+def test_hot_get_serves_from_cache_zero_disk_reads(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key, body = put_cell(atlas, payload, 0.10)
+    assert atlas.get(key) == body  # one validated disk load
+    assert atlas.stats.disk_reads == 1
+    for _ in range(50):
+        assert atlas.get(key) == body
+    assert atlas.stats.disk_reads == 1  # the hot path never hit disk
+    assert atlas.stats.cache_hits == 50
+    assert atlas.stats.cache_hit_rate() == pytest.approx(50 / 51)
+
+
+def test_lru_cache_is_bounded_and_evicts_oldest(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path, cache_entries=2)
+    keys = [put_cell(atlas, payload, a)[0]
+            for a in (0.10, 0.15, 0.20)]
+    for key in keys:
+        atlas.get(key)
+    assert len(atlas._cache) == 2
+    assert atlas.stats.cache_evictions == 1
+    # The oldest entry was evicted: reading it again goes to disk.
+    before = atlas.stats.disk_reads
+    assert atlas.get(keys[0]) is not None
+    assert atlas.stats.disk_reads == before + 1
+    # The most-recent entry is still hot.
+    before = atlas.stats.disk_reads
+    assert atlas.get(keys[2]) is not None
+    assert atlas.stats.disk_reads == before
+
+
+def test_cache_disabled_still_indexes(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path, cache_entries=0)
+    key, _body = put_cell(atlas, payload, 0.10)
+    assert atlas.get(key) is not None
+    assert atlas.get(key) is not None
+    assert atlas.stats.disk_reads == 2  # every get revalidates
+    assert not atlas._cache
+
+
+def test_put_invalidates_cached_body_not_replaces(tmp_path, payload):
+    """put() must not seed the cache with an unvalidated body: the
+    next read revalidates what actually landed on disk."""
+    atlas = PolicyAtlas(tmp_path)
+    key, body = put_cell(atlas, payload, 0.10)
+    atlas.get(key)  # cached now
+    updated = dict(body, utility=0.999)
+    atlas.put(key, updated)
+    assert key_digest(key) not in atlas._cache
+    before = atlas.stats.disk_reads
+    assert atlas.get(key)["utility"] == pytest.approx(0.999)
+    assert atlas.stats.disk_reads == before + 1
+
+
+def test_quarantine_invalidates_cache_no_stale_body(tmp_path, payload):
+    """After an entry is quarantined its cached body must never be
+    served again -- the cache-coherence half of quarantine."""
+    atlas = PolicyAtlas(tmp_path)
+    key, _body = put_cell(atlas, payload, 0.10)
+    atlas.get(key)  # hot
+    path = atlas.path_for(key_digest(key))
+    atlas.quarantine(path, "operator pulled it")
+    assert atlas.get(key) is None  # not the stale cached body
+    assert key not in atlas
+
+
+def test_index_rebuild_after_restart_matches_disk_exactly(tmp_path,
+                                                          payload):
+    """A fresh instance (the kill-and-restart path) rebuilds the index
+    to exactly the on-disk survivor set."""
+    atlas = PolicyAtlas(tmp_path)
+    survivors = {key_digest(put_cell(atlas, payload, a)[0])
+                 for a in (0.10, 0.15, 0.20)}
+    bad_key, _ = put_cell(atlas, payload, 0.25)
+    bad = atlas.path_for(key_digest(bad_key))
+    bad.write_bytes(bad.read_bytes()[:-16] + b"\xff" * 16)
+
+    fresh = PolicyAtlas(tmp_path)
+    index = fresh.scan()
+    on_disk = {p.stem for p in fresh.entries_dir.glob("*.json")}
+    assert set(index) == on_disk == survivors
+    assert set(fresh._index) == survivors
+
+
+def test_multiwriter_index_miss_falls_through_to_disk(tmp_path,
+                                                      payload):
+    """Two instances sharing one root: a write through one must be
+    visible through the other even though its index never saw it."""
+    writer = PolicyAtlas(tmp_path)
+    reader = PolicyAtlas(tmp_path)
+    reader.scan()  # complete-but-now-stale index
+    key, body = put_cell(writer, payload, 0.10)
+    assert reader.get(key) == body  # fell through to disk
+    assert key in reader
+    # And the reverse: a quarantine by one is discovered by the other.
+    digest = key_digest(key)
+    writer.quarantine(writer.path_for(digest), "testing")
+    reader._cache.pop(digest, None)  # simulate a cold body
+    assert reader.get(key) is None
+    assert digest not in reader._index
+
+
+def test_nearest_hot_query_zero_disk_reads(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    for a in (0.10, 0.15, 0.20, 0.25):
+        put_cell(atlas, payload, a)
+    probe = make_key(0.17)
+    first = atlas.nearest(probe)
+    assert first is not None
+    before = atlas.stats.disk_reads
+    for _ in range(20):
+        assert atlas.nearest(probe) == first
+    assert atlas.stats.disk_reads == before
+
+
+def test_nearest_retries_past_vanished_winner(tmp_path, payload):
+    """If the winning candidate vanishes between index and fetch, the
+    search drops it and falls back to the next-best entry."""
+    atlas = PolicyAtlas(tmp_path)
+    near_key, _ = put_cell(atlas, payload, 0.15)
+    far_key, _ = put_cell(atlas, payload, 0.30)
+    atlas.scan()
+    digest = key_digest(near_key)
+    atlas.path_for(digest).unlink()  # another process quarantined it
+    atlas._cache.pop(digest, None)
+    key, body, _distance = atlas.nearest(make_key(0.10))
+    assert key == far_key
+    assert digest not in atlas._index
+
+
+# -- the __contains__ and quarantine satellites ------------------------
+
+
+def test_contains_rejects_corrupt_entry(tmp_path, payload):
+    """Pinned regression: a merely-existing corrupt file must not
+    count as membership -- ``in`` answers like ``get()`` would."""
+    atlas = PolicyAtlas(tmp_path)
+    key, _body = put_cell(atlas, payload, 0.10)
+    path = atlas.path_for(key_digest(key))
+    path.write_bytes(path.read_bytes()[:-16] + b"\xff" * 16)
+
+    fresh = PolicyAtlas(tmp_path)  # no index entry to shortcut through
+    assert key not in fresh
+    assert fresh.get(key) is None
+    assert not path.exists()  # quarantined by the membership check
+    assert (fresh.quarantine_dir / path.name).exists()
+
+
+def test_contains_index_hit_answers_without_disk(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key, _body = put_cell(atlas, payload, 0.10)
+    before = atlas.stats.disk_reads
+    assert key in atlas  # put() indexed it
+    assert atlas.stats.disk_reads == before
+    assert make_key(0.45) not in atlas
+
+
+def test_quarantine_real_failure_raises_typed_error(tmp_path, payload,
+                                                    monkeypatch):
+    """Pinned regression: a quarantine that fails for a real reason
+    (not a lost race) must raise, never silently leave the corrupt
+    entry in place."""
+    atlas = PolicyAtlas(tmp_path)
+    key, _body = put_cell(atlas, payload, 0.10)
+    path = atlas.path_for(key_digest(key))
+
+    def deny(src, dst):
+        raise PermissionError(13, "Permission denied", str(src))
+
+    monkeypatch.setattr("repro.serve.atlas.os.replace", deny)
+    with pytest.raises(AtlasQuarantineError, match="cannot quarantine"):
+        atlas.quarantine(path, "checksum mismatch")
+    assert atlas.stats.quarantined == 0
+    assert atlas.stats.quarantine_races == 0
+
+
+def test_quarantine_lost_race_is_counted_not_raised(tmp_path, payload):
+    atlas = PolicyAtlas(tmp_path)
+    key, _body = put_cell(atlas, payload, 0.10)
+    path = atlas.path_for(key_digest(key))
+    path.unlink()  # the other process already moved it
+    atlas.quarantine(path, "checksum mismatch")
+    assert atlas.stats.quarantine_races == 1
+    assert atlas.stats.quarantined == 0

@@ -99,3 +99,14 @@ def test_no_faults_means_no_degradation(tmp_path):
                                "corruptions": 0}
     assert all(not r.degraded for r in report.responses)
     assert not report.typed_errors
+
+
+def test_cache_coherence_invariants_hold(tmp_path):
+    """The cache-coherence sweep: corrupt entries behind a built
+    index/cache are never served stale, membership tracks get(), and
+    a restart rebuilds the index to exactly the on-disk survivors."""
+    from repro.serve.chaos import check_cache_invariants
+    violations = check_cache_invariants(tmp_path / "atlas",
+                                        entries=8, cache_entries=5,
+                                        seed=1)
+    assert violations == []

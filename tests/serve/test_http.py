@@ -1,0 +1,180 @@
+"""Tests for the stdlib/asyncio HTTP front-end: round-trips, the
+error-type -> status mapping, and request-size enforcement."""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.incentives import IncentiveModel
+from repro.serve.atlas import PolicyAtlas, atlas_key
+from repro.serve.http import serve_http, status_for
+from repro.serve.service import SolverService
+
+MODEL = IncentiveModel.COMPLIANT_PROFIT
+
+
+def config(alpha=0.25, **kwargs):
+    return AttackConfig.from_ratio(alpha, (2, 3), setting=1, **kwargs)
+
+
+def fake_payload(cfg, utility=0.5):
+    return {"schema": 1, "kind": "attack-analysis",
+            "config": dataclasses.asdict(cfg), "model": MODEL.value,
+            "utility": utility, "honest_utility": cfg.alpha,
+            "rates": {}, "policy": {}}
+
+
+async def request(port, method, path, body=b"", extra_headers=""):
+    """One raw HTTP/1.1 exchange; returns ``(status, json_payload)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: test\r\nContent-Length: {len(body)}\r\n"
+            f"{extra_headers}\r\n")
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = None
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = json.loads(await reader.readexactly(length))
+    writer.close()
+    return status, payload
+
+
+def serve(tmp_path, solve_fn=None, prewarm=(), max_body=1 << 20,
+          **service_kwargs):
+    """Run ``scenario(service, port)`` against a live HTTP server."""
+
+    def runner(scenario):
+        async def run():
+            atlas = PolicyAtlas(tmp_path / "atlas")
+            for cfg, utility in prewarm:
+                atlas.put(atlas_key(cfg, MODEL),
+                          fake_payload(cfg, utility))
+            service = SolverService(atlas, solve_fn=solve_fn)
+            for name, value in service_kwargs.items():
+                setattr(service, name, value)
+            server = await serve_http(service, "127.0.0.1", 0,
+                                      max_body=max_body)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await scenario(service, port)
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.close()
+
+        return asyncio.run(run())
+
+    return runner
+
+
+def test_solve_and_health_round_trip(tmp_path):
+    cfg = config(0.20)
+
+    async def scenario(service, port):
+        body = json.dumps({"alpha": 0.20, "ratio": "2:3"}).encode()
+        solve = await request(port, "POST", "/solve", body)
+        health = await request(port, "GET", "/health")
+        return solve, health
+
+    (st, answer), (hst, health) = serve(
+        tmp_path, prewarm=[(cfg, 0.77)])(scenario)
+    assert st == 200
+    assert answer["ok"] and answer["source"] == "atlas"
+    assert answer["utility"] == pytest.approx(0.77)
+    assert hst == 200
+    assert health["status"] == "serving"
+    assert health["atlas_entries"] == 1
+    assert health["service"]["atlas_hits"] == 1
+    assert set(health["cache"]) == {"hits", "misses", "evictions",
+                                    "hit_rate", "disk_reads"}
+
+
+def test_malformed_json_is_400(tmp_path):
+    async def scenario(service, port):
+        return await request(port, "POST", "/solve", b"{not json")
+
+    status, payload = serve(tmp_path)(scenario)
+    assert status == 400
+    assert payload["ok"] is False
+    assert payload["error"] == "JSONDecodeError"
+
+
+def test_unknown_path_404_and_wrong_method_405(tmp_path):
+    async def scenario(service, port):
+        missing = await request(port, "GET", "/nope")
+        wrong = await request(port, "PUT", "/solve")
+        return missing, wrong
+
+    (mst, missing), (wst, wrong) = serve(tmp_path)(scenario)
+    assert mst == 404 and missing["error"] == "NotFound"
+    assert wst == 405 and wrong["error"] == "MethodNotAllowed"
+
+
+def test_oversized_body_is_413_without_buffering(tmp_path):
+    async def scenario(service, port):
+        return await request(port, "POST", "/solve", b"x" * 4096)
+
+    status, payload = serve(tmp_path, max_body=1024)(scenario)
+    assert status == 413
+    assert payload["error"] == "RequestTooLargeError"
+    assert "1024" in payload["message"]
+
+
+def test_overload_maps_to_429(tmp_path):
+    release = asyncio.Event()
+
+    async def solve(request_, deadline):
+        await release.wait()
+        return fake_payload(request_.config)
+
+    async def scenario(service, port):
+        service.max_pending = 1
+        leader = asyncio.ensure_future(request(
+            port, "POST", "/solve",
+            json.dumps({"alpha": 0.20, "ratio": "2:3"}).encode()))
+        await asyncio.sleep(0.05)  # leader occupies the only slot
+        status, payload = await request(
+            port, "POST", "/solve",
+            json.dumps({"alpha": 0.25, "ratio": "2:3"}).encode())
+        release.set()
+        await leader
+        return status, payload
+
+    status, payload = serve(tmp_path, solve_fn=solve)(scenario)
+    assert status == 429
+    assert payload["error"] == "ServiceOverloadError"
+
+
+def test_shutdown_maps_to_503(tmp_path):
+    async def scenario(service, port):
+        await service.close()
+        return await request(
+            port, "POST", "/solve",
+            json.dumps({"alpha": 0.20, "ratio": "2:3"}).encode())
+
+    status, payload = serve(tmp_path)(scenario)
+    assert status == 503
+    assert payload["error"] == "ServiceShutdownError"
+
+
+def test_status_for_mapping_table():
+    assert status_for({"ok": True}) == 200
+    assert status_for({"ok": False,
+                       "error": "ServiceOverloadError"}) == 429
+    assert status_for({"ok": False,
+                       "error": "ServiceShutdownError"}) == 503
+    assert status_for({"ok": False,
+                       "error": "SolveDeadlineError"}) == 504
+    assert status_for({"ok": False, "error": "SolverError"}) == 500
+    assert status_for({"ok": False, "error": "ReproError"}) == 400

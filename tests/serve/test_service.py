@@ -400,3 +400,114 @@ def test_telemetry_counters_prove_coalescing(tmp_path):
     assert counters["serve/solves"] == 1
     assert counters["serve/atlas_hits"] == 1
     assert service.stats.coalesce_hit_rate() == pytest.approx(0.6)
+
+
+# -- the TCP front-end's oversized-request satellite -------------------
+
+
+def test_tcp_oversized_line_gets_typed_error_not_dropped(tmp_path):
+    """Pinned regression: a request line past the stream limit used to
+    raise out of readline() and silently drop the connection; it must
+    answer with the typed error instead, and the listener must keep
+    serving new connections."""
+    import json
+
+    async def solve(request, deadline):
+        return fake_payload(request.config,
+                            utility=request.config.alpha)
+
+    async def run():
+        from repro.serve.service import serve_tcp
+        service = make_service(tmp_path, solve)
+        server = await serve_tcp(service, "127.0.0.1", 0, limit=4096)
+        port = server.sockets[0].getsockname()[1]
+
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       port)
+        writer.write(b'{"alpha": 0.2, "pad": "' + b"x" * 8192 +
+                     b'"}\n')
+        await writer.drain()
+        oversized = json.loads(await reader.readline())
+        writer.close()
+
+        # The listener survived: a fresh connection still solves.
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       port)
+        writer.write(b'{"alpha": 0.2, "ratio": "2:3"}\n')
+        await writer.drain()
+        answered = json.loads(await reader.readline())
+        writer.close()
+
+        server.close()
+        await server.wait_closed()
+        await service.close()
+        return oversized, answered
+
+    oversized, answered = asyncio.run(run())
+    assert oversized["ok"] is False
+    assert oversized["error"] == "RequestTooLargeError"
+    assert "limit" in oversized["message"]
+    assert answered["ok"] is True
+    assert answered["utility"] == pytest.approx(0.2)
+
+
+# -- multi-process workers over one shared atlas -----------------------
+
+
+def prewarm(tmp_path, alphas):
+    atlas = PolicyAtlas(tmp_path / "atlas")
+    for alpha in alphas:
+        cfg = config(alpha)
+        atlas.put(atlas_key(cfg, MODEL),
+                  fake_payload(cfg, utility=alpha))
+    return tmp_path / "atlas"
+
+
+def test_serve_batch_multiprocess_preserves_order(tmp_path):
+    from repro.serve.service import serve_batch_multiprocess
+    alphas = [0.20, 0.25, 0.30]
+    root = prewarm(tmp_path, alphas)
+    requests = [{"alpha": a, "ratio": "2:3"}
+                for a in alphas * 2]  # six requests over two workers
+    results = serve_batch_multiprocess(root, requests, processes=2)
+    assert len(results) == len(requests)
+    assert all(r["ok"] for r in results)
+    assert all(r["source"] == "atlas" for r in results)
+    for request, result in zip(requests, results):
+        assert result["utility"] == pytest.approx(request["alpha"])
+
+
+def test_serve_batch_multiprocess_single_process_path(tmp_path):
+    from repro.serve.service import serve_batch_multiprocess
+    root = prewarm(tmp_path, [0.20])
+    results = serve_batch_multiprocess(
+        root, [{"alpha": 0.20, "ratio": "2:3"}], processes=1)
+    assert results[0]["ok"] and results[0]["source"] == "atlas"
+    with pytest.raises(Exception, match="processes"):
+        serve_batch_multiprocess(root, [], processes=0)
+
+
+def test_serve_batch_multiprocess_merges_worker_telemetry(tmp_path):
+    """Counters must be worker-count-independent over a prewarmed
+    atlas (cold solves may duplicate across processes -- single-flight
+    is per-process -- but hits cannot)."""
+    from repro.runtime import telemetry
+    from repro.serve.service import serve_batch_multiprocess
+
+    alphas = [0.20, 0.25, 0.30, 0.35]
+    root = prewarm(tmp_path, alphas)
+    requests = [{"alpha": a, "ratio": "2:3"} for a in alphas * 2]
+
+    def counters(processes):
+        tracer = telemetry.enable_tracing()
+        try:
+            results = serve_batch_multiprocess(root, requests,
+                                               processes=processes)
+        finally:
+            telemetry.disable_tracing()
+        assert all(r["ok"] for r in results)
+        return tracer.snapshot()["counters"]
+
+    one, two = counters(1), counters(2)
+    for name in ("serve/requests", "serve/atlas_hits"):
+        assert one[name] == two[name] == len(requests)
