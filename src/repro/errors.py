@@ -55,6 +55,14 @@ class SolverInputError(SolverError):
     tolerance, empty channel mappings, invalid bracket, ...)."""
 
 
+class SchedulerSpecError(SolverInputError):
+    """A scheduler spec is malformed -- empty or missing ``nodes``,
+    zero/negative/non-numeric slot or worker counts -- and was rejected
+    at parse time, before any pool is constructed.  Subclass of
+    :class:`SolverInputError` so supervised sweeps treat it as a
+    non-retryable caller mistake."""
+
+
 class SolverDivergedError(SolverError):
     """A solver produced non-finite intermediate or final values (NaN
     or infinite gains/ratios) instead of a usable solution."""

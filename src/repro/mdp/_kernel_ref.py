@@ -36,7 +36,8 @@ import numpy as np
 #: Names of the kernels a backend implementation must provide, in the
 #: order :func:`repro.mdp._numba_backend.load_kernels` compiles them.
 KERNEL_NAMES = ("q_values", "q_backup_max", "q_backup_greedy",
-                "extract_rows", "advance_cdf", "advance_alias")
+                "q_backup_states", "extract_rows", "advance_cdf",
+                "advance_alias")
 
 
 def q_values(indptr, indices, data, reward, values, discount,
@@ -130,6 +131,45 @@ def q_backup_greedy(indptr, indices, data, reward, values, discount,
         best[s] = top
         policy[s] = top_a
     return q, best, policy
+
+
+def q_backup_states(indptr, indices, data, reward, values, states,
+                    discount, available):
+    """Subset variant of :func:`q_backup_max`: fused backup + max +
+    first-maximizer argmax over the given ``states`` only.
+
+    Returns ``(best, policy)`` arrays of length ``len(states)``, equal
+    bit-for-bit to ``q_backup_max(...)`` sliced at ``states`` -- same
+    left-to-right row accumulation, same discount-then-reward order,
+    same tie-break.  This is the prioritized-sweeping kernel: the
+    asynchronous engine backs up only the high-residual states it
+    popped off the priority queue.
+    """
+    n_actions, n_states = reward.shape
+    k = states.shape[0]
+    best = np.empty(k)
+    policy = np.zeros(k, dtype=np.int64)
+    for i in range(k):
+        s = states[i]
+        top = -np.inf
+        top_a = 0
+        for a in range(n_actions):
+            if available[a, s]:
+                acc = 0.0
+                row = a * n_states + s
+                for jj in range(indptr[row], indptr[row + 1]):
+                    acc += data[jj] * values[indices[jj]]
+                if discount != 1.0:
+                    acc *= discount
+                v = acc + reward[a, s]
+            else:
+                v = -np.inf
+            if v > top:
+                top = v
+                top_a = a
+        best[i] = top
+        policy[i] = top_a
+    return best, policy
 
 
 def extract_rows(indptr, indices, data, rows):

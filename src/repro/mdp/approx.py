@@ -1,0 +1,492 @@
+"""Approximate large-state engine: prioritized asynchronous value
+iteration with certified a-posteriori error bounds.
+
+The exact solvers (:mod:`repro.mdp.policy_iteration`, the LP) factorize
+an ``(N+1)``-dimensional linear system per candidate policy, which caps
+the lookahead/fork-length truncation of the paper's attack MDPs.  This
+module trades per-iteration exactness for scalability while staying
+*provably honest*: every :class:`ApproxSolution` carries a certified
+suboptimality bound derived from quantities the solve already computed.
+
+Algorithm
+---------
+A damped (aperiodicity-transformed) asynchronous value iteration over
+the stacked CSR kernel:
+
+1. **Full sweeps** apply the damped Bellman operator
+   ``T_tau(h) = (1 - tau) h + tau T(h)`` to every state, refresh the
+   per-state Bellman residuals ``|T_tau(h) - h|`` and test convergence
+   on the residual span (exactly like
+   :func:`repro.mdp.average_reward.relative_value_iteration`).
+2. **Prioritized rounds** between full sweeps pop the highest-residual
+   states off a Bellman-residual priority queue and back up only those
+   (the ``q_backup_states`` subset kernel), updating values in place so
+   later pops see earlier results -- the classic prioritized-sweeping
+   acceleration restricted to the states that still matter.
+
+The prioritized rounds are a heuristic acceleration with no
+average-reward convergence guarantee, so the engine self-monitors:
+pure damped sweeps are span-nonexpansive, hence a residual span that
+*grew* between two full sweeps can only have been caused by the
+asynchronous rounds in between.  On the first such regression the
+engine rolls back to the last full-sweep iterate and degrades to plain
+damped RVI (counted in ``solver/approx/degraded``), which does
+converge -- the acceleration can cost sweeps, never correctness.
+
+A-posteriori bound
+------------------
+For *any* value vector ``h``, the one-step change
+``d = T_tau(h) - h = tau (T(h) - h)`` brackets the optimal gain of a
+weakly-communicating MDP: ``min(d)/tau <= g* <= max(d)/tau``.  On
+termination the engine exactly evaluates the final greedy policy
+``pi`` through the LU-backed :class:`~repro.mdp.kernels.PolicyEvalCache`
+(one factorization, reward-independent and cached), giving an
+achievable gain ``g_pi <= g*``.  Hence
+
+    ``0 <= g* - g_pi <= max(d)/tau - g_pi =: bound``
+
+is a certificate computed entirely a posteriori: the reported ``gain``
+is *exact for the returned policy* and the true optimum exceeds it by
+at most ``bound``.  With ``certify=False`` the engine skips the exact
+evaluation and reports the RVI-style gain estimate ``d[ref]/tau`` with
+the (still rigorous, but wider) bracket width ``span(d)/tau`` as the
+bound.
+
+State aggregation
+-----------------
+An optional ``partition`` map (state -> block id) builds an aggregated
+model -- uniform intra-block weights, an action available on a block
+iff it is available for **every** member -- solves it with a small
+dense-ish RVI, and lifts the block values back to the full state space
+as a warm start.  Aggregation only ever shapes the *starting point*;
+the bound is always certified against the full model, so a bad
+partition costs sweeps, never correctness.
+
+Engine selection
+----------------
+The ``--engine`` CLI flag (``exact`` | ``approx``) mirrors the ratio
+method registry: explicit :func:`set_engine` beats the ``REPRO_ENGINE``
+environment variable beats the ``exact`` default.  The supervisor and
+the direct ratio path only route through this engine when the model has
+at least :data:`APPROX_MIN_STATES` states -- below the threshold exact
+solvers are both faster and tighter, so approx defers to them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError, SolverInputError
+from repro.mdp.kernels import note_q_backups, q_backup_max, \
+    q_backup_states
+from repro.mdp.model import MDP
+from repro.mdp.policy_iteration import AverageRewardSolution, \
+    evaluate_policy
+from repro.runtime.telemetry import counter_add, gauge_set, span
+
+#: Engine names accepted by :func:`set_engine` / ``--engine``.
+ENGINE_NAMES = ("exact", "approx")
+
+#: Environment variable consulted when no explicit engine is set (how
+#: the CLI reaches spawned worker processes).
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Below this state count the supervisor and the ratio path ignore the
+#: approx engine and keep the exact solvers: a sparse LU on a small
+#: system beats thousands of damped sweeps, and its answer is exact.
+APPROX_MIN_STATES = 100_000
+
+#: The last explicitly-selected engine (beats the environment).
+_engine: Optional[str] = None
+
+
+def set_engine(name: str) -> str:
+    """Select the process-global solve engine by name.
+
+    Unknown names raise :class:`~repro.errors.SolverInputError`; the
+    selection beats :data:`ENGINE_ENV` until :func:`reset_engine`.
+    """
+    global _engine
+    if name not in ENGINE_NAMES:
+        raise SolverInputError(
+            f"unknown engine {name!r}; expected one of {ENGINE_NAMES}")
+    _engine = name
+    return name
+
+
+def current_engine() -> str:
+    """The engine the ratio path will use: explicit
+    :func:`set_engine` > ``REPRO_ENGINE`` > ``"exact"``."""
+    if _engine is not None:
+        return _engine
+    env = os.environ.get(ENGINE_ENV, "").strip()
+    if env:
+        if env not in ENGINE_NAMES:
+            raise SolverInputError(
+                f"{ENGINE_ENV}={env!r} names an unknown engine; "
+                f"expected one of {ENGINE_NAMES}")
+        return env
+    return "exact"
+
+
+def reset_engine() -> None:
+    """Forget the explicit selection; the next
+    :func:`current_engine` re-resolves from the environment.
+    Intended for tests."""
+    global _engine
+    _engine = None
+
+
+def engine_prefers_approx(mdp: MDP) -> bool:
+    """Whether the current engine routes ``mdp`` to the approximate
+    solver (``--engine approx`` *and* at least
+    :data:`APPROX_MIN_STATES` states -- smaller models always take the
+    exact path)."""
+    return current_engine() == "approx" \
+        and mdp.n_states >= APPROX_MIN_STATES
+
+
+@dataclass
+class ApproxSolution(AverageRewardSolution):
+    """An :class:`~repro.mdp.policy_iteration.AverageRewardSolution`
+    with the approximate engine's certificate attached.
+
+    Attributes
+    ----------
+    bound:
+        Certified suboptimality bound: the optimal gain exceeds
+        ``gain`` by at most this much (see the module docstring for
+        the derivation).
+    sweeps:
+        Number of full damped sweeps performed.
+    queue_pops:
+        Number of states popped off the Bellman-residual priority
+        queue across all prioritized rounds.
+    aggregated_states:
+        Number of blocks of the aggregation warm start (0 when no
+        partition was given).
+    certified:
+        Whether ``gain`` is the exact gain of ``policy`` (one LU-backed
+        policy evaluation) rather than the RVI-style estimate.
+    """
+
+    bound: float = float("inf")
+    sweeps: int = 0
+    queue_pops: int = 0
+    aggregated_states: int = 0
+    certified: bool = True
+
+
+def _validate_partition(mdp: MDP, partition) -> np.ndarray:
+    part = np.asarray(partition, dtype=np.int64)
+    if part.shape != (mdp.n_states,):
+        raise SolverInputError(
+            f"partition has shape {part.shape}, expected "
+            f"({mdp.n_states},)")
+    if part.size and part.min() < 0:
+        raise SolverInputError("partition contains negative block ids")
+    counts = np.bincount(part)
+    if (counts == 0).any():
+        missing = int(np.flatnonzero(counts == 0)[0])
+        raise SolverInputError(
+            f"partition block {missing} is empty; block ids must be "
+            "contiguous from 0")
+    return part
+
+
+def _aggregate_warm_start(mdp: MDP, reward: np.ndarray,
+                          part: np.ndarray, tau: float,
+                          epsilon: float, max_iter: int = 20_000
+                          ) -> Tuple[np.ndarray, int]:
+    """Solve the block-aggregated model and lift its bias to the full
+    state space.
+
+    Aggregation uses uniform intra-block weights; an action is
+    available on a block iff it is available for every member (so the
+    aggregate never mixes defined and undefined rows).  Returns the
+    lifted ``(N,)`` warm-start vector and the block count.
+    """
+    n, a = mdp.n_states, mdp.n_actions
+    n_blocks = int(part.max()) + 1 if part.size else 0
+    counts = np.bincount(part, minlength=n_blocks).astype(float)
+    states = np.arange(n)
+    # Indicator (N, B) and uniform-weight (B, N) membership matrices.
+    ind = sparse.csr_matrix(
+        (np.ones(n), (states, part)), shape=(n, n_blocks))
+    lift = sparse.csr_matrix(
+        (1.0 / counts[part], (part, states)), shape=(n_blocks, n))
+    avail = np.empty((a, n_blocks), dtype=bool)
+    for ai in range(a):
+        member_avail = np.bincount(
+            part, weights=mdp.available[ai], minlength=n_blocks)
+        avail[ai] = member_avail == counts
+    if not avail.any(axis=0).all():
+        block = int(np.flatnonzero(~avail.any(axis=0))[0])
+        raise SolverInputError(
+            f"aggregation block {block} has no action available for "
+            "all of its members; refine the partition")
+    p_agg = [(lift @ mdp.transition[ai] @ ind).toarray()
+             for ai in range(a)]
+    r_agg = np.stack([lift @ reward[ai] for ai in range(a)])
+    # Small damped RVI on the aggregate; convergence is best-effort --
+    # the result is only a warm start, certified later on the full
+    # model.
+    ref = int(part[mdp.start])
+    h = np.zeros(n_blocks)
+    q = np.empty((a, n_blocks))
+    for _ in range(max_iter):
+        for ai in range(a):
+            q[ai] = p_agg[ai].dot(h) + r_agg[ai]
+        q[~avail] = -np.inf
+        new_h = (1.0 - tau) * h + tau * q.max(axis=0)
+        width = (new_h - h).max() - (new_h - h).min()
+        h = new_h - new_h[ref]
+        if width < epsilon * tau:
+            break
+    counter_add("solver/approx/agg_solves")
+    return h[part], n_blocks
+
+
+def approx_average_reward(mdp: MDP, reward: np.ndarray,
+                          epsilon: float = 1e-8,
+                          max_sweeps: int = 500_000,
+                          tau: float = 0.9,
+                          queue_fraction: float = 0.25,
+                          full_every: int = 8,
+                          partition=None,
+                          v0: Optional[np.ndarray] = None,
+                          certify: bool = True,
+                          on_iter: Optional[Callable[[int], None]] = None
+                          ) -> ApproxSolution:
+    """Solve an average-reward MDP approximately, with a certificate.
+
+    Parameters
+    ----------
+    mdp, reward:
+        The model and a precombined ``(A, N)`` reward array.
+    epsilon:
+        Convergence threshold on the span of the one-step change of a
+        full damped sweep (the same criterion as
+        :func:`~repro.mdp.average_reward.relative_value_iteration`).
+    max_sweeps:
+        Budget on rounds (full sweeps + prioritized rounds combined).
+    tau:
+        Damping factor of the aperiodicity transformation.
+    queue_fraction:
+        Fraction of the state space popped per prioritized round (the
+        highest-residual states).
+    full_every:
+        A full sweep every this many rounds; the rounds in between are
+        prioritized subset backups.  ``full_every=1`` degenerates to
+        plain damped RVI.
+    partition:
+        Optional ``(N,)`` block-id map enabling the aggregation warm
+        start (see the module docstring).
+    v0:
+        Optional warm-start value vector (re-pinned at the reference
+        state); mutually amplifying with ``partition`` -- an explicit
+        ``v0`` wins.
+    certify:
+        Exactly evaluate the final greedy policy (one cached LU) so
+        ``gain`` is exact-for-policy and ``bound`` is the tight
+        ``max(d)/tau - gain`` certificate.  With ``False`` the gain is
+        the RVI-style estimate and ``bound`` the full bracket width.
+    on_iter:
+        Optional per-round hook for budget supervision.
+    """
+    if not 0 < tau <= 1:
+        raise SolverInputError("tau must lie in (0, 1]")
+    if not 0 < queue_fraction <= 1:
+        raise SolverInputError("queue_fraction must lie in (0, 1]")
+    if full_every < 1:
+        raise SolverInputError("full_every must be >= 1")
+    if not epsilon > 0:
+        raise SolverInputError("epsilon must be > 0")
+    reward = np.asarray(reward, dtype=float)
+    if reward.shape != (mdp.n_actions, mdp.n_states):
+        raise SolverInputError(
+            f"reward has shape {reward.shape}, expected "
+            f"({mdp.n_actions}, {mdp.n_states})")
+    n = mdp.n_states
+    ref = mdp.start
+    aggregated_states = 0
+    if v0 is None and partition is not None:
+        part = _validate_partition(mdp, partition)
+        v0, aggregated_states = _aggregate_warm_start(
+            mdp, reward, part, tau, epsilon)
+    if v0 is None:
+        h = np.zeros(n)
+    else:
+        h = np.asarray(v0, dtype=float)
+        if h.shape != (n,):
+            raise SolverInputError(
+                f"v0 has shape {h.shape}, expected ({n},)")
+        if not np.all(np.isfinite(h)):
+            raise SolverInputError("v0 contains non-finite entries")
+        h = h - h[ref]
+        counter_add("solver/approx/warm_starts")
+    # Bellman-residual priorities: per-state deviation of the damped
+    # one-step change from the uniform drift ``d[ref]`` (raw ``|d|``
+    # would never drain -- at the fixed point every state still moves
+    # by ``tau * g`` per sweep).
+    priority = np.full(n, np.inf)
+    # Pop-at-most-once discipline: between two full sweeps each state
+    # is backed up at most one extra time.  Re-popping the same states
+    # against a frozen drift estimate amplifies the estimate's error
+    # by the inverse leak rate of the popped subsystem -- an unstable
+    # resonance; one pop per cycle bounds the error per cycle and the
+    # next full sweep re-pins everything.
+    updated = np.zeros(n, dtype=bool)
+    pops_per_round = max(1, int(round(queue_fraction * n)))
+    backups = 0
+    sweeps = 0
+    queue_pops = 0
+    drift = 0.0
+    d = None
+    greedy = None
+    converged = False
+    force_full = True
+    rounds = 0
+    # Stability monitor.  Pure damped sweeps are span-nonexpansive, so
+    # between two full sweeps the residual span can only grow if the
+    # prioritized rounds in between expanded it -- asynchronous
+    # average-reward backups are a heuristic acceleration with no
+    # convergence guarantee (periodic chains can resonate).  On the
+    # first regression the engine restores the last full-sweep iterate
+    # and degrades to plain damped RVI (``full_every=1`` behaviour),
+    # which does converge; acceleration is only ever a speed bet.
+    stable = True
+    prev_width = float("inf")
+    h_safe: Optional[np.ndarray] = None
+    try:
+        with span("solve/average/approx"):
+            while rounds < max_sweeps:
+                rounds += 1
+                if on_iter is not None:
+                    on_iter(rounds)
+                if not stable or force_full \
+                        or rounds % full_every == 0:
+                    # Full damped sweep: refresh residuals, the drift
+                    # (gain) estimate and the greedy policy, and test
+                    # convergence on the span.
+                    force_full = False
+                    backups += 1
+                    sweeps += 1
+                    t_h, greedy = q_backup_max(mdp, reward, h)
+                    new_h = (1.0 - tau) * h + tau * t_h
+                    d = new_h - h
+                    width = d.max() - d.min()
+                    if stable and h_safe is not None \
+                            and not width <= prev_width * (1 + 1e-12):
+                        # The span grew (or went non-finite, which the
+                        # inverted comparison also catches): the
+                        # prioritized rounds destabilized this model.
+                        # Roll back and run plain damped RVI from here.
+                        h = h_safe
+                        stable = False
+                        counter_add("solver/approx/degraded")
+                        continue
+                    drift = float(d[ref])
+                    np.abs(d - drift, out=priority)
+                    h = new_h - new_h[ref]
+                    updated[:] = False
+                    if width < epsilon * tau:
+                        converged = True
+                        break
+                    if stable:
+                        prev_width = width
+                        h_safe = h.copy()
+                    continue
+                # Prioritized round: pop the highest-residual states
+                # not yet touched this cycle and back up only those,
+                # in place.  The update is gain-neutralized (the
+                # uniform drift is subtracted): undiscounted values
+                # grow by ~``tau * g`` per backup, so without the
+                # correction popped states would outrun the rest and
+                # the span would never close.
+                candidates = np.flatnonzero(
+                    ~updated & (priority > epsilon * tau))
+                if candidates.size == 0:
+                    # Queue drained; full-sweep next round to either
+                    # converge or refill it.
+                    force_full = True
+                    continue
+                if candidates.size > pops_per_round:
+                    top = np.argpartition(
+                        priority[candidates],
+                        candidates.size - pops_per_round
+                    )[candidates.size - pops_per_round:]
+                    popped = candidates[top]
+                else:
+                    popped = candidates
+                backups += 1
+                queue_pops += int(popped.size)
+                best, _ = q_backup_states(mdp, reward, h, popped)
+                change = (1.0 - tau) * h[popped] + tau * best \
+                    - h[popped] - drift
+                priority[popped] = np.abs(change)
+                h[popped] += change
+                updated[popped] = True
+                h = h - h[ref]
+    finally:
+        counter_add("solver/approx/sweeps", sweeps)
+        counter_add("solver/approx/queue_pops", queue_pops)
+        note_q_backups(backups)
+    if not converged:
+        span_left = float(d.max() - d.min()) if d is not None \
+            else float("inf")
+        raise SolverError(
+            f"approximate value iteration did not converge in "
+            f"{max_sweeps} rounds (residual span {span_left!r})")
+    policy = np.asarray(greedy, dtype=int)
+    upper = float(d.max()) / tau
+    if certify:
+        gain, bias = evaluate_policy(mdp, policy, reward)
+        bound = max(0.0, upper - gain)
+    else:
+        gain = float(d[ref]) / tau
+        bias = h
+        bound = float(d.max() - d.min()) / tau
+    counter_add("solver/approx/solves")
+    gauge_set("solver/approx/bound", float(bound))
+    return ApproxSolution(gain=float(gain), bias=bias, policy=policy,
+                          iterations=rounds, bound=float(bound),
+                          sweeps=sweeps, queue_pops=queue_pops,
+                          aggregated_states=aggregated_states,
+                          certified=certify)
+
+
+def approx_average_solver(epsilon: float = 1e-8,
+                          tau: float = 0.9,
+                          queue_fraction: float = 0.25,
+                          full_every: int = 8,
+                          max_sweeps: int = 500_000,
+                          partition=None,
+                          on_iter: Optional[Callable[[int], None]] = None):
+    """An :data:`~repro.mdp.ratio.AverageRewardSolver` running the
+    approximate engine -- the plug-in point that puts ``--engine
+    approx`` under :func:`repro.mdp.ratio.maximize_ratio`.
+
+    Warm starts thread through naturally: the ratio solvers hand each
+    inner solve the previous iterate's bias, which becomes this
+    engine's ``v0`` (the aggregation warm start only fires on the cold
+    first call).
+    """
+
+    def solve(mdp: MDP, reward: np.ndarray, warm) -> ApproxSolution:
+        v0 = None
+        if warm is not None and warm.bias is not None:
+            v0 = warm.bias
+        return approx_average_reward(
+            mdp, reward, epsilon=epsilon, max_sweeps=max_sweeps,
+            tau=tau, queue_fraction=queue_fraction,
+            full_every=full_every,
+            partition=partition if v0 is None else None,
+            v0=v0, certify=True, on_iter=on_iter)
+
+    return solve

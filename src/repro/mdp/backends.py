@@ -93,6 +93,26 @@ class NumpyBackend:
         return q, q.max(axis=0), np.asarray(q.argmax(axis=0),
                                             dtype=np.int64)
 
+    def q_backup_states(self, kernel, reward: np.ndarray,
+                        values: np.ndarray, states: np.ndarray,
+                        discount: float = 1.0):
+        """Subset backup over ``states`` only (the prioritized-sweep
+        kernel): row-slice the stack at every (action, state) pair of
+        the subset, then the same dot/discount/add/mask sequence as
+        the full backup -- bit-identical to slicing its result."""
+        states = np.asarray(states, dtype=np.int64)
+        rows = (np.arange(kernel.n_actions, dtype=np.int64)[:, None]
+                * kernel.n_states + states).ravel()
+        q = kernel.stack[rows].dot(values).reshape(kernel.n_actions,
+                                                   states.size)
+        if discount != 1.0:
+            q *= discount
+        q += reward[:, states]
+        if not kernel._all_available:
+            q[~kernel.available[:, states]] = -np.inf
+        return q.max(axis=0), np.asarray(q.argmax(axis=0),
+                                         dtype=np.int64)
+
     def policy_matrix(self, kernel, rows: np.ndarray):
         return kernel.stack[rows]
 
@@ -170,6 +190,15 @@ class LoopBackend:
                                           stack.data, reward, values,
                                           float(discount),
                                           kernel.available)
+
+    def q_backup_states(self, kernel, reward: np.ndarray,
+                        values: np.ndarray, states: np.ndarray,
+                        discount: float = 1.0):
+        stack = kernel.stack
+        return self._k["q_backup_states"](
+            stack.indptr, stack.indices, stack.data, reward, values,
+            np.asarray(states, dtype=np.int64), float(discount),
+            kernel.available)
 
     def policy_matrix(self, kernel, rows: np.ndarray):
         stack = kernel.stack

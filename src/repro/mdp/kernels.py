@@ -144,6 +144,19 @@ def q_backup_greedy(mdp, reward: np.ndarray, values: np.ndarray,
                                              values, discount)
 
 
+def q_backup_states(mdp, reward: np.ndarray, values: np.ndarray,
+                    states: np.ndarray, discount: float = 1.0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused Q-backup over a *subset* of states: ``(best, policy)``
+    arrays of length ``len(states)``, bit-identical to slicing
+    :func:`q_backup_max`'s result at ``states``.  The sweep shape of
+    the prioritized asynchronous engine (:mod:`repro.mdp.approx`),
+    which backs up only the states popped off its residual queue."""
+    return backends.active().q_backup_states(
+        mdp.kernel(), reward, values,
+        np.asarray(states, dtype=np.int64), discount)
+
+
 def note_q_backups(count: int) -> None:
     """Flush a solver's locally-accumulated backup count into the
     ``kernel/q_backups`` counter (and the per-backend detail) once per

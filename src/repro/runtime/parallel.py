@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AttackConfig
 from repro.core.incentives import IncentiveModel
-from repro.errors import ReproError
+from repro.errors import ReproError, SchedulerSpecError
 from repro.runtime import telemetry
 
 #: Task kinds understood by :func:`execute_task`.
@@ -248,7 +248,7 @@ class ProcessScheduler(Scheduler):
 
     def __init__(self, workers: Optional[int] = None) -> None:
         if workers is not None and workers < 1:
-            raise ReproError(
+            raise SchedulerSpecError(
                 f"scheduler workers must be >= 1, got {workers!r}")
         self.workers = workers
 
@@ -274,19 +274,31 @@ class SpecScheduler(ProcessScheduler):
     name = "spec"
 
     def __init__(self, spec: Dict) -> None:
-        nodes = spec.get("nodes")
+        nodes = spec.get("nodes") if isinstance(spec, dict) else None
         if not nodes:
-            raise ReproError("scheduler spec has no nodes")
+            # Parse-time rejection: an empty (or missing) node list
+            # used to flow through as slots=0 and blow up only deep
+            # inside run_cells when the 0-worker pool was built.
+            raise SchedulerSpecError("scheduler spec has no nodes")
         slots = 0
         for node in nodes:
+            if not isinstance(node, dict):
+                raise SchedulerSpecError(
+                    f"scheduler spec node must be an object, got "
+                    f"{node!r}")
             host = node.get("host", "local")
             if host not in ("local", "localhost"):
                 raise ReproError(
                     f"scheduler spec names remote host {host!r}; "
                     "remote dispatch is not implemented yet")
-            n = int(node.get("slots", 1))
+            try:
+                n = int(node.get("slots", 1))
+            except (TypeError, ValueError):
+                raise SchedulerSpecError(
+                    "scheduler spec node has invalid slots "
+                    f"{node.get('slots')!r}") from None
             if n < 1:
-                raise ReproError(
+                raise SchedulerSpecError(
                     f"scheduler spec node has invalid slots {n!r}")
             slots += n
         super().__init__(slots)
@@ -312,10 +324,16 @@ def make_scheduler(spec: str) -> Scheduler:
     if spec.startswith("process:"):
         count = spec.split(":", 1)[1]
         try:
-            return ProcessScheduler(int(count))
+            workers = int(count)
         except ValueError:
-            raise ReproError(
-                f"invalid process scheduler worker count {count!r}")
+            raise SchedulerSpecError(
+                f"invalid process scheduler worker count "
+                f"{count!r}") from None
+        # ProcessScheduler rejects workers < 1 with the same typed
+        # error, so "process:0" fails here at parse time instead of
+        # propagating a bare ValueError out of ProcessPoolExecutor
+        # deep inside run_cells.
+        return ProcessScheduler(workers)
     if spec.startswith("spec:"):
         return SpecScheduler.from_file(spec.split(":", 1)[1])
     raise ReproError(

@@ -162,19 +162,32 @@ async def _read_request(reader: asyncio.StreamReader, max_body: int
         if raw in (b"\r\n", b"\n", b""):
             break
         name, sep, value = raw.decode("latin-1").partition(":")
-        if sep:
-            headers[name.strip().lower()] = value.strip()
-    try:
-        length = int(headers.get("content-length", "0") or "0")
-    except ValueError:
+        if not sep:
+            continue
+        name = name.strip().lower()
+        value = value.strip()
+        if name == "content-length" and name in headers \
+                and headers[name] != value:
+            # RFC 7230 3.3.2: conflicting duplicate Content-Length
+            # values make the body length ambiguous -- request
+            # smuggling territory.  Last-wins silently picked one.
+            raise _BadRequest(400, {
+                "ok": False, "error": "BadContentLength",
+                "message": f"conflicting Content-Length values "
+                           f"{headers[name]!r} and {value!r}"})
+        headers[name] = value
+    raw_length = headers.get("content-length")
+    if raw_length is None or raw_length == "":
+        length = 0
+    elif raw_length.isascii() and raw_length.isdigit():
+        # RFC 7230: Content-Length is 1*DIGIT.  ``int()`` alone is too
+        # lenient -- it accepts "+5", " 5 ", "1_0" and unicode digits,
+        # all of which a proxy in front of us may frame differently.
+        length = int(raw_length)
+    else:
         raise _BadRequest(400, {
             "ok": False, "error": "BadContentLength",
-            "message": f"malformed Content-Length: "
-                       f"{headers.get('content-length')!r}"}) from None
-    if length < 0:
-        raise _BadRequest(400, {
-            "ok": False, "error": "BadContentLength",
-            "message": f"negative Content-Length {length}"})
+            "message": f"malformed Content-Length: {raw_length!r}"})
     if length > max_body:
         error = RequestTooLargeError(
             f"request body of {length} bytes exceeds the "

@@ -240,6 +240,52 @@ def test_make_scheduler_rejects_bad_specs(tmp_path):
         SpecScheduler({"nodes": []})
 
 
+def test_scheduler_spec_errors_are_typed_and_parse_time(tmp_path):
+    """Regression: degenerate specs used to flow through as a 0-worker
+    pool and blow up only deep inside ``run_cells`` when the process
+    pool was built.  They must be rejected at parse/construction time
+    with the typed :class:`SchedulerSpecError` (still a
+    :class:`SolverInputError`/:class:`ReproError`, so existing
+    handlers keep working)."""
+    from repro.errors import SchedulerSpecError, SolverInputError
+    from repro.runtime.parallel import (
+        ProcessScheduler,
+        SpecScheduler,
+        make_scheduler,
+    )
+    assert issubclass(SchedulerSpecError, SolverInputError)
+
+    # Empty / missing node lists.
+    with pytest.raises(SchedulerSpecError, match="no nodes"):
+        SpecScheduler({"nodes": []})
+    with pytest.raises(SchedulerSpecError, match="no nodes"):
+        SpecScheduler({})
+    with pytest.raises(SchedulerSpecError, match="no nodes"):
+        SpecScheduler("not a mapping")
+
+    # All-zero / negative / non-numeric slot counts.
+    for slots in (0, -3, "many", None):
+        with pytest.raises(SchedulerSpecError, match="invalid slots"):
+            SpecScheduler({"nodes": [{"host": "local",
+                                      "slots": slots}]})
+    with pytest.raises(SchedulerSpecError, match="must be an object"):
+        SpecScheduler({"nodes": ["local"]})
+    spec = tmp_path / "zero.json"
+    spec.write_text('{"nodes": [{"host": "local", "slots": 0}]}')
+    with pytest.raises(SchedulerSpecError, match="invalid slots"):
+        make_scheduler(f"spec:{spec}")
+
+    # Degenerate process pools, via the constructor and the spec
+    # string.
+    for workers in (0, -1):
+        with pytest.raises(SchedulerSpecError, match="worker count|>= 1"):
+            ProcessScheduler(workers)
+        with pytest.raises(SchedulerSpecError, match="worker count|>= 1"):
+            make_scheduler(f"process:{workers}")
+    with pytest.raises(SchedulerSpecError, match="worker count"):
+        make_scheduler("process:many")
+
+
 def test_serial_scheduler_matches_process_pool():
     from repro.runtime.parallel import SerialScheduler
     tasks = relative_tasks()

@@ -168,6 +168,87 @@ def test_shutdown_maps_to_503(tmp_path):
     assert payload["error"] == "ServiceShutdownError"
 
 
+async def raw_request(port, head, body=b""):
+    """A fully hand-framed HTTP exchange for malformed-header tests
+    (the ``request`` helper always sends its own valid
+    ``Content-Length``)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = json.loads(await reader.readexactly(length))
+    writer.close()
+    return status, payload
+
+
+def test_malformed_content_length_is_typed_400(tmp_path):
+    """Regression: ``int()`` parsing accepted RFC-invalid framings
+    ("+5", "1_0", unicode digits) that a proxy in front of the server
+    may frame differently -- request-smuggling territory.  They must
+    be rejected with a typed 400 before any body is read."""
+
+    async def scenario(service, port):
+        results = []
+        for bad in ("+5", "-5", "1_0", "0x10", "5 5", "٥"):
+            head = (f"POST /solve HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {bad}\r\n\r\n")
+            results.append((bad, *await raw_request(port, head)))
+        return results
+
+    for bad, status, payload in serve(tmp_path)(scenario):
+        assert status == 400, bad
+        assert payload["error"] == "BadContentLength"
+        assert "malformed Content-Length" in payload["message"]
+
+
+def test_conflicting_duplicate_content_length_is_400(tmp_path):
+    """Regression: last-wins duplicate handling silently picked one of
+    two conflicting lengths (RFC 7230 3.3.2 requires rejection)."""
+    body = json.dumps({"alpha": 0.20, "ratio": "2:3"}).encode()
+
+    async def scenario(service, port):
+        head = (f"POST /solve HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Content-Length: {len(body) + 2}\r\n\r\n")
+        return await raw_request(port, head, body)
+
+    status, payload = serve(tmp_path)(scenario)
+    assert status == 400
+    assert payload["error"] == "BadContentLength"
+    assert "conflicting" in payload["message"]
+
+
+def test_identical_duplicate_and_padded_content_length_accepted(
+        tmp_path):
+    """RFC 7230 allows collapsing *identical* duplicate values, and
+    optional whitespace around the field value is trimmed before the
+    digits-only check -- neither may be over-rejected."""
+    cfg = config(0.20)
+    body = json.dumps({"alpha": 0.20, "ratio": "2:3"}).encode()
+
+    async def scenario(service, port):
+        dup_head = (f"POST /solve HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n")
+        pad_head = (f"POST /solve HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length:   {len(body)}  \r\n\r\n")
+        return (await raw_request(port, dup_head, body),
+                await raw_request(port, pad_head, body))
+
+    dup, padded = serve(tmp_path, prewarm=[(cfg, 0.77)])(scenario)
+    for status, payload in (dup, padded):
+        assert status == 200
+        assert payload["ok"] and payload["utility"] == pytest.approx(0.77)
+
+
 def test_status_for_mapping_table():
     assert status_for({"ok": True}) == 200
     assert status_for({"ok": False,
